@@ -1,0 +1,49 @@
+//! Figure 10: Falcon's performance across table sizes — 25%, 50%, 75%
+//! and 100% of the (scaled) Songs and Citations datasets, simulated crowd
+//! with 5% error, averaged over `--runs`.
+
+use falcon_bench::{dataset, fmt_dur, mean, run_once, standard_config, title, Args};
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let runs: u64 = args.get("runs", 3);
+    let seed: u64 = args.get("seed", 1);
+
+    title("Figure 10: Performance across varying sizes of Songs and Citations");
+    println!(
+        "{:<11} {:>6} {:>9} {:>8} {:>12} {:>12} {:>10}",
+        "Dataset", "size%", "|A|", "F1%", "Machine", "Total", "Cost$"
+    );
+    for name in ["songs", "citations"] {
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let mut f1s = vec![];
+            let mut machines = vec![];
+            let mut totals = vec![];
+            let mut costs = vec![];
+            let mut a_len = 0;
+            for r in 0..runs {
+                let full = dataset(name, scale, seed + r);
+                let d = full.fraction(frac);
+                a_len = d.a.len();
+                let report = run_once(&d, standard_config(8_000), 0.05, seed * 13 + r);
+                f1s.push(report.quality(&d.truth).f1 * 100.0);
+                machines.push(report.machine_time().as_secs_f64());
+                totals.push(report.total_time().as_secs_f64());
+                costs.push(report.ledger.cost);
+            }
+            println!(
+                "{:<11} {:>6.0} {:>9} {:>8.1} {:>12} {:>12} {:>10.2}",
+                name,
+                frac * 100.0,
+                a_len,
+                mean(&f1s),
+                fmt_dur(Duration::from_secs_f64(mean(&machines))),
+                fmt_dur(Duration::from_secs_f64(mean(&totals))),
+                mean(&costs),
+            );
+        }
+    }
+    println!("\nExpected shape (paper): F1 stable; run time and cost grow sublinearly with table size.");
+}

@@ -1,0 +1,59 @@
+//! Section 5 / 11.4: Falcon's match-aware sampler vs Corleone's original
+//! strategy and plain uniform sampling. The metric that matters is how
+//! many *true matches* land in the sample — learning blocking rules is
+//! hopeless without positives.
+
+use falcon::core::ops::sample_pairs::{corleone_sample, sample_pairs};
+use falcon::prelude::*;
+use falcon_bench::{dataset, title, Args, DATASETS};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+fn uniform_sample(a_len: usize, b_len: usize, n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(u32, u32)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..a_len) as u32,
+                rng.gen_range(0..b_len) as u32,
+            )
+        })
+        .collect();
+    out.shuffle(&mut rng);
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 1);
+    let n: usize = args.get("n", 8_000);
+
+    title("Sampler comparison: true matches captured per sampler (|S| fixed)");
+    println!(
+        "{:<11} {:>9} {:>12} {:>14} {:>14} {:>12}",
+        "Dataset", "|S|", "matches", "falcon", "corleone", "uniform"
+    );
+    let cluster = Cluster::new(ClusterConfig::default());
+    for name in DATASETS {
+        let d = dataset(name, scale, seed);
+        let truth: HashSet<(u32, u32)> = d.truth.iter().copied().collect();
+        let count = |pairs: &[(u32, u32)]| pairs.iter().filter(|p| truth.contains(p)).count();
+
+        let falcon_s = sample_pairs(&cluster, &d.a, &d.b, n, 20, seed);
+        let corleone_s = corleone_sample(&d.a, &d.b, n, seed);
+        let uniform_s = uniform_sample(d.a.len(), d.b.len(), n, seed);
+        println!(
+            "{:<11} {:>9} {:>12} {:>14} {:>14} {:>12}",
+            name,
+            n,
+            d.truth.len(),
+            count(&falcon_s.pairs),
+            count(&corleone_s),
+            count(&uniform_s),
+        );
+    }
+    println!("\nExpected shape (paper §5): Falcon's token-index sampler surfaces far more matches than Corleone's cross-with-random-B strategy (inapplicable/degenerate when |A| approaches |S|) and than uniform sampling.");
+}

@@ -1,0 +1,39 @@
+//! Table 1: dataset statistics, plus the Section 11 feature-count
+//! commentary ("50/83 features for Products...").
+
+use falcon_bench::{dataset, title, Args, DATASETS};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 1);
+
+    title("Table 1: Data sets (paper sizes in parentheses)");
+    println!(
+        "{:<11} {:>9} {:>9} {:>12}   features (blocking/matching)",
+        "Dataset", "Table A", "Table B", "# Matches"
+    );
+    let paper = [
+        ("products", 2_554usize, 22_074usize, 1_154usize),
+        ("songs", 1_000_000, 1_000_000, 1_292_023),
+        ("citations", 1_823_978, 2_512_927, 558_787),
+    ];
+    for (name, (pname, pa, pb, pm)) in DATASETS.iter().zip(paper) {
+        assert_eq!(*name, pname);
+        let d = dataset(name, scale, seed);
+        let lib = falcon::core::features::generate_features(&d.a, &d.b);
+        println!(
+            "{:<11} {:>9} {:>9} {:>12}   {}/{}",
+            d.name,
+            d.a.len(),
+            d.b.len(),
+            d.truth.len(),
+            lib.blocking.len(),
+            lib.matching.len(),
+        );
+        println!(
+            "{:<11} ({:>8}) ({:>8}) ({:>10})   (paper: 50/83, 20/47, 22/30)",
+            "", pa, pb, pm
+        );
+    }
+}

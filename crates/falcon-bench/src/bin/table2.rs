@@ -1,0 +1,90 @@
+//! Tables 2 & 3: overall Falcon performance on the three datasets —
+//! accuracy, crowd cost, machine/crowd/total time, candidate-set size.
+//! Default prints per-dataset averages over `--runs` (Table 2); pass
+//! `--per-run` for every individual run (Table 3).
+
+use falcon_bench::{dataset, fmt_dur, mean, run_once, standard_config, title, Args, DATASETS};
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let runs: u64 = args.get("runs", 3);
+    let seed: u64 = args.get("seed", 1);
+    let per_run = args.has("per-run");
+
+    title(if per_run {
+        "Table 3: All runs of Falcon on the data sets"
+    } else {
+        "Table 2: Overall performance of Falcon (averaged over runs)"
+    });
+    println!(
+        "{:<11} {:>4} {:>6} {:>6} {:>6} {:>14} {:>12} {:>12} {:>12} {:>10}",
+        "Dataset", "run", "P%", "R%", "F1%", "Cost(#Q)", "Machine", "Crowd", "Total", "CandSet"
+    );
+
+    for name in DATASETS {
+        let mut ps = vec![];
+        let mut rs = vec![];
+        let mut f1s = vec![];
+        let mut costs = vec![];
+        let mut qs = vec![];
+        let mut machine = vec![];
+        let mut crowd = vec![];
+        let mut total = vec![];
+        let mut cands: Vec<usize> = vec![];
+        for r in 0..runs {
+            let d = dataset(name, scale, seed + r);
+            let cfg = standard_config(8_000);
+            let report = run_once(&d, cfg, 0.05, seed * 100 + r);
+            let q = report.quality(&d.truth);
+            ps.push(q.precision * 100.0);
+            rs.push(q.recall * 100.0);
+            f1s.push(q.f1 * 100.0);
+            costs.push(report.ledger.cost);
+            qs.push(report.ledger.questions as f64);
+            machine.push(report.machine_time().as_secs_f64());
+            crowd.push(report.crowd_time().as_secs_f64());
+            total.push(report.total_time().as_secs_f64());
+            cands.push(report.candidate_size.unwrap_or(0));
+            if per_run {
+                println!(
+                    "{:<11} {:>4} {:>6.1} {:>6.1} {:>6.1} {:>8.2} ({:>3}) {:>12} {:>12} {:>12} {:>10}",
+                    name,
+                    r + 1,
+                    q.precision * 100.0,
+                    q.recall * 100.0,
+                    q.f1 * 100.0,
+                    report.ledger.cost,
+                    report.ledger.questions,
+                    fmt_dur(report.machine_time()),
+                    fmt_dur(report.crowd_time()),
+                    fmt_dur(report.total_time()),
+                    report.candidate_size.unwrap_or(0),
+                );
+            }
+        }
+        if !per_run {
+            let cand_lo = cands.iter().min().copied().unwrap_or(0);
+            let cand_hi = cands.iter().max().copied().unwrap_or(0);
+            println!(
+                "{:<11} {:>4} {:>6.1} {:>6.1} {:>6.1} {:>8.2} ({:>3}) {:>12} {:>12} {:>12} {:>10}",
+                name,
+                format!("x{runs}"),
+                mean(&ps),
+                mean(&rs),
+                mean(&f1s),
+                mean(&costs),
+                mean(&qs) as usize,
+                fmt_dur(Duration::from_secs_f64(mean(&machine))),
+                fmt_dur(Duration::from_secs_f64(mean(&crowd))),
+                fmt_dur(Duration::from_secs_f64(mean(&total))),
+                format!("{cand_lo}-{cand_hi}"),
+            );
+        }
+    }
+    println!(
+        "\nPaper (full scale): products P90.9 R74.5 F81.9 $57.6 | songs P96.0 R99.3 F97.6 $54.0 | citations P92.0 R98.5 F95.2 $65.5"
+    );
+    println!("Crowd cost cap: ${:.2}", falcon::crowd::session::paper_cost_cap());
+}

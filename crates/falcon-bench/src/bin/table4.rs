@@ -1,0 +1,62 @@
+//! Table 4: per-operator run times, first run of each dataset. For the
+//! masked operators (`apply_block_rules`, matching-stage `al_matcher`)
+//! the unoptimized time is shown in parentheses, as in the paper.
+
+use falcon_bench::{dataset, fmt_dur, run_once, standard_config, title, Args, DATASETS};
+use falcon::prelude::OptFlags;
+use std::time::Duration;
+
+const OPS: [&str; 10] = [
+    "sample_pairs",
+    "gen_fvs_b",
+    "al_matcher_b",
+    "get_block_rules",
+    "eval_rules",
+    "sel_opt_seq",
+    "apply_block_rules",
+    "gen_fvs_m",
+    "al_matcher_m",
+    "apply_matcher",
+];
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let seed: u64 = args.get("seed", 1);
+
+    title("Table 4: Falcon's run times per operator (first run per dataset)");
+    println!("{:<11} {}", "Dataset", OPS.map(|o| format!("{o:>18}")).join(""));
+    for name in DATASETS {
+        let d = dataset(name, scale, seed);
+        // Optimized run.
+        let opt = run_once(&d, standard_config(8_000), 0.05, seed);
+        // Unoptimized twin (same seeds) for the parenthesized numbers.
+        let mut cfg = standard_config(8_000);
+        cfg.opt = OptFlags::none();
+        let unopt = run_once(&d, cfg, 0.05, seed);
+        let o_times = opt.op_times();
+        let u_times = unopt.op_times();
+        let mut row = format!("{name:<11}");
+        for op in OPS {
+            let o = o_times.get(op).copied().unwrap_or(Duration::ZERO);
+            let u = u_times.get(op).copied().unwrap_or(Duration::ZERO);
+            let cell = if u > o + Duration::from_millis(5) {
+                format!("{} ({})", fmt_dur(o), fmt_dur(u))
+            } else {
+                fmt_dur(o)
+            };
+            row.push_str(&format!("{cell:>18}"));
+        }
+        println!("{row}");
+        // Masked work moved off the critical path:
+        let masked = opt.machine_time().saturating_sub(opt.unmasked_machine_time());
+        println!(
+            "{:<11}   (machine {} of which {} masked; crowd {}; total {})",
+            "",
+            fmt_dur(opt.machine_time()),
+            fmt_dur(masked),
+            fmt_dur(opt.crowd_time()),
+            fmt_dur(opt.total_time()),
+        );
+    }
+}

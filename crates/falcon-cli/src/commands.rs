@@ -1,0 +1,283 @@
+//! CLI subcommands: `match`, `profile`, `demo`.
+
+use falcon::core::features::generate_features;
+use falcon::crowd::interactive::InteractiveCrowd;
+use falcon::prelude::*;
+use falcon::table::csv;
+use falcon::table::TableProfile;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+falcon — hands-off crowdsourced entity matching
+
+USAGE:
+    falcon match <a.csv> <b.csv> [OPTIONS]   run end-to-end EM over two CSV tables
+    falcon profile <table.csv>               show inferred attribute characteristics
+    falcon demo [products|songs|citations|drugs]  run on a synthetic dataset with ground truth
+    falcon help                              show this message
+
+MATCH OPTIONS:
+    --out <path>         write matched pairs as CSV (default: stdout summary only)
+    --interactive        you answer the crowd questions at the terminal (y/n)
+    --sample <n>         sampler target |S| (default 10000)
+    --budget <pairs>     enumeration guard for the baselines (default 50000000)
+    --workflow <k>       run k iterative Matcher/Estimator rounds (default 1)
+
+DEMO OPTIONS:
+    --scale <f>          dataset scale multiplier (default laptop-sized)
+    --error <p>          simulated crowd error rate (default 0.05)
+    --seed <n>           RNG seed (default 1)
+";
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn load(path: &str) -> Result<Table, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    csv::read_table(path, BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn print_report(report: &falcon::core::driver::RunReport) {
+    println!("plan           : {:?}", report.plan);
+    if let Some(op) = report.physical {
+        println!("physical op    : {}", op.name());
+    }
+    if let Some(c) = report.candidate_size {
+        println!("candidates     : {c}");
+    }
+    println!(
+        "blocking rules : {} extracted, {} retained, {} in sequence",
+        report.rules_extracted,
+        report.rules_retained,
+        report.rule_sequence.len()
+    );
+    println!("matches        : {}", report.matches.len());
+    println!(
+        "crowd          : {} questions / {} answers / ${:.2}",
+        report.ledger.questions, report.ledger.answers, report.ledger.cost
+    );
+    println!(
+        "time           : machine {:?}, crowd {:?}, total {:?}",
+        report.machine_time(),
+        report.crowd_time(),
+        report.total_time()
+    );
+}
+
+/// `falcon match a.csv b.csv [...]`.
+pub fn cmd_match(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path, ..] = args else {
+        return Err(format!("match needs two CSV paths\n\n{USAGE}"));
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    println!("loaded {} ({} rows) and {} ({} rows)", a.name(), a.len(), b.name(), b.len());
+
+    let sample: usize = flag_value(args, "--sample")
+        .map(|v| v.parse().map_err(|_| "--sample expects a number"))
+        .transpose()?
+        .unwrap_or(10_000);
+    let budget: u128 = flag_value(args, "--budget")
+        .map(|v| v.parse().map_err(|_| "--budget expects a number"))
+        .transpose()?
+        .unwrap_or(50_000_000);
+    let workflow: usize = flag_value(args, "--workflow")
+        .map(|v| v.parse().map_err(|_| "--workflow expects a number"))
+        .transpose()?
+        .unwrap_or(1);
+
+    if !has_flag(args, "--interactive") {
+        return Err(
+            "without ground truth only --interactive labeling is possible; \
+             pass --interactive (or use `falcon demo` for simulated crowds)"
+                .into(),
+        );
+    }
+    let config = FalconConfig {
+        sample_size: sample,
+        max_pairs: budget,
+        al: falcon::core::ops::al_matcher::AlConfig {
+            max_iterations: 8, // human sessions should stay short
+            ..Default::default()
+        },
+        ..FalconConfig::default()
+    };
+    let crowd = InteractiveCrowd::new(
+        a.clone(),
+        b.clone(),
+        BufReader::new(std::io::stdin()),
+        std::io::stdout(),
+    );
+    let report = if workflow > 1 {
+        let (report, estimates) = Falcon::new(config).run_workflow(&a, &b, crowd, workflow);
+        for (i, est) in estimates.iter().enumerate() {
+            println!(
+                "round {}: est P {:.1}% ±{:.1}, est R {:.1}% ±{:.1}",
+                i + 1,
+                est.precision * 100.0,
+                est.precision_margin * 100.0,
+                est.recall * 100.0,
+                est.recall_margin * 100.0
+            );
+        }
+        report
+    } else {
+        Falcon::new(config).run(&a, &b, crowd)
+    };
+    print_report(&report);
+
+    if let Some(out_path) = flag_value(args, "--out") {
+        let f = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+        let mut w = BufWriter::new(f);
+        writeln!(w, "a_id,b_id").map_err(|e| e.to_string())?;
+        for (aid, bid) in &report.matches {
+            writeln!(w, "{aid},{bid}").map_err(|e| e.to_string())?;
+        }
+        println!("wrote {} matches to {out_path}", report.matches.len());
+    }
+    Ok(())
+}
+
+/// `falcon profile table.csv`: the Section 8 attribute analysis.
+pub fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let [path, ..] = args else {
+        return Err(format!("profile needs a CSV path\n\n{USAGE}"));
+    };
+    let t = load(path)?;
+    let p = TableProfile::scan(&t);
+    println!("{path}: {} rows, {} attributes", t.len(), t.schema().arity());
+    println!(
+        "{:<20} {:>8} {:>18} {:>7} {:>10}",
+        "attribute", "type", "characteristic", "fill%", "avg words"
+    );
+    for attr in &p.attrs {
+        println!(
+            "{:<20} {:>8} {:>18} {:>6.1} {:>10.2}",
+            attr.name,
+            format!("{:?}", attr.ty),
+            format!("{:?}", attr.characteristic),
+            attr.fill_rate * 100.0,
+            attr.avg_words
+        );
+    }
+    // Preview what feature generation would produce against itself.
+    let lib = generate_features(&t, &t);
+    println!(
+        "\nfeature generation (vs an identically-shaped table): {} blocking / {} matching",
+        lib.blocking.len(),
+        lib.matching.len()
+    );
+    Ok(())
+}
+
+/// `falcon demo [dataset]`: simulated end-to-end run with quality report.
+pub fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map_or("products", String::as_str);
+    let default_scale = match name {
+        "products" => 0.05,
+        "songs" => 0.002,
+        "citations" => 0.0015,
+        "drugs" => 0.004,
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let scale: f64 = flag_value(args, "--scale")
+        .map(|v| v.parse().map_err(|_| "--scale expects a number"))
+        .transpose()?
+        .unwrap_or(1.0)
+        * default_scale;
+    let error: f64 = flag_value(args, "--error")
+        .map(|v| v.parse().map_err(|_| "--error expects a number"))
+        .transpose()?
+        .unwrap_or(0.05);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| "--seed expects a number"))
+        .transpose()?
+        .unwrap_or(1);
+
+    let d = falcon::datagen::generate(name, scale, seed);
+    println!(
+        "demo {name}: {} x {} tuples, {} true matches, crowd error {:.0}%",
+        d.a.len(),
+        d.b.len(),
+        d.truth.len(),
+        error * 100.0
+    );
+    let truth = GroundTruth::new(d.truth.iter().copied());
+    let crowd = RandomWorkerCrowd::new(truth, error, seed);
+    let config = FalconConfig {
+        sample_size: 8_000,
+        sample_fanout: 20,
+        ..FalconConfig::default()
+    };
+    let report = Falcon::new(config).run(&d.a, &d.b, crowd);
+    print_report(&report);
+    let q = report.quality(&d.truth);
+    println!(
+        "quality        : P {:.1}%  R {:.1}%  F1 {:.1}%",
+        q.precision * 100.0,
+        q.recall * 100.0,
+        q.f1 * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["a.csv", "b.csv", "--sample", "500", "--interactive"]);
+        assert_eq!(flag_value(&args, "--sample"), Some("500"));
+        assert_eq!(flag_value(&args, "--out"), None);
+        assert!(has_flag(&args, "--interactive"));
+        assert!(!has_flag(&args, "--workflow"));
+    }
+
+    #[test]
+    fn match_requires_two_paths() {
+        assert!(cmd_match(&s(&["only_one.csv"])).is_err());
+    }
+
+    #[test]
+    fn match_requires_interactive_or_demo() {
+        // Write two tiny CSVs.
+        let dir = std::env::temp_dir();
+        let pa = dir.join("falcon_cli_test_a.csv");
+        let pb = dir.join("falcon_cli_test_b.csv");
+        std::fs::write(&pa, "name\nx\n").unwrap();
+        std::fs::write(&pb, "name\nx\n").unwrap();
+        let err = cmd_match(&s(&[pa.to_str().unwrap(), pb.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("--interactive"), "{err}");
+    }
+
+    #[test]
+    fn profile_runs_on_csv() {
+        let dir = std::env::temp_dir();
+        let p = dir.join("falcon_cli_profile.csv");
+        std::fs::write(&p, "title,price\nlong gadget name here,10\nanother item,25\n").unwrap();
+        assert!(cmd_profile(&s(&[p.to_str().unwrap()])).is_ok());
+    }
+
+    #[test]
+    fn demo_rejects_unknown_dataset() {
+        assert!(cmd_demo(&s(&["nope"])).is_err());
+    }
+}

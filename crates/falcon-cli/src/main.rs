@@ -1,0 +1,34 @@
+//! `falcon` — the command-line face of the EM service the paper's
+//! Example 1 describes: "a user can just submit the two tables to be
+//! matched ... and specify the crowdsourcing budget".
+//!
+//! ```text
+//! falcon match a.csv b.csv [--out matches.csv] [--interactive | --demo-crowd <err>]
+//! falcon profile table.csv
+//! falcon demo [products|songs|citations] [--scale f]
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("match") => commands::cmd_match(&args[1..]),
+        Some("profile") => commands::cmd_profile(&args[1..]),
+        Some("demo") => commands::cmd_demo(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! The end-to-end Falcon driver: plan generation, execution and
+//! optimization over two input tables and a crowd.
+
+use crate::features::{generate_features, FeatureLibrary};
+use crate::indexing::{BuiltIndexes, ConjunctSpecs};
+use crate::metrics::em_quality;
+use crate::ops::accuracy_estimator::{estimate_accuracy, AccuracyEstimate, EstimatorConfig};
+use crate::ops::al_matcher::{al_matcher, AlConfig};
+use crate::ops::difficult_pairs::locate_difficult_pairs;
+use crate::ops::apply_matcher::apply_matcher;
+use crate::ops::eval_rules::{eval_rules, EvalConfig, EvaluatedRule};
+use crate::ops::gen_fvs::gen_fvs;
+use crate::ops::get_blocking_rules::get_blocking_rules;
+use crate::ops::sample_pairs::sample_pairs;
+use crate::ops::select_opt_seq::{select_opt_seq, SeqConfig};
+use crate::optimizer::{prebuild_for_rules, prebuild_generic, speculate_rules, OptFlags};
+use crate::physical::{self, estimate_table_bytes, PhysicalOp};
+use crate::plan::{choose_plan, PlanKind};
+use crate::rules::RuleSequence;
+use crate::timeline::Timeline;
+use falcon_crowd::{Crowd, CrowdSession, Ledger};
+use falcon_dataflow::{run_map_only, Cluster, ClusterConfig};
+use falcon_table::{IdPair, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Full Falcon configuration (paper defaults, scaled where noted).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FalconConfig {
+    /// Simulated cluster.
+    pub cluster: ClusterConfig,
+    /// Sample size `|S|` (paper: 1M; default here is laptop-scaled).
+    pub sample_size: usize,
+    /// Sampler fan-out `y` (paper: 100).
+    pub sample_fanout: usize,
+    /// Active learning settings (both stages; the matching stage flips
+    /// `mask_pair_selection` per the optimizer flags).
+    pub al: AlConfig,
+    /// Rule-evaluation settings.
+    pub eval: EvalConfig,
+    /// Sequence-selection settings.
+    pub seq: SeqConfig,
+    /// Top-k rules to crowd-evaluate (paper: 20).
+    pub max_rules: usize,
+    /// Masking optimizations.
+    pub opt: OptFlags,
+    /// Pair budget for Cartesian-enumeration baselines and the
+    /// matcher-only plan.
+    pub max_pairs: u128,
+    /// `apply_greedy` selection ratio threshold (paper: 0.8).
+    pub greedy_ratio: f64,
+    /// Candidate-set size above which pair selection is masked (paper:
+    /// 50M pairs; scaled default).
+    pub mask_selection_threshold: usize,
+    /// Force a physical blocking operator (benchmarks).
+    pub force_physical: Option<PhysicalOp>,
+    /// Force a plan template.
+    pub force_plan: Option<PlanKind>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FalconConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            sample_size: 100_000,
+            sample_fanout: 100,
+            al: AlConfig::default(),
+            eval: EvalConfig::default(),
+            seq: SeqConfig::default(),
+            max_rules: 20,
+            opt: OptFlags::default(),
+            max_pairs: 50_000_000,
+            greedy_ratio: 0.8,
+            mask_selection_threshold: 500_000,
+            force_plan: None,
+            force_physical: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Everything a run produces (the raw material for Tables 2-5).
+#[derive(Debug)]
+pub struct RunReport {
+    /// Predicted matching pairs.
+    pub matches: Vec<IdPair>,
+    /// Plan template used.
+    pub plan: PlanKind,
+    /// Physical blocking operator (blocking plans only).
+    pub physical: Option<PhysicalOp>,
+    /// Candidate pairs surviving blocking (blocking plans only).
+    pub candidate_size: Option<usize>,
+    /// The selected blocking rule sequence.
+    pub rule_sequence: RuleSequence,
+    /// Candidate rules extracted / retained after crowd evaluation.
+    pub rules_extracted: usize,
+    /// Rules retained by `eval_rules`.
+    pub rules_retained: usize,
+    /// Sample size actually drawn.
+    pub sample_size: usize,
+    /// Execution timeline (crowd/machine/masked segments).
+    pub timeline: Timeline,
+    /// Crowd cost/latency ledger.
+    pub ledger: Ledger,
+    /// Feature counts (blocking / matching), as in Table 1's commentary.
+    pub feature_counts: (usize, usize),
+}
+
+impl RunReport {
+    /// Machine time `t_m`.
+    pub fn machine_time(&self) -> Duration {
+        self.timeline.machine_time()
+    }
+
+    /// Crowd time `t_c`.
+    pub fn crowd_time(&self) -> Duration {
+        self.timeline.crowd_time()
+    }
+
+    /// Unmasked machine time `t_u`.
+    pub fn unmasked_machine_time(&self) -> Duration {
+        self.timeline.unmasked_machine_time()
+    }
+
+    /// Total run time `t_c + t_u`.
+    pub fn total_time(&self) -> Duration {
+        self.timeline.total_time()
+    }
+
+    /// Per-operator time breakdown (Table 4).
+    pub fn op_times(&self) -> BTreeMap<String, Duration> {
+        self.timeline.by_operator()
+    }
+
+    /// Convenience: quality against ground truth.
+    pub fn quality(&self, truth: &[IdPair]) -> crate::metrics::EmQuality {
+        em_quality(&self.matches, truth)
+    }
+}
+
+/// The Falcon system.
+pub struct Falcon {
+    /// Configuration.
+    pub config: FalconConfig,
+}
+
+impl Falcon {
+    /// Create with a configuration.
+    pub fn new(config: FalconConfig) -> Self {
+        Self { config }
+    }
+
+    /// Hands-off crowdsourced EM over `A × B` using `crowd`.
+    pub fn run<C: Crowd>(&self, a: &Table, b: &Table, crowd: C) -> RunReport {
+        let cfg = &self.config;
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let mut session = CrowdSession::new(crowd);
+        let mut timeline = Timeline::new();
+
+        // Feature generation (fast table scans).
+        let t0 = std::time::Instant::now();
+        let lib = generate_features(a, b);
+        timeline.machine("gen_features", t0.elapsed());
+
+        let plan = cfg.force_plan.unwrap_or_else(|| {
+            choose_plan(
+                a,
+                b,
+                lib.matching.len(),
+                cfg.cluster.mapper_memory_bytes,
+                cfg.max_pairs,
+            )
+        });
+        match plan {
+            PlanKind::MatchOnly => {
+                self.run_match_only(a, b, &lib, &cluster, &mut session, &mut timeline)
+            }
+            PlanKind::BlockAndMatch => {
+                self.run_block_and_match(a, b, &lib, &cluster, &mut session, &mut timeline)
+            }
+        }
+    }
+
+    fn run_match_only<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        lib: &FeatureLibrary,
+        cluster: &Cluster,
+        session: &mut CrowdSession<C>,
+        timeline: &mut Timeline,
+    ) -> RunReport {
+        let cfg = &self.config;
+        // Cartesian product of ids.
+        let pairs: Vec<IdPair> = (0..a.len() as u32)
+            .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
+            .collect();
+        let fv_out = gen_fvs(cluster, a, b, &pairs, &lib.matching);
+        timeline.machine("gen_fvs_m", fv_out.stats.sim_duration(&cfg.cluster));
+        let higher: Vec<bool> = lib
+            .matching
+            .features
+            .iter()
+            .map(|f| f.sim.higher_is_similar())
+            .collect();
+        let al_cfg = AlConfig {
+            mask_pair_selection: false,
+            seed: cfg.seed,
+            ..cfg.al.clone()
+        };
+        let al = al_matcher(
+            cluster,
+            session,
+            timeline,
+            "al_matcher_m",
+            &fv_out.fvs,
+            &higher,
+            &al_cfg,
+        );
+        let applied = apply_matcher(cluster, &al.forest, &fv_out.fvs);
+        timeline.machine("apply_matcher", applied.stats.sim_duration(&cfg.cluster));
+        RunReport {
+            matches: applied.matches,
+            plan: PlanKind::MatchOnly,
+            physical: None,
+            candidate_size: None,
+            rule_sequence: RuleSequence::default(),
+            rules_extracted: 0,
+            rules_retained: 0,
+            sample_size: 0,
+            timeline: std::mem::take(timeline),
+            ledger: session.ledger(),
+            feature_counts: (lib.blocking.len(), lib.matching.len()),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn blocking_stage<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        lib: &FeatureLibrary,
+        cluster: &Cluster,
+        session: &mut CrowdSession<C>,
+        timeline: &mut Timeline,
+    ) -> BlockingOutcome {
+        let cfg = &self.config;
+        let mut built = BuiltIndexes::new();
+
+        // ---- sample_pairs ----
+        let sample = sample_pairs(
+            cluster,
+            a,
+            b,
+            cfg.sample_size,
+            cfg.sample_fanout,
+            cfg.seed,
+        );
+        timeline.machine(
+            "sample_pairs",
+            sample.index_job.sim_duration(&cfg.cluster)
+                + sample.pair_job.sim_duration(&cfg.cluster),
+        );
+
+        // ---- gen_fvs (blocking features) ----
+        let s_fvs = gen_fvs(cluster, a, b, &sample.pairs, &lib.blocking);
+        timeline.machine("gen_fvs_b", s_fvs.stats.sim_duration(&cfg.cluster));
+
+        // ---- al_matcher (blocking stage) ----
+        let higher_b: Vec<bool> = lib
+            .blocking
+            .features
+            .iter()
+            .map(|f| f.sim.higher_is_similar())
+            .collect();
+        let al_cfg = AlConfig {
+            mask_pair_selection: false,
+            seed: cfg.seed,
+            ..cfg.al.clone()
+        };
+        let al_b = al_matcher(
+            cluster,
+            session,
+            timeline,
+            "al_matcher_b",
+            &s_fvs.fvs,
+            &higher_b,
+            &al_cfg,
+        );
+
+        // Masking 1a: generic index prebuild during the AL crowd rounds.
+        if cfg.opt.prebuild_indexes {
+            prebuild_generic(cluster, a, &lib.blocking, &mut built, timeline);
+        }
+
+        // ---- get_blocking_rules ----
+        let t0 = std::time::Instant::now();
+        let ranked = get_blocking_rules(&al_b.forest, &s_fvs.fvs, cfg.max_rules, &higher_b);
+        timeline.machine("get_block_rules", t0.elapsed());
+        let rules_extracted = ranked.len();
+
+        // Masking 1b + 2: while eval_rules crowdsources, prebuild the
+        // candidate rules' indexes and speculatively execute them.
+        // (Capacity accumulates from eval_rules' rounds; we interleave the
+        // accounting by running eval first, then charging the masked work
+        // against its accumulated capacity — equivalent under the capacity
+        // model.)
+        let eval_cfg = EvalConfig {
+            seed: cfg.seed,
+            ..cfg.eval.clone()
+        };
+        let eval = eval_rules(session, timeline, &ranked, &s_fvs.fvs, &eval_cfg);
+        if cfg.opt.prebuild_indexes {
+            prebuild_for_rules(cluster, a, &ranked.rules, &lib.blocking, &mut built, timeline);
+        }
+        let speculated = if cfg.opt.speculative_execution {
+            let rules_with_sel: Vec<_> = ranked
+                .rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.clone(), ranked.selectivity(i)))
+                .collect();
+            speculate_rules(
+                cluster,
+                a,
+                b,
+                &rules_with_sel,
+                &lib.blocking,
+                &mut built,
+                timeline,
+                cfg.max_pairs,
+            )
+        } else {
+            Default::default()
+        };
+
+        // Fallback: if nothing was retained, keep the top-ranked rule so
+        // the pipeline can still block (documented pragmatic choice).
+        let retained: Vec<EvaluatedRule> = if eval.retained.is_empty() && !ranked.is_empty() {
+            vec![EvaluatedRule {
+                rule: ranked.rules[0].clone(),
+                rank_idx: 0,
+                precision: 0.0,
+                epsilon: 1.0,
+                iterations: 0,
+            }]
+        } else {
+            eval.retained.clone()
+        };
+        let rules_retained = eval.retained.len();
+
+        // ---- select_opt_seq ----
+        let t0 = std::time::Instant::now();
+        let seq_out = select_opt_seq(&ranked, &retained, &s_fvs.fvs, &cfg.seq);
+        timeline.machine("sel_opt_seq", t0.elapsed());
+
+        // ---- apply_blocking_rules ----
+        let conjuncts = ConjunctSpecs::derive(&seq_out.seq, &lib.blocking);
+        // Build whatever indexes are still missing (unmasked).
+        for spec in conjuncts.all_specs() {
+            let dur = built.build_spec(cluster, a, &spec);
+            timeline.machine("index_build", dur);
+        }
+        // Reuse a speculated single-rule output when possible.
+        let spec_hit: Option<(usize, &Vec<IdPair>)> = seq_out
+            .seq
+            .rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| speculated.get(&r.canonical_key()).map(|o| (i, o)))
+            .min_by_key(|(_, o)| o.len());
+        let (candidates, physical_op) = if let Some((_, base)) = spec_hit {
+            // Apply the full sequence to the smallest speculated output in
+            // a map-only job (rules are idempotent on survivors).
+            let evaluator = Arc::new(physical::PairEvaluator::new(
+                a,
+                b,
+                &lib.blocking,
+                &seq_out.seq,
+            ));
+            let chunk = base.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
+            let splits: Vec<Vec<IdPair>> =
+                base.chunks(chunk).map(<[IdPair]>::to_vec).collect();
+            let out = run_map_only(cluster, splits, move |&(x, y): &IdPair, acc| {
+                if evaluator.keeps(x, y) {
+                    acc.push((x, y));
+                }
+            });
+            timeline.machine("apply_block_rules", out.stats.sim_duration(&cfg.cluster));
+            let mut c = out.output;
+            c.sort_unstable();
+            (c, cfg.force_physical.unwrap_or(PhysicalOp::ApplyAll))
+        } else {
+            let op = cfg.force_physical.unwrap_or_else(|| {
+                physical::select_physical(
+                    &conjuncts,
+                    &built,
+                    &seq_out.rule_selectivities,
+                    seq_out.selectivity,
+                    cfg.cluster.mapper_memory_bytes,
+                    estimate_table_bytes(a),
+                    cfg.greedy_ratio,
+                )
+            });
+            let result = physical::execute(
+                op,
+                cluster,
+                a,
+                b,
+                &lib.blocking,
+                &seq_out.seq,
+                &conjuncts,
+                &built,
+                &seq_out.rule_selectivities,
+                cfg.max_pairs,
+            );
+            match result {
+                Ok(res) => {
+                    timeline.machine("apply_block_rules", res.duration);
+                    (res.candidates, res.op)
+                }
+                Err(_) => {
+                    // Forced/selected operator failed (pair budget): fall
+                    // back to apply-all if possible, else empty.
+                    let res = physical::execute(
+                        PhysicalOp::ApplyAll,
+                        cluster,
+                        a,
+                        b,
+                        &lib.blocking,
+                        &seq_out.seq,
+                        &conjuncts,
+                        &built,
+                        &seq_out.rule_selectivities,
+                        cfg.max_pairs,
+                    )
+                    .expect("apply-all fallback");
+                    timeline.machine("apply_block_rules", res.duration);
+                    (res.candidates, res.op)
+                }
+            }
+        };
+
+        BlockingOutcome {
+            candidates,
+            physical_op,
+            seq: seq_out.seq,
+            rules_extracted,
+            rules_retained,
+            sample_len: sample.pairs.len(),
+        }
+    }
+
+    /// The matching stage: `gen_fvs` over the candidates, crowdsourced
+    /// active learning, and `apply_matcher` (speculated when AL
+    /// converged). `priority` seeds the first labeling round (the
+    /// Difficult Pairs' Locator feeds this in the iterative workflow).
+    #[allow(clippy::too_many_arguments)]
+    fn matching_stage<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        lib: &FeatureLibrary,
+        cluster: &Cluster,
+        session: &mut CrowdSession<C>,
+        timeline: &mut Timeline,
+        candidates: &[IdPair],
+        priority: Vec<usize>,
+        seed_salt: u64,
+    ) -> MatchStageOutcome {
+        let cfg = &self.config;
+        let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching);
+        timeline.machine("gen_fvs_m", c_fvs.stats.sim_duration(&cfg.cluster));
+        if c_fvs.fvs.is_empty() {
+            return MatchStageOutcome {
+                matches: Vec::new(),
+                forest: None,
+                fvs: c_fvs.fvs,
+                labeled: Vec::new(),
+            };
+        }
+        let higher_m: Vec<bool> = lib
+            .matching
+            .features
+            .iter()
+            .map(|f| f.sim.higher_is_similar())
+            .collect();
+        let al_m_cfg = AlConfig {
+            mask_pair_selection: cfg.opt.mask_pair_selection
+                && candidates.len() >= cfg.mask_selection_threshold,
+            seed: cfg.seed ^ 1 ^ seed_salt,
+            priority_indices: priority,
+            ..cfg.al.clone()
+        };
+        let al_m = al_matcher(
+            cluster,
+            session,
+            timeline,
+            "al_matcher_m",
+            &c_fvs.fvs,
+            &higher_m,
+            &al_m_cfg,
+        );
+        let applied = apply_matcher(cluster, &al_m.forest, &c_fvs.fvs);
+        let dur = applied.stats.sim_duration(&cfg.cluster);
+        if cfg.opt.speculative_execution && al_m.converged {
+            timeline.masked_machine("apply_matcher", dur);
+        } else {
+            timeline.machine("apply_matcher", dur);
+        }
+        MatchStageOutcome {
+            matches: applied.matches,
+            forest: Some(al_m.forest),
+            fvs: c_fvs.fvs,
+            labeled: al_m.labeled,
+        }
+    }
+
+    fn run_block_and_match<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        lib: &FeatureLibrary,
+        cluster: &Cluster,
+        session: &mut CrowdSession<C>,
+        timeline: &mut Timeline,
+    ) -> RunReport {
+        let block = self.blocking_stage(a, b, lib, cluster, session, timeline);
+        let matched = self.matching_stage(
+            a,
+            b,
+            lib,
+            cluster,
+            session,
+            timeline,
+            &block.candidates,
+            Vec::new(),
+            0,
+        );
+        RunReport {
+            matches: matched.matches,
+            plan: PlanKind::BlockAndMatch,
+            physical: Some(block.physical_op),
+            candidate_size: Some(block.candidates.len()),
+            rule_sequence: block.seq,
+            rules_extracted: block.rules_extracted,
+            rules_retained: block.rules_retained,
+            sample_size: block.sample_len,
+            timeline: std::mem::take(timeline),
+            ledger: session.ledger(),
+            feature_counts: (lib.blocking.len(), lib.matching.len()),
+        }
+    }
+
+    /// The **full iterative EM workflow** of Figure 1: Blocker, then
+    /// repeated Matcher / Accuracy Estimator / Difficult Pairs' Locator
+    /// rounds until the crowd-estimated accuracy stops improving (or
+    /// `max_outer` rounds). This is Corleone's default workflow, listed in
+    /// the paper (Section 12) as the next extension of Falcon's plans.
+    ///
+    /// Returns the final report plus the per-round accuracy estimates.
+    pub fn run_workflow<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        max_outer: usize,
+    ) -> (RunReport, Vec<AccuracyEstimate>) {
+        let cfg = &self.config;
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let mut session = CrowdSession::new(crowd);
+        let mut timeline = Timeline::new();
+        let t0 = std::time::Instant::now();
+        let lib = generate_features(a, b);
+        timeline.machine("gen_features", t0.elapsed());
+
+        let block = self.blocking_stage(a, b, &lib, &cluster, &mut session, &mut timeline);
+
+        let mut estimates: Vec<AccuracyEstimate> = Vec::new();
+        // Keep the round with the best crowd-estimated F1 (Corleone keeps
+        // the best matcher seen, not necessarily the last).
+        let mut best: Option<(f64, MatchStageOutcome)> = None;
+        let mut priority: Vec<usize> = Vec::new();
+        let mut known: std::collections::HashMap<usize, bool> = Default::default();
+        for round in 0..max_outer.max(1) {
+            let outcome = self.matching_stage(
+                a,
+                b,
+                &lib,
+                &cluster,
+                &mut session,
+                &mut timeline,
+                &block.candidates,
+                std::mem::take(&mut priority),
+                round as u64,
+            );
+            for (i, l) in &outcome.labeled {
+                known.insert(*i, *l);
+            }
+            let Some(forest) = outcome.forest.as_ref() else {
+                best = Some((0.0, outcome));
+                break;
+            };
+            let est = estimate_accuracy(
+                &mut session,
+                &mut timeline,
+                forest,
+                &outcome.fvs,
+                &EstimatorConfig {
+                    seed: cfg.seed ^ round as u64,
+                    ..EstimatorConfig::default()
+                },
+            );
+            let improved = estimates
+                .last()
+                .is_none_or(|prev| est.f1 > prev.f1 + 0.01);
+            let difficult = locate_difficult_pairs(forest, &outcome.fvs, &known, cfg.al.batch);
+            priority = difficult.into_iter().map(|d| d.index).collect();
+            let keep_going = improved && !priority.is_empty() && round + 1 < max_outer;
+            if best.as_ref().is_none_or(|(f1, _)| est.f1 >= *f1) {
+                best = Some((est.f1, outcome));
+            }
+            estimates.push(est);
+            if !keep_going {
+                break;
+            }
+        }
+        let (_, matched) = best.expect("at least one round");
+        let report = RunReport {
+            matches: matched.matches,
+            plan: PlanKind::BlockAndMatch,
+            physical: Some(block.physical_op),
+            candidate_size: Some(block.candidates.len()),
+            rule_sequence: block.seq,
+            rules_extracted: block.rules_extracted,
+            rules_retained: block.rules_retained,
+            sample_size: block.sample_len,
+            timeline,
+            ledger: session.ledger(),
+            feature_counts: (lib.blocking.len(), lib.matching.len()),
+        };
+        (report, estimates)
+    }
+}
+
+/// Output of the blocking stage (Figure 3.a up to `apply_blocking_rules`).
+struct BlockingOutcome {
+    candidates: Vec<IdPair>,
+    physical_op: PhysicalOp,
+    seq: RuleSequence,
+    rules_extracted: usize,
+    rules_retained: usize,
+    sample_len: usize,
+}
+
+/// Output of one matching stage.
+struct MatchStageOutcome {
+    matches: Vec<IdPair>,
+    forest: Option<falcon_forest::Forest>,
+    fvs: crate::fv::FvSet,
+    labeled: Vec<(usize, bool)>,
+}

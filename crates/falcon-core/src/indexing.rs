@@ -1,0 +1,309 @@
+//! Index building for `apply_blocking_rules` (Section 7.5).
+//!
+//! For every filterable predicate of the positive CNF rule we build a
+//! [`PredicateIndex`]. Token orderings follow the paper's 3-MR-job
+//! pipeline: job 1 counts token frequencies over `A`, job 2 produces the
+//! global ordering, job 3 assembles the prefix (and scalar) indexes.
+//!
+//! Built indexes are cached by predicate key so the masking optimizer can
+//! prebuild them during crowd rounds (Section 10.2, Solution 1) and
+//! `apply_blocking_rules` can reuse them for free.
+
+use crate::features::FeatureSet;
+use crate::rules::RuleSequence;
+use falcon_dataflow::{run_map_combine_reduce, Cluster, Emitter};
+use falcon_forest::SplitOp;
+use falcon_index::{FilterSpec, PredicateIndex, TokenOrder};
+use falcon_table::{Table, Tuple};
+use falcon_textsim::Tokenizer;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stable cache key for a filter spec.
+pub fn predicate_key(spec: &FilterSpec) -> String {
+    match spec {
+        FilterSpec::Equals { a_attr } => format!("eq:{a_attr}"),
+        FilterSpec::Range {
+            a_attr,
+            width,
+            relative,
+        } => format!("rng:{a_attr}:{width:.6}:{relative}"),
+        FilterSpec::SetSim {
+            a_attr,
+            sim,
+            threshold,
+        } => format!("set:{a_attr}:{}:{threshold:.6}", sim.name()),
+        FilterSpec::EditSim { a_attr, threshold } => format!("ed:{a_attr}:{threshold:.6}"),
+    }
+}
+
+/// Per-conjunct filter layout for a rule sequence: for rule `i`,
+/// `conjuncts[i][j]` is the filter spec of the j-th complemented predicate
+/// (`None` = unfilterable predicate). The paired `b_idx` is the B-side
+/// attribute index the probe reads.
+#[derive(Debug, Clone)]
+pub struct ConjunctSpecs {
+    /// `specs[i][j]`: filter spec + B-attr index for predicate `j` of
+    /// conjunct `i`, or `None` when that predicate admits no filter.
+    pub specs: Vec<Vec<Option<(FilterSpec, usize)>>>,
+}
+
+impl ConjunctSpecs {
+    /// Derive the specs from a rule sequence over a blocking feature set
+    /// (Section 7.3, step 2: "analyze CNF rule to infer index-based
+    /// filters").
+    pub fn derive(seq: &RuleSequence, features: &FeatureSet) -> ConjunctSpecs {
+        let specs = seq
+            .rules
+            .iter()
+            .map(|rule| {
+                rule.predicates
+                    .iter()
+                    .map(|p| {
+                        let q = p.complement(); // positive-rule predicate
+                        let f = features.get(q.feature);
+                        FilterSpec::from_predicate(
+                            f.sim,
+                            &f.a_attr,
+                            q.op == SplitOp::Gt,
+                            q.threshold,
+                        )
+                        .map(|spec| (spec, f.b_idx))
+                    })
+                    .collect()
+            })
+            .collect();
+        ConjunctSpecs { specs }
+    }
+
+    /// Indices of fully-filterable conjuncts (every disjunct has a filter).
+    pub fn filterable(&self) -> Vec<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty() && c.iter().all(Option::is_some))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All distinct specs across conjuncts.
+    pub fn all_specs(&self) -> Vec<FilterSpec> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for c in &self.specs {
+            for s in c.iter().flatten() {
+                if seen.insert(predicate_key(&s.0)) {
+                    out.push(s.0.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cache of built indexes and token orderings.
+#[derive(Default)]
+pub struct BuiltIndexes {
+    /// Predicate key → built index.
+    pub indexes: HashMap<String, Arc<PredicateIndex>>,
+    /// (attribute, tokenizer-suffix) → global token order.
+    pub orders: HashMap<String, Arc<TokenOrder>>,
+}
+
+impl BuiltIndexes {
+    /// Fresh empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total estimated bytes of a set of predicate keys.
+    pub fn bytes_of(&self, keys: &[String]) -> usize {
+        keys.iter()
+            .filter_map(|k| self.indexes.get(k))
+            .map(|i| i.estimated_bytes())
+            .sum()
+    }
+
+    /// Build the token order for `(attr, tokenizer)` over table `A` using
+    /// the frequency-count MR job; returns the (simulated) build duration.
+    pub fn build_order(
+        &mut self,
+        cluster: &Cluster,
+        a: &Table,
+        attr: &str,
+        tokenizer: Tokenizer,
+    ) -> Duration {
+        let key = format!("{attr}:{}", tokenizer.suffix());
+        if self.orders.contains_key(&key) {
+            return Duration::ZERO;
+        }
+        let attr_idx = a.schema().index_of(attr).expect("attr exists");
+        let splits: Vec<Vec<Tuple>> = a
+            .splits(cluster.threads() * 2)
+            .into_iter()
+            .map(|r| a.rows()[r].to_vec())
+            .collect();
+        // MR job 1: token frequencies (with a combiner, so each map task
+        // ships one count per distinct token instead of one record per
+        // occurrence).
+        let t0 = Instant::now();
+        let out = run_map_combine_reduce(
+            cluster,
+            splits,
+            cluster.threads(),
+            move |t: &Tuple, e: &mut Emitter<String, u32>| {
+                for tok in tokenizer.tokenize(&t.value(attr_idx).render()) {
+                    e.emit(tok, 1);
+                }
+            },
+            |_tok: &String, counts: Vec<u32>| counts.iter().sum(),
+            |tok: &String, counts: Vec<u32>, out: &mut Vec<(String, usize)>| {
+                out.push((tok.clone(), counts.iter().sum::<u32>() as usize));
+            },
+        );
+        // "MR job 2": global ordering by ascending frequency.
+        let order = TokenOrder::from_frequencies(out.output.into_iter());
+        let dur = out.stats.sim_duration(&cluster.config).max(t0.elapsed());
+        self.orders.insert(key, Arc::new(order));
+        dur
+    }
+
+    /// Build (or reuse) the index for one spec; returns the build duration
+    /// (zero when cached).
+    pub fn build_spec(&mut self, cluster: &Cluster, a: &Table, spec: &FilterSpec) -> Duration {
+        let key = predicate_key(spec);
+        if self.indexes.contains_key(&key) {
+            return Duration::ZERO;
+        }
+        let mut dur = Duration::ZERO;
+        let order = if let FilterSpec::SetSim { a_attr, sim, .. } = spec {
+            let tokenizer = sim.tokenizer().expect("set sim");
+            dur += self.build_order(cluster, a, a_attr, tokenizer);
+            self.orders
+                .get(&format!("{a_attr}:{}", tokenizer.suffix()))
+                .map(|o| (**o).clone())
+        } else {
+            None
+        };
+        // "MR job 3": assemble the index (single pass over A).
+        let t0 = Instant::now();
+        let idx = PredicateIndex::build(a, spec, order);
+        dur += t0.elapsed();
+        self.indexes.insert(key, Arc::new(idx));
+        dur
+    }
+
+    /// Build all specs, returning the total build duration.
+    pub fn build_all(&mut self, cluster: &Cluster, a: &Table, specs: &[FilterSpec]) -> Duration {
+        specs
+            .iter()
+            .map(|s| self.build_spec(cluster, a, s))
+            .sum()
+    }
+
+    /// Fetch a built index.
+    pub fn get(&self, spec: &FilterSpec) -> Option<Arc<PredicateIndex>> {
+        self.indexes.get(&predicate_key(spec)).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::generate_features;
+    use crate::rules::{Predicate, Rule};
+    use falcon_dataflow::ClusterConfig;
+    use falcon_table::{AttrType, Schema, Value};
+    use falcon_textsim::SimFunction;
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new([("title", AttrType::Str), ("price", AttrType::Num)]);
+        let rows = |n: usize| {
+            (0..n).map(move |i| {
+                vec![
+                    Value::str(format!("gadget number {i} deluxe")),
+                    Value::num(i as f64),
+                ]
+            })
+        };
+        (
+            Table::new("a", schema.clone(), rows(30)),
+            Table::new("b", schema, rows(30)),
+        )
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::small(2)).with_threads(2)
+    }
+
+    #[test]
+    fn derive_marks_unfilterable_predicates() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        // Find a jaccard_word(title) feature and an abs_diff(price) one.
+        let jac = lib
+            .blocking
+            .features
+            .iter()
+            .position(|f| f.sim == SimFunction::Jaccard(Tokenizer::Word))
+            .unwrap();
+        let abs = lib
+            .blocking
+            .features
+            .iter()
+            .position(|f| f.sim == SimFunction::AbsDiff)
+            .unwrap();
+        let seq = RuleSequence::new(vec![
+            // jaccard <= 0.6 -> drop : complement jaccard > 0.6, filterable.
+            Rule {
+                predicates: vec![Predicate {
+                    feature: jac,
+                    op: SplitOp::Le,
+                    threshold: 0.6,
+                    nan_is_high: true,
+                }],
+            },
+            // abs_diff <= 5 -> drop : complement abs_diff > 5, NOT filterable.
+            Rule {
+                predicates: vec![Predicate {
+                    feature: abs,
+                    op: SplitOp::Le,
+                    threshold: 5.0,
+                    nan_is_high: false,
+                }],
+            },
+        ]);
+        let cs = ConjunctSpecs::derive(&seq, &lib.blocking);
+        assert_eq!(cs.filterable(), vec![0]);
+        assert_eq!(cs.all_specs().len(), 1);
+    }
+
+    #[test]
+    fn build_caches_by_key() {
+        let (a, b) = tables();
+        let _ = b;
+        let mut built = BuiltIndexes::new();
+        let spec = FilterSpec::SetSim {
+            a_attr: "title".into(),
+            sim: SimFunction::Jaccard(Tokenizer::Word),
+            threshold: 0.5,
+        };
+        let d1 = built.build_spec(&cluster(), &a, &spec);
+        assert!(d1 > Duration::ZERO);
+        let d2 = built.build_spec(&cluster(), &a, &spec);
+        assert_eq!(d2, Duration::ZERO);
+        assert!(built.get(&spec).is_some());
+        assert!(built.bytes_of(&[predicate_key(&spec)]) > 0);
+    }
+
+    #[test]
+    fn order_built_once_per_attr_tokenizer() {
+        let (a, _) = tables();
+        let mut built = BuiltIndexes::new();
+        let d1 = built.build_order(&cluster(), &a, "title", Tokenizer::Word);
+        let d2 = built.build_order(&cluster(), &a, "title", Tokenizer::Word);
+        assert!(d1 > Duration::ZERO);
+        assert_eq!(d2, Duration::ZERO);
+    }
+}

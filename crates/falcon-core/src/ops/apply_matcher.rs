@@ -1,0 +1,94 @@
+//! `apply_matcher` (Section 9): apply a trained matcher to every candidate
+//! pair — a map-only job.
+
+use crate::fv::FvSet;
+use falcon_dataflow::{run_map_only, Cluster, JobStats};
+use falcon_forest::Forest;
+use falcon_table::IdPair;
+use std::sync::Arc;
+
+/// Output of `apply_matcher`.
+#[derive(Debug)]
+pub struct ApplyMatcherOutput {
+    /// Pairs predicted "match".
+    pub matches: Vec<IdPair>,
+    /// Job statistics.
+    pub stats: JobStats,
+}
+
+/// Predict every pair in `fvs` with `forest`; return the matches.
+pub fn apply_matcher(cluster: &Cluster, forest: &Forest, fvs: &FvSet) -> ApplyMatcherOutput {
+    let forest = Arc::new(forest.clone());
+    let chunk = fvs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
+    let splits: Vec<Vec<(IdPair, Vec<f64>)>> = fvs
+        .pairs
+        .chunks(chunk)
+        .zip(fvs.fvs.chunks(chunk))
+        .map(|(p, f)| p.iter().copied().zip(f.iter().cloned()).collect())
+        .collect();
+    let out = run_map_only(
+        cluster,
+        splits,
+        move |(pair, fv): &(IdPair, Vec<f64>), out| {
+            if forest.predict(fv) {
+                out.push(*pair);
+            }
+        },
+    );
+    let mut matches = out.output;
+    matches.sort_unstable();
+    ApplyMatcherOutput {
+        matches,
+        stats: out.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_dataflow::ClusterConfig;
+    use falcon_forest::{Dataset, ForestConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predicts_matches() {
+        let mut d = Dataset::new();
+        for i in 0..100 {
+            let v = i as f64 / 100.0;
+            d.push(vec![v], v > 0.5);
+        }
+        let forest = Forest::train(
+            &d,
+            &ForestConfig::default(),
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let mut fvs = FvSet::default();
+        for i in 0..100u32 {
+            fvs.pairs.push((i, i));
+            fvs.fvs.push(vec![i as f64 / 100.0]);
+        }
+        let cluster = Cluster::new(ClusterConfig::small(2)).with_threads(2);
+        let out = apply_matcher(&cluster, &forest, &fvs);
+        assert!(!out.matches.is_empty());
+        for (a, _) in &out.matches {
+            assert!(*a > 45, "unexpected match at {a}");
+        }
+        assert_eq!(out.stats.input_records, 100);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let mut d = Dataset::new();
+        d.push(vec![0.0], false);
+        d.push(vec![1.0], true);
+        let forest = Forest::train(
+            &d,
+            &ForestConfig::default(),
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let cluster = Cluster::new(ClusterConfig::small(1)).with_threads(1);
+        let out = apply_matcher(&cluster, &forest, &FvSet::default());
+        assert!(out.matches.is_empty());
+    }
+}

@@ -1,0 +1,556 @@
+//! The physical operators of `apply_blocking_rules` (Sections 7, 10.1).
+//!
+//! Four index-based solutions balance mapper memory against reducer work:
+//!
+//! * [`PhysicalOp::ApplyAll`] — every filterable conjunct's indexes in
+//!   each mapper; reducers evaluate the rule sequence on the surviving
+//!   pairs,
+//! * [`PhysicalOp::ApplyGreedy`] — only the most selective conjunct's
+//!   indexes map-side,
+//! * [`PhysicalOp::ApplyConjunct`] — one probing wave per conjunct (each
+//!   wave holds a single conjunct's indexes); waves are intersected,
+//! * [`PhysicalOp::ApplyPredicate`] — one probing wave per *predicate*
+//!   (smallest memory footprint; most post-processing),
+//!
+//! plus the two prior-work baselines that enumerate `A × B`:
+//! [`PhysicalOp::MapSide`] (table `A` in mapper memory) and
+//! [`PhysicalOp::ReduceSplit`] (pairs shuffled to reducers) — both guarded
+//! by a pair budget, mirroring how the paper "had to kill" them on the
+//! large datasets.
+//!
+//! All six produce *identical* candidate sets (the filters are necessary
+//! conditions and the reducers evaluate the exact rule sequence);
+//! integration tests assert this equivalence.
+//!
+//! Two of the paper's Section 7.3 engine optimizations are structural
+//! here: mappers emit only `(a_id, b_id)` pairs (never whole `B` tuples —
+//! the "reducing intermediate output size" optimization; reducers resolve
+//! ids against shared table handles), and every mapper processes both
+//! probing and pass-through work from the same interleaved split stream
+//! (the "load balancing at map phase" optimization falls out of the
+//! engine's work-stealing split queue).
+
+use crate::features::{score_values, FeatureSet};
+use crate::indexing::{BuiltIndexes, ConjunctSpecs};
+use crate::rules::RuleSequence;
+use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, Emitter, JobStats};
+use falcon_index::spec::Candidates;
+use falcon_index::PredicateIndex;
+use falcon_table::{IdPair, Table, Tuple, TupleId};
+use falcon_textsim::SimContext;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The physical operator choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhysicalOp {
+    /// All filterable conjuncts' indexes in every mapper.
+    ApplyAll,
+    /// Only the most selective conjunct's indexes.
+    ApplyGreedy,
+    /// One probing wave per conjunct.
+    ApplyConjunct,
+    /// One probing wave per predicate.
+    ApplyPredicate,
+    /// Prior work: table A in mapper memory, enumerate `A × B`.
+    MapSide,
+    /// Prior work: shuffle all of `A × B` to reducers.
+    ReduceSplit,
+}
+
+impl PhysicalOp {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhysicalOp::ApplyAll => "apply-all",
+            PhysicalOp::ApplyGreedy => "apply-greedy",
+            PhysicalOp::ApplyConjunct => "apply-conjunct",
+            PhysicalOp::ApplyPredicate => "apply-predicate",
+            PhysicalOp::MapSide => "map-side",
+            PhysicalOp::ReduceSplit => "reduce-split",
+        }
+    }
+}
+
+/// Errors from blocking execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockingError {
+    /// A Cartesian-enumeration baseline exceeded the pair budget (the
+    /// in-harness analog of "did not complete / had to be killed").
+    TooManyPairs {
+        /// Pairs the operator would enumerate.
+        pairs: u128,
+        /// The configured budget.
+        budget: u128,
+    },
+    /// The chosen operator needs at least one filterable conjunct.
+    NoFilterableConjunct,
+}
+
+impl std::fmt::Display for BlockingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockingError::TooManyPairs { pairs, budget } => {
+                write!(f, "would enumerate {pairs} pairs (budget {budget})")
+            }
+            BlockingError::NoFilterableConjunct => write!(f, "no filterable conjunct"),
+        }
+    }
+}
+
+impl std::error::Error for BlockingError {}
+
+/// Result of one blocking execution.
+#[derive(Debug)]
+pub struct BlockingOutput {
+    /// Surviving candidate pairs, sorted.
+    pub candidates: Vec<IdPair>,
+    /// The operator that ran.
+    pub op: PhysicalOp,
+    /// Simulated cluster duration of all jobs involved.
+    pub duration: Duration,
+    /// Per-job statistics.
+    pub jobs: Vec<JobStats>,
+}
+
+/// Rough in-memory footprint of a table (gates MapSide).
+pub fn estimate_table_bytes(t: &Table) -> usize {
+    t.rows()
+        .iter()
+        .map(|r| {
+            32 + r
+                .values
+                .iter()
+                .map(|v| 24 + v.render().len())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Shared exact rule-sequence evaluator used by every reducer/mapper:
+/// computes only the features the sequence references (the computation
+/// caching of Section 7.3).
+pub struct PairEvaluator {
+    a: Table,
+    b: Table,
+    features: FeatureSet,
+    seq: RuleSequence,
+    needed: Vec<usize>,
+    arity: usize,
+}
+
+impl PairEvaluator {
+    /// Build an evaluator.
+    pub fn new(a: &Table, b: &Table, features: &FeatureSet, seq: &RuleSequence) -> Self {
+        Self {
+            a: a.clone(),
+            b: b.clone(),
+            features: features.clone(),
+            seq: seq.clone(),
+            needed: seq.features().into_iter().collect(),
+            arity: features.len(),
+        }
+    }
+
+    /// True iff the pair survives the rule sequence.
+    pub fn keeps(&self, aid: TupleId, bid: TupleId) -> bool {
+        let at = self.a.get(aid).expect("a id");
+        let bt = self.b.get(bid).expect("b id");
+        let ctx = SimContext::empty();
+        let mut fv = vec![f64::NAN; self.arity];
+        for &i in &self.needed {
+            let f = self.features.get(i);
+            fv[i] = score_values(f.sim, at.value(f.a_idx), bt.value(f.b_idx), &ctx);
+        }
+        self.seq.keeps(&fv)
+    }
+}
+
+/// One conjunct's probe bundle: `(index, B-side attribute index)` per
+/// predicate.
+type Bundle = Vec<(Arc<PredicateIndex>, usize)>;
+
+/// Assemble probe bundles for the given conjunct indices.
+fn bundles_for(
+    conjuncts: &ConjunctSpecs,
+    built: &BuiltIndexes,
+    which: &[usize],
+) -> Vec<Bundle> {
+    which
+        .iter()
+        .map(|&ci| {
+            conjuncts.specs[ci]
+                .iter()
+                .map(|s| {
+                    let (spec, b_idx) = s.as_ref().expect("filterable conjunct");
+                    (built.get(spec).expect("index built"), *b_idx)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn intersect_sorted(a: Vec<TupleId>, b: &[TupleId]) -> Vec<TupleId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Candidate A-ids for one B tuple across the given bundles.
+/// `None` = unrestricted (every bundle probed to "All").
+fn candidates_for(bt: &Tuple, bundles: &[Bundle]) -> Option<Vec<TupleId>> {
+    let mut acc: Option<Vec<TupleId>> = None;
+    for bundle in bundles {
+        let mut union: Vec<TupleId> = Vec::new();
+        let mut unrestricted = false;
+        for (idx, b_idx) in bundle {
+            match idx.probe(bt.value(*b_idx)) {
+                Candidates::All => {
+                    unrestricted = true;
+                    break;
+                }
+                Candidates::Some(ids) => union.extend(ids),
+            }
+        }
+        if unrestricted {
+            continue;
+        }
+        union.sort_unstable();
+        union.dedup();
+        acc = Some(match acc {
+            None => union,
+            Some(prev) => intersect_sorted(prev, &union),
+        });
+        if acc.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    acc
+}
+
+fn b_splits(b: &Table, cluster: &Cluster) -> Vec<Vec<Tuple>> {
+    b.splits(cluster.threads() * 2)
+        .into_iter()
+        .map(|r| b.rows()[r].to_vec())
+        .collect()
+}
+
+/// Index-probing + reducer-evaluation execution (ApplyAll / ApplyGreedy).
+fn run_probe_reduce(
+    cluster: &Cluster,
+    a: &Table,
+    b: &Table,
+    evaluator: Arc<PairEvaluator>,
+    bundles: Vec<Bundle>,
+    op: PhysicalOp,
+) -> BlockingOutput {
+    let a_len = a.len() as TupleId;
+    let bundles = Arc::new(bundles);
+    let out = run_map_reduce(
+        cluster,
+        b_splits(b, cluster),
+        cluster.threads(),
+        move |bt: &Tuple, e: &mut Emitter<TupleId, TupleId>| {
+            match candidates_for(bt, &bundles) {
+                Some(ids) => {
+                    for aid in ids {
+                        e.emit(aid, bt.id);
+                    }
+                }
+                None => {
+                    for aid in 0..a_len {
+                        e.emit(aid, bt.id);
+                    }
+                }
+            }
+        },
+        move |aid: &TupleId, bids: Vec<TupleId>, out: &mut Vec<IdPair>| {
+            for bid in bids {
+                if evaluator.keeps(*aid, bid) {
+                    out.push((*aid, bid));
+                }
+            }
+        },
+    );
+    let duration = out.stats.sim_duration(&cluster.config);
+    let mut candidates = out.output;
+    candidates.sort_unstable();
+    BlockingOutput {
+        candidates,
+        op,
+        duration,
+        jobs: vec![out.stats],
+    }
+}
+
+/// Probe-only wave for one bundle set: returns the pair set it admits.
+fn run_probe_wave(cluster: &Cluster, a: &Table, b: &Table, bundles: Vec<Bundle>) -> (HashSet<IdPair>, JobStats) {
+    let a_len = a.len() as TupleId;
+    let bundles = Arc::new(bundles);
+    let out = run_map_only(cluster, b_splits(b, cluster), move |bt: &Tuple, out| {
+        match candidates_for(bt, &bundles) {
+            Some(ids) => out.extend(ids.into_iter().map(|aid| (aid, bt.id))),
+            None => out.extend((0..a_len).map(|aid| (aid, bt.id))),
+        }
+    });
+    (out.output.iter().copied().collect(), out.stats)
+}
+
+/// Final evaluation of the rule sequence over a pair set (map-only).
+fn run_evaluate(
+    cluster: &Cluster,
+    evaluator: Arc<PairEvaluator>,
+    pairs: Vec<IdPair>,
+) -> (Vec<IdPair>, JobStats) {
+    let chunk = pairs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
+    let splits: Vec<Vec<IdPair>> = pairs.chunks(chunk).map(<[IdPair]>::to_vec).collect();
+    let out = run_map_only(cluster, splits, move |&(aid, bid): &IdPair, out| {
+        if evaluator.keeps(aid, bid) {
+            out.push((aid, bid));
+        }
+    });
+    let mut kept = out.output;
+    kept.sort_unstable();
+    (kept, out.stats)
+}
+
+/// Execute a blocking plan with an explicit physical operator.
+#[allow(clippy::too_many_arguments)]
+pub fn execute(
+    op: PhysicalOp,
+    cluster: &Cluster,
+    a: &Table,
+    b: &Table,
+    features: &FeatureSet,
+    seq: &RuleSequence,
+    conjuncts: &ConjunctSpecs,
+    built: &BuiltIndexes,
+    rule_selectivities: &[f64],
+    max_pairs: u128,
+) -> Result<BlockingOutput, BlockingError> {
+    let evaluator = Arc::new(PairEvaluator::new(a, b, features, seq));
+    let filterable = conjuncts.filterable();
+    match op {
+        PhysicalOp::ApplyAll => {
+            if filterable.is_empty() {
+                return Err(BlockingError::NoFilterableConjunct);
+            }
+            let bundles = bundles_for(conjuncts, built, &filterable);
+            Ok(run_probe_reduce(cluster, a, b, evaluator, bundles, op))
+        }
+        PhysicalOp::ApplyGreedy => {
+            let best = filterable
+                .iter()
+                .copied()
+                .min_by(|&x, &y| {
+                    let sx = rule_selectivities.get(x).copied().unwrap_or(1.0);
+                    let sy = rule_selectivities.get(y).copied().unwrap_or(1.0);
+                    sx.partial_cmp(&sy).unwrap()
+                })
+                .ok_or(BlockingError::NoFilterableConjunct)?;
+            let bundles = bundles_for(conjuncts, built, &[best]);
+            Ok(run_probe_reduce(cluster, a, b, evaluator, bundles, op))
+        }
+        PhysicalOp::ApplyConjunct => {
+            if filterable.is_empty() {
+                return Err(BlockingError::NoFilterableConjunct);
+            }
+            let mut jobs = Vec::new();
+            let mut acc: Option<HashSet<IdPair>> = None;
+            for &ci in &filterable {
+                let bundles = bundles_for(conjuncts, built, &[ci]);
+                let (set, stats) = run_probe_wave(cluster, a, b, bundles);
+                jobs.push(stats);
+                acc = Some(match acc {
+                    None => set,
+                    Some(prev) => prev.intersection(&set).copied().collect(),
+                });
+            }
+            let mut pairs: Vec<IdPair> = acc.unwrap_or_default().into_iter().collect();
+            pairs.sort_unstable();
+            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs);
+            jobs.push(stats);
+            let duration = jobs
+                .iter()
+                .map(|s| s.sim_duration(&cluster.config))
+                .sum();
+            Ok(BlockingOutput {
+                candidates,
+                op,
+                duration,
+                jobs,
+            })
+        }
+        PhysicalOp::ApplyPredicate => {
+            if filterable.is_empty() {
+                return Err(BlockingError::NoFilterableConjunct);
+            }
+            let mut jobs = Vec::new();
+            let mut acc: Option<HashSet<IdPair>> = None;
+            for &ci in &filterable {
+                // Union across this conjunct's predicates, each probed in
+                // its own wave holding a single predicate index.
+                let mut union: HashSet<IdPair> = HashSet::new();
+                for s in &conjuncts.specs[ci] {
+                    let (spec, b_idx) = s.as_ref().expect("filterable");
+                    let bundle: Bundle = vec![(built.get(spec).expect("built"), *b_idx)];
+                    let (set, stats) = run_probe_wave(cluster, a, b, vec![bundle]);
+                    jobs.push(stats);
+                    union.extend(set);
+                }
+                acc = Some(match acc {
+                    None => union,
+                    Some(prev) => prev.intersection(&union).copied().collect(),
+                });
+            }
+            let mut pairs: Vec<IdPair> = acc.unwrap_or_default().into_iter().collect();
+            pairs.sort_unstable();
+            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs);
+            jobs.push(stats);
+            let duration = jobs
+                .iter()
+                .map(|s| s.sim_duration(&cluster.config))
+                .sum();
+            Ok(BlockingOutput {
+                candidates,
+                op,
+                duration,
+                jobs,
+            })
+        }
+        PhysicalOp::MapSide | PhysicalOp::ReduceSplit => {
+            let pairs = a.len() as u128 * b.len() as u128;
+            if pairs > max_pairs {
+                return Err(BlockingError::TooManyPairs {
+                    pairs,
+                    budget: max_pairs,
+                });
+            }
+            if op == PhysicalOp::MapSide {
+                let a_len = a.len() as TupleId;
+                let out = run_map_only(cluster, b_splits(b, cluster), move |bt: &Tuple, out| {
+                    for aid in 0..a_len {
+                        if evaluator.keeps(aid, bt.id) {
+                            out.push((aid, bt.id));
+                        }
+                    }
+                });
+                let duration = out.stats.sim_duration(&cluster.config);
+                let mut candidates = out.output;
+                candidates.sort_unstable();
+                Ok(BlockingOutput {
+                    candidates,
+                    op,
+                    duration,
+                    jobs: vec![out.stats],
+                })
+            } else {
+                let a_len = a.len() as TupleId;
+                let out = run_map_reduce(
+                    cluster,
+                    b_splits(b, cluster),
+                    cluster.threads(),
+                    move |bt: &Tuple, e: &mut Emitter<TupleId, TupleId>| {
+                        for aid in 0..a_len {
+                            e.emit(aid, bt.id);
+                        }
+                    },
+                    move |aid: &TupleId, bids: Vec<TupleId>, out: &mut Vec<IdPair>| {
+                        for bid in bids {
+                            if evaluator.keeps(*aid, bid) {
+                                out.push((*aid, bid));
+                            }
+                        }
+                    },
+                );
+                let duration = out.stats.sim_duration(&cluster.config);
+                let mut candidates = out.output;
+                candidates.sort_unstable();
+                Ok(BlockingOutput {
+                    candidates,
+                    op,
+                    duration,
+                    jobs: vec![out.stats],
+                })
+            }
+        }
+    }
+}
+
+/// The Section 10.1 physical-operator selection rules.
+#[allow(clippy::too_many_arguments)]
+pub fn select_physical(
+    conjuncts: &ConjunctSpecs,
+    built: &BuiltIndexes,
+    rule_selectivities: &[f64],
+    seq_selectivity: f64,
+    mapper_memory: usize,
+    a_bytes: usize,
+    greedy_ratio: f64,
+) -> PhysicalOp {
+    use crate::indexing::predicate_key;
+    let filterable = conjuncts.filterable();
+    if !filterable.is_empty() {
+        // Per-conjunct index byte totals.
+        let conj_bytes: Vec<(usize, usize)> = filterable
+            .iter()
+            .map(|&ci| {
+                let keys: Vec<String> = conjuncts.specs[ci]
+                    .iter()
+                    .map(|s| predicate_key(&s.as_ref().expect("filterable").0))
+                    .collect();
+                (ci, built.bytes_of(&keys))
+            })
+            .collect();
+        // Most selective filterable conjunct.
+        let (best_ci, best_bytes) = conj_bytes
+            .iter()
+            .copied()
+            .min_by(|(x, _), (y, _)| {
+                let sx = rule_selectivities.get(*x).copied().unwrap_or(1.0);
+                let sy = rule_selectivities.get(*y).copied().unwrap_or(1.0);
+                sx.partial_cmp(&sy).unwrap()
+            })
+            .expect("non-empty");
+        let best_sel = rule_selectivities.get(best_ci).copied().unwrap_or(1.0);
+        if best_sel > 0.0 && seq_selectivity / best_sel >= greedy_ratio && best_bytes <= mapper_memory
+        {
+            return PhysicalOp::ApplyGreedy;
+        }
+        let total: usize = conj_bytes.iter().map(|(_, b)| b).sum();
+        if total <= mapper_memory {
+            return PhysicalOp::ApplyAll;
+        }
+        if conj_bytes.iter().any(|(_, b)| *b <= mapper_memory) {
+            return PhysicalOp::ApplyConjunct;
+        }
+        // Per-predicate granularity.
+        let max_pred = filterable
+            .iter()
+            .flat_map(|&ci| conjuncts.specs[ci].iter())
+            .map(|s| built.bytes_of(&[predicate_key(&s.as_ref().expect("filterable").0)]))
+            .max()
+            .unwrap_or(usize::MAX);
+        if max_pred <= mapper_memory {
+            return PhysicalOp::ApplyPredicate;
+        }
+    }
+    if a_bytes <= mapper_memory {
+        PhysicalOp::MapSide
+    } else {
+        PhysicalOp::ReduceSplit
+    }
+}

@@ -1,0 +1,182 @@
+//! Plan templates and plan generation (Figure 3, Section 10.1).
+
+use falcon_table::Table;
+use serde::{Deserialize, Serialize};
+
+/// The two plan templates of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// Figure 3.a: Blocker followed by Matcher.
+    BlockAndMatch,
+    /// Figure 3.b: Matcher only (tables small enough to skip blocking).
+    MatchOnly,
+}
+
+/// Estimated bytes of `A × B` encoded as feature vectors of the given
+/// arity (8 bytes per feature plus pair ids).
+pub fn estimate_fv_bytes(a: &Table, b: &Table, arity: usize) -> u128 {
+    let pairs = a.len() as u128 * b.len() as u128;
+    pairs * (8 * arity as u128 + 8)
+}
+
+/// Section 10.1's plan-generation heuristic: pick the matcher-only plan
+/// only when the fully-materialized feature-vector set fits in node
+/// memory (and under the enumeration budget); otherwise block first.
+pub fn choose_plan(
+    a: &Table,
+    b: &Table,
+    arity: usize,
+    node_memory: usize,
+    max_pairs: u128,
+) -> PlanKind {
+    let pairs = a.len() as u128 * b.len() as u128;
+    if pairs <= max_pairs && estimate_fv_bytes(a, b, arity) <= node_memory as u128 {
+        PlanKind::MatchOnly
+    } else {
+        PlanKind::BlockAndMatch
+    }
+}
+
+/// Cost-based plan selection — the "in the future we will consider a
+/// cost-based approach that selects the plan with the estimated lower run
+/// time" of Section 10.1, implemented with a simple analytical model.
+///
+/// Per-pair cost constants are in arbitrary machine units; only the ratio
+/// between the two plans matters.
+#[derive(Debug, Clone)]
+pub struct PlanCostModel {
+    /// Cost to compute one feature vector (per pair).
+    pub fv_cost: f64,
+    /// Cost to probe the blocking indexes (per B tuple).
+    pub probe_cost: f64,
+    /// Cost to build indexes (per A tuple).
+    pub index_cost: f64,
+    /// Expected fraction of `A × B` surviving blocking.
+    pub expected_selectivity: f64,
+}
+
+impl Default for PlanCostModel {
+    fn default() -> Self {
+        Self {
+            fv_cost: 1.0,
+            probe_cost: 0.5,
+            index_cost: 0.3,
+            // Paper Table 2: candidate sets are 0.01-0.95% of A×B.
+            expected_selectivity: 0.005,
+        }
+    }
+}
+
+impl PlanCostModel {
+    /// Estimated machine cost of the matcher-only plan: feature vectors
+    /// for every pair of `A × B`.
+    pub fn match_only_cost(&self, a: &Table, b: &Table) -> f64 {
+        a.len() as f64 * b.len() as f64 * self.fv_cost
+    }
+
+    /// Estimated machine cost of the blocking plan: sampling + index
+    /// building + probing + feature vectors for the surviving fraction.
+    pub fn block_and_match_cost(&self, a: &Table, b: &Table, sample_size: usize) -> f64 {
+        let pairs = a.len() as f64 * b.len() as f64;
+        sample_size as f64 * self.fv_cost
+            + a.len() as f64 * self.index_cost
+            + b.len() as f64 * self.probe_cost
+            + pairs * self.expected_selectivity * self.fv_cost
+    }
+
+    /// Pick the plan with the lower estimated cost, still honouring the
+    /// hard memory/pair guards of [`choose_plan`] (a matcher-only plan
+    /// that cannot fit is never chosen, whatever the model says).
+    pub fn choose(
+        &self,
+        a: &Table,
+        b: &Table,
+        arity: usize,
+        node_memory: usize,
+        max_pairs: u128,
+        sample_size: usize,
+    ) -> PlanKind {
+        if choose_plan(a, b, arity, node_memory, max_pairs) == PlanKind::BlockAndMatch {
+            return PlanKind::BlockAndMatch; // hard constraints bind
+        }
+        if self.match_only_cost(a, b) <= self.block_and_match_cost(a, b, sample_size) {
+            PlanKind::MatchOnly
+        } else {
+            PlanKind::BlockAndMatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_table::{AttrType, Schema, Value};
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new([("x", AttrType::Str)]);
+        Table::new("t", schema, (0..n).map(|i| vec![Value::str(format!("v{i}"))]))
+    }
+
+    #[test]
+    fn small_tables_match_only() {
+        let a = table(10);
+        let b = table(10);
+        assert_eq!(
+            choose_plan(&a, &b, 20, 1 << 30, 1_000_000),
+            PlanKind::MatchOnly
+        );
+    }
+
+    #[test]
+    fn large_tables_block_first() {
+        let a = table(2000);
+        let b = table(2000);
+        // 4M pairs × 168B > 64MB memory.
+        assert_eq!(
+            choose_plan(&a, &b, 20, 64 << 20, 1_000_000_000),
+            PlanKind::BlockAndMatch
+        );
+        // Pair budget also forces blocking.
+        assert_eq!(
+            choose_plan(&a, &b, 20, 1 << 40, 1_000),
+            PlanKind::BlockAndMatch
+        );
+    }
+
+    #[test]
+    fn cost_model_prefers_blocking_past_crossover() {
+        let model = PlanCostModel::default();
+        // Tiny tables: enumerating A×B is cheaper than sampling+indexing.
+        let (a, b) = (table(20), table(20));
+        assert_eq!(
+            model.choose(&a, &b, 20, 1 << 40, u128::MAX, 1_000),
+            PlanKind::MatchOnly
+        );
+        // Bigger tables: the 0.5% surviving fraction plus probes beats
+        // computing 4M feature vectors.
+        let (a, b) = (table(2000), table(2000));
+        assert_eq!(
+            model.choose(&a, &b, 20, 1 << 40, u128::MAX, 1_000),
+            PlanKind::BlockAndMatch
+        );
+    }
+
+    #[test]
+    fn cost_model_respects_hard_guards() {
+        let model = PlanCostModel::default();
+        let (a, b) = (table(50), table(50));
+        // Memory guard forces blocking even where the model prefers
+        // matcher-only.
+        assert_eq!(
+            model.choose(&a, &b, 20, 0, u128::MAX, 1_000),
+            PlanKind::BlockAndMatch
+        );
+    }
+
+    #[test]
+    fn fv_bytes_grow_with_arity() {
+        let a = table(100);
+        let b = table(100);
+        assert!(estimate_fv_bytes(&a, &b, 50) > estimate_fv_bytes(&a, &b, 5));
+    }
+}

@@ -1,0 +1,239 @@
+//! Execution timeline: machine vs crowd segments and the "mask machine
+//! time under crowd time" accounting of Section 10.2.
+//!
+//! Model: every crowd round of virtual duration `D` contributes `D` of
+//! *masking capacity* — cluster time that would otherwise be idle. Machine
+//! tasks scheduled by the optimizer during crowdsourcing run against that
+//! capacity: the portion covered by capacity costs nothing toward total
+//! time; only the *excess* does. This reproduces the paper's reported
+//! quantities exactly:
+//!
+//! * machine time `t_m` — all machine work, masked or not,
+//! * crowd time `t_c` — sum of crowd-round latencies,
+//! * unmasked machine time `t_u` — machine work not covered by capacity,
+//! * total time — `t_c + t_u`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One recorded segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Machine work on the critical path (never masked).
+    Machine {
+        /// Operator label.
+        label: String,
+        /// Simulated duration.
+        dur: Duration,
+    },
+    /// A crowd round (virtual latency); adds masking capacity.
+    Crowd {
+        /// Operator label.
+        label: String,
+        /// Virtual latency.
+        dur: Duration,
+    },
+    /// Machine work scheduled during crowdsourcing; only `excess` reaches
+    /// the critical path.
+    MaskedMachine {
+        /// Operator label.
+        label: String,
+        /// Full duration of the work.
+        dur: Duration,
+        /// Portion not covered by masking capacity.
+        excess: Duration,
+    },
+}
+
+impl Segment {
+    /// Label of the segment.
+    pub fn label(&self) -> &str {
+        match self {
+            Segment::Machine { label, .. }
+            | Segment::Crowd { label, .. }
+            | Segment::MaskedMachine { label, .. } => label,
+        }
+    }
+}
+
+/// A run's timeline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    segments: Vec<Segment>,
+    capacity: Duration,
+}
+
+impl Timeline {
+    /// Fresh empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record unmaskable machine work.
+    pub fn machine(&mut self, label: impl Into<String>, dur: Duration) {
+        self.segments.push(Segment::Machine {
+            label: label.into(),
+            dur,
+        });
+    }
+
+    /// Record a crowd round; its latency becomes masking capacity.
+    pub fn crowd(&mut self, label: impl Into<String>, dur: Duration) {
+        self.capacity += dur;
+        self.segments.push(Segment::Crowd {
+            label: label.into(),
+            dur,
+        });
+    }
+
+    /// Record machine work the optimizer scheduled during crowdsourcing.
+    /// Consumes capacity; returns the excess that reached the critical
+    /// path (zero when fully masked).
+    pub fn masked_machine(&mut self, label: impl Into<String>, dur: Duration) -> Duration {
+        let covered = dur.min(self.capacity);
+        self.capacity -= covered;
+        let excess = dur - covered;
+        self.segments.push(Segment::MaskedMachine {
+            label: label.into(),
+            dur,
+            excess,
+        });
+        excess
+    }
+
+    /// Remaining masking capacity.
+    pub fn remaining_capacity(&self) -> Duration {
+        self.capacity
+    }
+
+    /// Total crowd time `t_c`.
+    pub fn crowd_time(&self) -> Duration {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Crowd { dur, .. } => *dur,
+                _ => Duration::ZERO,
+            })
+            .sum()
+    }
+
+    /// Total machine time `t_m` (masked work counted in full).
+    pub fn machine_time(&self) -> Duration {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Machine { dur, .. } => *dur,
+                Segment::MaskedMachine { dur, .. } => *dur,
+                Segment::Crowd { .. } => Duration::ZERO,
+            })
+            .sum()
+    }
+
+    /// Unmasked machine time `t_u`.
+    pub fn unmasked_machine_time(&self) -> Duration {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Machine { dur, .. } => *dur,
+                Segment::MaskedMachine { excess, .. } => *excess,
+                Segment::Crowd { .. } => Duration::ZERO,
+            })
+            .sum()
+    }
+
+    /// Total run time `t_c + t_u`.
+    pub fn total_time(&self) -> Duration {
+        self.crowd_time() + self.unmasked_machine_time()
+    }
+
+    /// Per-label total durations (crowd + machine), for the Table 4
+    /// per-operator breakdown.
+    pub fn by_operator(&self) -> BTreeMap<String, Duration> {
+        let mut map: BTreeMap<String, Duration> = BTreeMap::new();
+        for s in &self.segments {
+            let d = match s {
+                Segment::Machine { dur, .. } => *dur,
+                Segment::Crowd { dur, .. } => *dur,
+                Segment::MaskedMachine { excess, .. } => *excess,
+            };
+            *map.entry(s.label().to_string()).or_default() += d;
+        }
+        map
+    }
+
+    /// All segments, in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Merge another timeline's segments (capacity is recomputed by the
+    /// running totals already embedded in segments, so excesses stay as
+    /// recorded).
+    pub fn extend(&mut self, other: Timeline) {
+        self.capacity += other.capacity;
+        self.segments.extend(other.segments);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> Duration {
+        Duration::from_secs(v)
+    }
+
+    #[test]
+    fn masking_consumes_capacity() {
+        let mut t = Timeline::new();
+        t.crowd("al_matcher", s(100));
+        assert_eq!(t.masked_machine("build_indexes", s(60)), Duration::ZERO);
+        assert_eq!(t.remaining_capacity(), s(40));
+        // Next task exceeds capacity by 10.
+        assert_eq!(t.masked_machine("speculative", s(50)), s(10));
+        assert_eq!(t.remaining_capacity(), Duration::ZERO);
+        assert_eq!(t.crowd_time(), s(100));
+        assert_eq!(t.machine_time(), s(110));
+        assert_eq!(t.unmasked_machine_time(), s(10));
+        assert_eq!(t.total_time(), s(110));
+    }
+
+    #[test]
+    fn unmasked_machine_counts_fully() {
+        let mut t = Timeline::new();
+        t.machine("apply_blocking_rules", s(30));
+        t.crowd("eval_rules", s(20));
+        assert_eq!(t.machine_time(), s(30));
+        assert_eq!(t.unmasked_machine_time(), s(30));
+        assert_eq!(t.total_time(), s(50));
+    }
+
+    #[test]
+    fn capacity_accumulates_across_rounds() {
+        let mut t = Timeline::new();
+        t.crowd("al", s(10));
+        t.crowd("al", s(10));
+        assert_eq!(t.masked_machine("idx", s(15)), Duration::ZERO);
+        assert_eq!(t.remaining_capacity(), s(5));
+    }
+
+    #[test]
+    fn by_operator_aggregates() {
+        let mut t = Timeline::new();
+        t.crowd("al_matcher", s(5));
+        t.crowd("al_matcher", s(5));
+        t.machine("apply", s(7));
+        t.masked_machine("apply", s(3)); // fully masked -> 0 excess
+        let by = t.by_operator();
+        assert_eq!(by["al_matcher"], s(10));
+        assert_eq!(by["apply"], s(7));
+    }
+
+    #[test]
+    fn no_capacity_means_no_masking() {
+        let mut t = Timeline::new();
+        assert_eq!(t.masked_machine("x", s(9)), s(9));
+        assert_eq!(t.total_time(), s(9));
+    }
+}

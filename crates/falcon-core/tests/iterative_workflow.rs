@@ -1,0 +1,79 @@
+//! The full iterative EM workflow (Figure 1): Blocker → (Matcher →
+//! Accuracy Estimator → Difficult Pairs' Locator)*.
+
+use falcon_core::driver::{Falcon, FalconConfig};
+use falcon_core::plan::PlanKind;
+use falcon_crowd::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd};
+use falcon_dataflow::ClusterConfig;
+use falcon_datagen::products;
+
+fn config() -> FalconConfig {
+    FalconConfig {
+        cluster: ClusterConfig::small(4),
+        sample_size: 6_000,
+        sample_fanout: 20,
+        force_plan: Some(PlanKind::BlockAndMatch),
+        ..FalconConfig::default()
+    }
+}
+
+#[test]
+fn workflow_terminates_and_reports_estimates() {
+    let d = products::generate(0.03, 71);
+    let truth = GroundTruth::new(d.truth.iter().copied());
+    let (report, estimates) =
+        Falcon::new(config()).run_workflow(&d.a, &d.b, OracleCrowd::new(truth), 3);
+    assert!(!estimates.is_empty());
+    assert!(estimates.len() <= 3);
+    let q = report.quality(&d.truth);
+    assert!(q.f1 > 0.6, "F1 {:.3}", q.f1);
+    // Crowd-estimated quality should be in the neighbourhood of the true
+    // quality (oracle crowd, so estimation noise only from sampling).
+    let est = estimates.last().unwrap();
+    assert!(
+        (est.precision - q.precision).abs() < 0.25,
+        "est P {:.3} vs true {:.3}",
+        est.precision,
+        q.precision
+    );
+}
+
+#[test]
+fn workflow_never_worse_than_single_pass_by_much() {
+    let d = products::generate(0.03, 72);
+    let truth = GroundTruth::new(d.truth.iter().copied());
+    let single = Falcon::new(config()).run(
+        &d.a,
+        &d.b,
+        RandomWorkerCrowd::new(truth.clone(), 0.05, 4),
+    );
+    let (multi, _) = Falcon::new(config()).run_workflow(
+        &d.a,
+        &d.b,
+        RandomWorkerCrowd::new(truth, 0.05, 4),
+        3,
+    );
+    let qs = single.quality(&d.truth);
+    let qm = multi.quality(&d.truth);
+    assert!(
+        qm.f1 >= qs.f1 - 0.1,
+        "multi {:.3} vs single {:.3}",
+        qm.f1,
+        qs.f1
+    );
+}
+
+#[test]
+fn workflow_spends_more_crowd_budget_per_extra_round() {
+    let d = products::generate(0.02, 73);
+    let truth = GroundTruth::new(d.truth.iter().copied());
+    let (r1, _) =
+        Falcon::new(config()).run_workflow(&d.a, &d.b, OracleCrowd::new(truth.clone()), 1);
+    let (r3, e3) = Falcon::new(config()).run_workflow(&d.a, &d.b, OracleCrowd::new(truth), 3);
+    if e3.len() > 1 {
+        assert!(r3.ledger.questions > r1.ledger.questions);
+    } else {
+        // Converged in one round: budgets equal.
+        assert_eq!(r3.ledger.rounds, r1.ledger.rounds);
+    }
+}

@@ -1,0 +1,231 @@
+//! All six physical implementations of `apply_blocking_rules` — and the
+//! Corleone single-machine baseline — must produce *exactly* the same
+//! candidate set: the index filters are necessary conditions and the
+//! reducers evaluate the exact rule sequence.
+
+use falcon_core::corleone::corleone_blocking;
+use falcon_core::features::generate_features;
+use falcon_core::indexing::{BuiltIndexes, ConjunctSpecs};
+use falcon_core::physical::{self, PhysicalOp};
+use falcon_core::rules::{Predicate, Rule, RuleSequence};
+use falcon_dataflow::{Cluster, ClusterConfig};
+use falcon_datagen::products;
+use falcon_forest::SplitOp;
+use falcon_table::IdPair;
+use falcon_textsim::{SimFunction, Tokenizer};
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::small(4)).with_threads(4)
+}
+
+/// Build a realistic rule sequence by hand over the products blocking
+/// features: mixed set-sim, exact-match, range, and an unfilterable
+/// dissimilarity predicate.
+fn fixture() -> (
+    falcon_table::Table,
+    falcon_table::Table,
+    falcon_core::features::FeatureSet,
+    RuleSequence,
+) {
+    let d = products::generate(0.02, 11);
+    let lib = generate_features(&d.a, &d.b);
+    let find = |sim: SimFunction, attr: &str| {
+        lib.blocking
+            .features
+            .iter()
+            .position(|f| f.sim == sim && f.a_attr == attr)
+            .unwrap_or_else(|| panic!("missing feature {sim:?} on {attr}"))
+    };
+    let jac_title = find(SimFunction::Jaccard(Tokenizer::QGram(3)), "title");
+    let em_brand = find(SimFunction::ExactMatch, "brand");
+    let abs_price = find(SimFunction::AbsDiff, "price");
+    let seq = RuleSequence::new(vec![
+        // jaccard_3gram(title) <= 0.3 -> drop  (complement filterable)
+        Rule {
+            predicates: vec![Predicate {
+                feature: jac_title,
+                op: SplitOp::Le,
+                threshold: 0.3,
+                nan_is_high: true,
+            }],
+        },
+        // exact_match(brand) <= 0.5 AND abs_diff(price) > 50 -> drop
+        Rule {
+            predicates: vec![
+                Predicate {
+                    feature: em_brand,
+                    op: SplitOp::Le,
+                    threshold: 0.5,
+                    nan_is_high: true,
+                },
+                Predicate {
+                    feature: abs_price,
+                    op: SplitOp::Gt,
+                    threshold: 50.0,
+                    nan_is_high: false,
+                },
+            ],
+        },
+    ]);
+    (d.a, d.b, lib.blocking, seq)
+}
+
+#[test]
+fn all_physical_operators_agree() {
+    let (a, b, features, seq) = fixture();
+    let cluster = cluster();
+    let conjuncts = ConjunctSpecs::derive(&seq, &features);
+    assert!(!conjuncts.filterable().is_empty());
+    let mut built = BuiltIndexes::new();
+    for spec in conjuncts.all_specs() {
+        built.build_spec(&cluster, &a, &spec);
+    }
+    let sels = vec![0.3, 0.5];
+    let reference = corleone_blocking(&a, &b, &features, &seq, 1 << 40)
+        .unwrap()
+        .candidates;
+    assert!(
+        !reference.is_empty(),
+        "fixture should keep some candidates"
+    );
+    assert!(reference.len() < a.len() * b.len(), "rules should drop pairs");
+    for op in [
+        PhysicalOp::ApplyAll,
+        PhysicalOp::ApplyGreedy,
+        PhysicalOp::ApplyConjunct,
+        PhysicalOp::ApplyPredicate,
+        PhysicalOp::MapSide,
+        PhysicalOp::ReduceSplit,
+    ] {
+        let out = physical::execute(
+            op, &cluster, &a, &b, &features, &seq, &conjuncts, &built, &sels, 1 << 40,
+        )
+        .unwrap_or_else(|e| panic!("{op:?} failed: {e}"));
+        assert_eq!(
+            out.candidates, reference,
+            "{op:?} disagrees with the exhaustive baseline"
+        );
+    }
+}
+
+#[test]
+fn blocking_preserves_recall() {
+    // With missing-is-similar semantics the rules cannot drop pairs with
+    // missing values, so recall of this hand-built sequence is high.
+    let d = products::generate(0.02, 11);
+    let (a, b, features, seq) = fixture();
+    let cluster = cluster();
+    let conjuncts = ConjunctSpecs::derive(&seq, &features);
+    let mut built = BuiltIndexes::new();
+    for spec in conjuncts.all_specs() {
+        built.build_spec(&cluster, &a, &spec);
+    }
+    let out = physical::execute(
+        PhysicalOp::ApplyAll,
+        &cluster,
+        &a,
+        &b,
+        &features,
+        &seq,
+        &conjuncts,
+        &built,
+        &[0.3, 0.5],
+        1 << 40,
+    )
+    .unwrap();
+    let recall = falcon_core::metrics::blocking_recall(&out.candidates, &d.truth);
+    assert!(recall > 0.85, "blocking recall {recall}");
+    // And shrink the candidate space substantially.
+    let full = a.len() * b.len();
+    assert!(
+        out.candidates.len() < full / 4,
+        "{} of {} pairs survived",
+        out.candidates.len(),
+        full
+    );
+}
+
+#[test]
+fn enumeration_baselines_respect_pair_budget() {
+    let (a, b, features, seq) = fixture();
+    let cluster = cluster();
+    let conjuncts = ConjunctSpecs::derive(&seq, &features);
+    let built = BuiltIndexes::new();
+    for op in [PhysicalOp::MapSide, PhysicalOp::ReduceSplit] {
+        let err = physical::execute(
+            op, &cluster, &a, &b, &features, &seq, &conjuncts, &built, &[0.5, 0.5], 100,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            falcon_core::physical::BlockingError::TooManyPairs { .. }
+        ));
+    }
+}
+
+#[test]
+fn physical_selection_follows_memory_budget() {
+    let (a, b, features, seq) = fixture();
+    let _ = b;
+    let cluster = cluster();
+    let conjuncts = ConjunctSpecs::derive(&seq, &features);
+    let mut built = BuiltIndexes::new();
+    for spec in conjuncts.all_specs() {
+        built.build_spec(&cluster, &a, &spec);
+    }
+    let sels = [0.3, 0.9];
+    // Plenty of memory, sequence much more selective than any single
+    // conjunct -> apply-all.
+    let op = physical::select_physical(
+        &conjuncts,
+        &built,
+        &sels,
+        0.2,
+        1 << 30,
+        physical::estimate_table_bytes(&a),
+        0.8,
+    );
+    assert_eq!(op, PhysicalOp::ApplyAll);
+    // Sequence selectivity close to best conjunct's -> apply-greedy.
+    let op = physical::select_physical(
+        &conjuncts,
+        &built,
+        &sels,
+        0.28,
+        1 << 30,
+        physical::estimate_table_bytes(&a),
+        0.8,
+    );
+    // 0.28 / 0.3 = 0.93 >= 0.8.
+    assert_eq!(op, PhysicalOp::ApplyGreedy);
+    // No memory at all -> fall through to enumeration.
+    let op = physical::select_physical(&conjuncts, &built, &sels, 0.1, 0, usize::MAX, 0.8);
+    assert_eq!(op, PhysicalOp::ReduceSplit);
+}
+
+#[test]
+fn empty_rule_sequence_keeps_everything() {
+    let (a, b, features, _) = fixture();
+    let cluster = cluster();
+    let seq = RuleSequence::default();
+    let conjuncts = ConjunctSpecs::derive(&seq, &features);
+    let built = BuiltIndexes::new();
+    let out = physical::execute(
+        PhysicalOp::MapSide,
+        &cluster,
+        &a,
+        &b,
+        &features,
+        &seq,
+        &conjuncts,
+        &built,
+        &[],
+        1 << 40,
+    )
+    .unwrap();
+    assert_eq!(out.candidates.len(), a.len() * b.len());
+    let all: Vec<IdPair> = (0..a.len() as u32)
+        .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
+        .collect();
+    assert_eq!(out.candidates, all);
+}

@@ -1,0 +1,250 @@
+//! HIT batching, voting and the cost/latency ledger.
+//!
+//! The paper's crowdsourcing shape: questions are grouped 10 per HIT
+//! (`q = 10`), a labeling iteration posts `h = 2` HITs (20 pairs), every
+//! answer costs `c = $0.02`, `al_matcher` takes a majority of `v_m = 3`
+//! answers per question, and `eval_rules` uses a strong-majority scheme
+//! with up to `v_e = 7` answers. One iteration's HITs are posted
+//! concurrently, so an iteration consumes one round of crowd latency.
+
+use crate::vote::{majority, strong_majority};
+use crate::Crowd;
+use falcon_table::IdPair;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Crowdsourcing shape parameters (paper defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Questions per HIT (`q`).
+    pub questions_per_hit: usize,
+    /// Majority size for active-learning questions (`v_m`).
+    pub majority_votes: usize,
+    /// Maximum answers for rule-evaluation questions (`v_e`).
+    pub strong_majority_max: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            questions_per_hit: 10,
+            majority_votes: 3,
+            strong_majority_max: 7,
+        }
+    }
+}
+
+/// Running totals of crowd activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    /// Questions asked (each = one pair labeled by vote).
+    pub questions: usize,
+    /// Individual answers collected.
+    pub answers: usize,
+    /// HITs posted.
+    pub hits: usize,
+    /// Labeling rounds (each consumes one round of latency).
+    pub rounds: usize,
+    /// Total dollars spent.
+    pub cost: f64,
+    /// Total virtual crowd latency.
+    pub crowd_time: Duration,
+}
+
+/// A crowdsourcing session: a crowd plus batching/voting configuration and
+/// a ledger.
+///
+/// ```
+/// use falcon_crowd::CrowdSession;
+/// use falcon_crowd::sim::{GroundTruth, RandomWorkerCrowd};
+///
+/// let truth = GroundTruth::new([(1, 1)]);
+/// let crowd = RandomWorkerCrowd::new(truth, 0.0, 42); // 0% error
+/// let mut session = CrowdSession::new(crowd);
+/// let (labels, _latency) = session.label_batch(&[(1, 1), (1, 2)]);
+/// assert_eq!(labels, vec![((1, 1), true), ((1, 2), false)]);
+/// assert_eq!(session.ledger().answers, 6); // majority of 3 per question
+/// ```
+pub struct CrowdSession<C: Crowd> {
+    crowd: C,
+    /// Shape parameters.
+    pub config: SessionConfig,
+    ledger: Ledger,
+}
+
+impl<C: Crowd> CrowdSession<C> {
+    /// Start a session over a crowd with default (paper) parameters.
+    pub fn new(crowd: C) -> Self {
+        Self {
+            crowd,
+            config: SessionConfig::default(),
+            ledger: Ledger::default(),
+        }
+    }
+
+    /// Start with explicit parameters.
+    pub fn with_config(crowd: C, config: SessionConfig) -> Self {
+        Self {
+            crowd,
+            config,
+            ledger: Ledger::default(),
+        }
+    }
+
+    /// The underlying crowd.
+    pub fn crowd(&self) -> &C {
+        &self.crowd
+    }
+
+    /// Ledger snapshot.
+    pub fn ledger(&self) -> Ledger {
+        self.ledger
+    }
+
+    /// Latency one labeling round will consume (exposed so the optimizer
+    /// can size masking windows before posting).
+    pub fn round_latency(&self) -> Duration {
+        self.crowd.latency_per_round()
+    }
+
+    fn account_round(&mut self, questions: usize, answers: usize) -> Duration {
+        let hits = questions.div_ceil(self.config.questions_per_hit.max(1));
+        self.ledger.questions += questions;
+        self.ledger.answers += answers;
+        self.ledger.hits += hits;
+        self.ledger.rounds += 1;
+        self.ledger.cost += answers as f64 * self.crowd.cost_per_answer();
+        let latency = self.crowd.latency_per_round();
+        self.ledger.crowd_time += latency;
+        latency
+    }
+
+    /// Label one iteration's batch with majority-of-`v_m` voting (the
+    /// `al_matcher` scheme). Returns the labels plus the round's latency.
+    pub fn label_batch(&mut self, pairs: &[IdPair]) -> (Vec<(IdPair, bool)>, Duration) {
+        let mut labels = Vec::with_capacity(pairs.len());
+        let mut answers = 0;
+        for &p in pairs {
+            let v = majority(&self.crowd, p, self.config.majority_votes);
+            answers += v.answers;
+            labels.push((p, v.label));
+        }
+        let latency = self.account_round(pairs.len(), answers);
+        (labels, latency)
+    }
+
+    /// Label one iteration's batch with the strong-majority scheme (the
+    /// `eval_rules` scheme).
+    pub fn label_batch_strong(&mut self, pairs: &[IdPair]) -> (Vec<(IdPair, bool)>, Duration) {
+        let mut labels = Vec::with_capacity(pairs.len());
+        let mut answers = 0;
+        for &p in pairs {
+            let v = strong_majority(&self.crowd, p, self.config.strong_majority_max);
+            answers += v.answers;
+            labels.push((p, v.label));
+        }
+        let latency = self.account_round(pairs.len(), answers);
+        (labels, latency)
+    }
+}
+
+/// The paper's hard cap on crowd cost (Section 3.4):
+/// `C_max = (2·n_m·v_m + k·n_e·v_e) · h · q · c = $349.60` with
+/// `n_m = 29, v_m = 3, k = 20, n_e = 5, v_e = 7, h = 2, q = 10, c = $0.02`.
+pub fn cost_cap(
+    n_m: usize,
+    v_m: usize,
+    k: usize,
+    n_e: usize,
+    v_e: usize,
+    h: usize,
+    q: usize,
+    c: f64,
+) -> f64 {
+    ((2 * n_m * v_m + k * n_e * v_e) * h * q) as f64 * c
+}
+
+/// The cap with the paper's exact parameter setting.
+pub fn paper_cost_cap() -> f64 {
+    cost_cap(29, 3, 20, 5, 7, 2, 10, 0.02)
+}
+
+/// Proposition 3's upper bound on total crowd time:
+/// `t_c <= t_a · (2·k·q1 + 20·n·q2)` where `t_a` is the average time to
+/// label one pair, `k` the active-learning iteration cap, `q1` pairs per
+/// AL iteration, `n` the number of rules evaluated, and `q2` pairs per
+/// rule-evaluation iteration (the 20 comes from Proposition 2's bound on
+/// iterations per rule).
+pub fn crowd_time_bound(
+    t_a: Duration,
+    k: usize,
+    q1: usize,
+    n: usize,
+    q2: usize,
+) -> Duration {
+    t_a * (2 * k * q1 + 20 * n * q2) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd};
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new([(0, 0), (1, 1)])
+    }
+
+    #[test]
+    fn ledger_accounts_batches() {
+        let crowd = RandomWorkerCrowd::new(truth(), 0.0, 5);
+        let mut s = CrowdSession::new(crowd);
+        let pairs: Vec<IdPair> = (0..20).map(|i| (i, i)).collect();
+        let (labels, latency) = s.label_batch(&pairs);
+        assert_eq!(labels.len(), 20);
+        assert!(labels[0].1); // (0,0) is a match
+        assert!(!labels[5].1);
+        let l = s.ledger();
+        assert_eq!(l.questions, 20);
+        assert_eq!(l.answers, 60); // 3 votes each
+        assert_eq!(l.hits, 2); // 20 questions / 10 per HIT
+        assert_eq!(l.rounds, 1);
+        assert!((l.cost - 60.0 * 0.02).abs() < 1e-9);
+        assert_eq!(l.crowd_time, latency);
+    }
+
+    #[test]
+    fn strong_majority_batch_uses_three_answers_when_unanimous() {
+        let mut s = CrowdSession::new(OracleCrowd::new(truth()));
+        let (_, _) = s.label_batch_strong(&[(0, 0), (0, 1)]);
+        assert_eq!(s.ledger().answers, 6);
+        assert_eq!(s.ledger().cost, 0.0); // oracle is free
+    }
+
+    #[test]
+    fn paper_cost_cap_is_349_60() {
+        assert!((paper_cost_cap() - 349.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proposition3_bound_dominates_observed_crowd_time() {
+        // With the paper's parameters and t_a = 9s/pair (1.5 min per
+        // 10-question HIT), the bound is about 9·(2·30·20 + 20·20·20)
+        // = 9·9200s ≈ 23h — and any actual capped run stays below it.
+        let bound = crowd_time_bound(Duration::from_secs(9), 30, 20, 20, 20);
+        assert_eq!(bound, Duration::from_secs(9 * 9200));
+        // An actual session: 30 AL rounds + 20 rules × 5 rounds of latency.
+        let per_round = Duration::from_secs(90);
+        let actual = per_round * (30 + 20 * 5);
+        assert!(actual < bound);
+    }
+
+    #[test]
+    fn rounds_accumulate_latency() {
+        let mut s = CrowdSession::new(OracleCrowd::new(truth()));
+        let lat = s.round_latency();
+        s.label_batch(&[(0, 0)]);
+        s.label_batch(&[(1, 1)]);
+        assert_eq!(s.ledger().crowd_time, lat * 2);
+        assert_eq!(s.ledger().rounds, 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulated crowds backed by ground truth.
+
+use crate::Crowd;
+use falcon_table::IdPair;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Ground truth: the set of matching pairs.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    matches: HashSet<IdPair>,
+}
+
+impl GroundTruth {
+    /// Build from an iterator of matching pairs.
+    pub fn new(matches: impl IntoIterator<Item = IdPair>) -> Self {
+        Self {
+            matches: matches.into_iter().collect(),
+        }
+    }
+
+    /// True iff the pair is a real match.
+    pub fn is_match(&self, pair: IdPair) -> bool {
+        self.matches.contains(&pair)
+    }
+
+    /// Number of true matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True iff there are no matches.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Iterate over all matching pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &IdPair> {
+        self.matches.iter()
+    }
+}
+
+/// Perfect crowd: always answers the truth. Zero-cost MTurk-latency crowd
+/// for isolating machine-side behaviour in tests.
+pub struct OracleCrowd {
+    truth: GroundTruth,
+    latency: Duration,
+}
+
+impl OracleCrowd {
+    /// Oracle with MTurk-like latency (1.5 min per round).
+    pub fn new(truth: GroundTruth) -> Self {
+        Self {
+            truth,
+            latency: Duration::from_secs(90),
+        }
+    }
+
+    /// Override round latency.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+impl Crowd for OracleCrowd {
+    fn answer(&self, pair: IdPair) -> bool {
+        self.truth.is_match(pair)
+    }
+    fn latency_per_round(&self) -> Duration {
+        self.latency
+    }
+    fn cost_per_answer(&self) -> f64 {
+        0.0
+    }
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+/// The paper's random-worker model (Section 11.4): each individual answer
+/// is flipped with probability `error_rate`. MTurk pricing ($0.02/answer)
+/// and latency (1.5 min per 10-question HIT round) by default.
+pub struct RandomWorkerCrowd {
+    truth: GroundTruth,
+    error_rate: f64,
+    latency: Duration,
+    cost_per_answer: f64,
+    rng: Mutex<SmallRng>,
+}
+
+impl RandomWorkerCrowd {
+    /// Create with a fixed per-answer error rate and RNG seed.
+    pub fn new(truth: GroundTruth, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate));
+        Self {
+            truth,
+            error_rate,
+            latency: Duration::from_secs(90),
+            cost_per_answer: 0.02,
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Override round latency.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+impl Crowd for RandomWorkerCrowd {
+    fn answer(&self, pair: IdPair) -> bool {
+        let truth = self.truth.is_match(pair);
+        let flip = self.rng.lock().gen_bool(self.error_rate);
+        truth ^ flip
+    }
+    fn latency_per_round(&self) -> Duration {
+        self.latency
+    }
+    fn cost_per_answer(&self) -> f64 {
+        self.cost_per_answer
+    }
+    fn name(&self) -> &str {
+        "random-worker"
+    }
+}
+
+/// In-house expert "crowd of one" (the drug-matching deployment of Section
+/// 11.1): near-perfect answers, no marginal cost, much lower latency.
+pub struct ExpertCrowd {
+    inner: RandomWorkerCrowd,
+}
+
+impl ExpertCrowd {
+    /// Expert with a small error rate (default 1%) and ~12 s per round
+    /// (830 pairs in 1h 37m in the paper's deployment).
+    pub fn new(truth: GroundTruth, seed: u64) -> Self {
+        let mut inner = RandomWorkerCrowd::new(truth, 0.01, seed);
+        inner.latency = Duration::from_secs(12);
+        inner.cost_per_answer = 0.0;
+        Self { inner }
+    }
+}
+
+impl Crowd for ExpertCrowd {
+    fn answer(&self, pair: IdPair) -> bool {
+        self.inner.answer(pair)
+    }
+    fn latency_per_round(&self) -> Duration {
+        self.inner.latency
+    }
+    fn cost_per_answer(&self) -> f64 {
+        0.0
+    }
+    fn name(&self) -> &str {
+        "expert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new([(0, 0), (1, 1), (2, 2)])
+    }
+
+    #[test]
+    fn oracle_is_perfect() {
+        let c = OracleCrowd::new(truth());
+        assert!(c.answer((0, 0)));
+        assert!(!c.answer((0, 1)));
+        assert_eq!(c.cost_per_answer(), 0.0);
+    }
+
+    #[test]
+    fn zero_error_random_crowd_is_oracle() {
+        let c = RandomWorkerCrowd::new(truth(), 0.0, 1);
+        for pair in [(0, 0), (1, 1), (0, 2), (9, 9)] {
+            assert_eq!(c.answer(pair), truth().is_match(pair));
+        }
+    }
+
+    #[test]
+    fn full_error_crowd_always_lies() {
+        let c = RandomWorkerCrowd::new(truth(), 1.0, 1);
+        assert!(!c.answer((0, 0)));
+        assert!(c.answer((0, 1)));
+    }
+
+    #[test]
+    fn error_rate_is_approximately_respected() {
+        let c = RandomWorkerCrowd::new(truth(), 0.2, 42);
+        let n = 10_000;
+        let wrong = (0..n).filter(|_| c.answer((0, 1))).count();
+        let rate = wrong as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.03, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn expert_is_cheap_and_fast() {
+        let c = ExpertCrowd::new(truth(), 3);
+        assert_eq!(c.cost_per_answer(), 0.0);
+        assert!(c.latency_per_round() < Duration::from_secs(60));
+    }
+}

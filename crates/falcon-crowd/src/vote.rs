@@ -1,0 +1,123 @@
+//! Voting schemes over repeated crowd answers.
+
+use crate::Crowd;
+use falcon_table::IdPair;
+
+/// Outcome of voting on one question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    /// The decided label.
+    pub label: bool,
+    /// Number of answers collected.
+    pub answers: usize,
+}
+
+/// Simple majority over `n` answers (the paper's `v_m = 3` scheme for
+/// `al_matcher`). `n` should be odd.
+pub fn majority(crowd: &impl Crowd, pair: IdPair, n: usize) -> Vote {
+    let n = n.max(1);
+    let pos = (0..n).filter(|_| crowd.answer(pair)).count();
+    Vote {
+        label: 2 * pos > n,
+        answers: n,
+    }
+}
+
+/// Corleone's strong-majority scheme used by `eval_rules` (`v_e = 7`):
+/// collect three answers; keep collecting one at a time until one side
+/// leads by at least two, or `max` answers (7) have been collected; the
+/// final label is the simple majority.
+pub fn strong_majority(crowd: &impl Crowd, pair: IdPair, max: usize) -> Vote {
+    let max = max.max(3);
+    let mut pos = 0usize;
+    let mut neg = 0usize;
+    for _ in 0..3 {
+        if crowd.answer(pair) {
+            pos += 1;
+        } else {
+            neg += 1;
+        }
+    }
+    while pos.abs_diff(neg) < 2 && pos + neg < max {
+        if crowd.answer(pair) {
+            pos += 1;
+        } else {
+            neg += 1;
+        }
+    }
+    Vote {
+        label: pos > neg,
+        answers: pos + neg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd};
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new([(1, 1)])
+    }
+
+    #[test]
+    fn majority_with_oracle() {
+        let c = OracleCrowd::new(truth());
+        let v = majority(&c, (1, 1), 3);
+        assert!(v.label);
+        assert_eq!(v.answers, 3);
+        assert!(!majority(&c, (0, 1), 3).label);
+    }
+
+    #[test]
+    fn strong_majority_unanimous_stops_at_three() {
+        let c = OracleCrowd::new(truth());
+        let v = strong_majority(&c, (1, 1), 7);
+        assert_eq!(v.answers, 3);
+        assert!(v.label);
+    }
+
+    #[test]
+    fn strong_majority_caps_at_max() {
+        // A maximally-confusing crowd: alternates answers.
+        struct Alternating(std::sync::atomic::AtomicUsize);
+        impl Crowd for Alternating {
+            fn answer(&self, _: IdPair) -> bool {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 2 == 0
+            }
+            fn latency_per_round(&self) -> std::time::Duration {
+                std::time::Duration::ZERO
+            }
+            fn cost_per_answer(&self) -> f64 {
+                0.0
+            }
+            fn name(&self) -> &str {
+                "alt"
+            }
+        }
+        let c = Alternating(Default::default());
+        let v = strong_majority(&c, (0, 0), 7);
+        assert_eq!(v.answers, 7);
+    }
+
+    #[test]
+    fn majority_beats_single_answer_under_noise() {
+        // With 20% error, majority-of-3 error rate is ~10%; check that over
+        // many trials majority is more accurate than single answers.
+        let c = RandomWorkerCrowd::new(truth(), 0.2, 7);
+        let trials = 2000;
+        let single_ok = (0..trials).filter(|_| c.answer((1, 1))).count();
+        let maj_ok = (0..trials)
+            .filter(|_| majority(&c, (1, 1), 3).label)
+            .count();
+        assert!(maj_ok > single_ok, "{maj_ok} vs {single_ok}");
+    }
+
+    #[test]
+    fn even_n_majority_requires_strict_majority() {
+        let c = OracleCrowd::new(truth());
+        // n=1 trivially works.
+        assert!(majority(&c, (1, 1), 1).label);
+        assert_eq!(majority(&c, (1, 1), 0).answers, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulated cluster description and the execution handle.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Static description of the simulated Hadoop cluster.
+///
+/// The defaults mirror the paper's testbed: 10 nodes, 8 cores each split
+/// between map and reduce slots, 2 GB of mapper memory (the setting under
+/// which `apply_all`/`apply_greedy` fit their indexes in Section 11.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// Memory budget available to each mapper for in-memory indexes.
+    pub mapper_memory_bytes: usize,
+    /// Memory budget available to each reducer.
+    pub reducer_memory_bytes: usize,
+    /// Fixed simulated overhead per job (JVM spin-up, scheduling).
+    pub job_overhead: Duration,
+    /// Fixed simulated overhead per task.
+    pub task_overhead: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 10,
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 2,
+            mapper_memory_bytes: 2 << 30,
+            reducer_memory_bytes: 2 << 30,
+            job_overhead: Duration::from_millis(500),
+            task_overhead: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config scaled for unit tests and small examples: small overheads so
+    /// simulated times stay legible.
+    pub fn small(nodes: usize) -> Self {
+        Self {
+            nodes,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 1,
+            job_overhead: Duration::from_millis(10),
+            task_overhead: Duration::from_millis(1),
+            ..Self::default()
+        }
+    }
+
+    /// Total map slots across the cluster.
+    pub fn map_slots(&self) -> usize {
+        (self.nodes * self.map_slots_per_node).max(1)
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn reduce_slots(&self) -> usize {
+        (self.nodes * self.reduce_slots_per_node).max(1)
+    }
+}
+
+/// An execution handle: the simulated configuration plus the real thread
+/// budget used to run tasks locally.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Simulated cluster description.
+    pub config: ClusterConfig,
+    threads: usize,
+}
+
+impl Cluster {
+    /// Create a cluster handle with the given simulated config; local
+    /// execution uses all available host parallelism.
+    pub fn new(config: ClusterConfig) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self { config, threads }
+    }
+
+    /// Override the number of local worker threads (mainly for tests).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of local worker threads used to actually execute tasks.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Per-mapper memory budget of the simulated cluster.
+    pub fn mapper_memory(&self) -> usize {
+        self.config.mapper_memory_bytes
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self::new(ClusterConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_counts() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.map_slots(), 40);
+        assert_eq!(c.reduce_slots(), 20);
+        let tiny = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(tiny.map_slots(), 1);
+    }
+
+    #[test]
+    fn cluster_threads_positive() {
+        let c = Cluster::default();
+        assert!(c.threads() >= 1);
+        assert_eq!(c.clone().with_threads(0).threads(), 1);
+    }
+}

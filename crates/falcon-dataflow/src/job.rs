@@ -1,0 +1,130 @@
+//! Job-side types: the emitter handed to map functions and the statistics /
+//! output produced by a job run.
+
+use crate::cluster::ClusterConfig;
+use crate::sim_time::makespan;
+use std::time::Duration;
+
+/// Collector for key-value pairs emitted by a map function.
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    pub(crate) fn new() -> Self {
+        Self { pairs: Vec::new() }
+    }
+
+    /// Emit one intermediate key-value pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True iff nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub(crate) fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+}
+
+/// Statistics for one executed job, including both local wall time and the
+/// simulated cluster time for a given [`ClusterConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Number of map tasks (input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks (partitions).
+    pub reduce_tasks: usize,
+    /// Records read by mappers.
+    pub input_records: usize,
+    /// Intermediate records shuffled from mappers to reducers.
+    pub shuffled_records: usize,
+    /// Records produced by reducers (or mappers for map-only jobs).
+    pub output_records: usize,
+    /// Measured wall durations of each map task on the local host.
+    pub map_durations: Vec<Duration>,
+    /// Measured wall durations of each reduce task on the local host.
+    pub reduce_durations: Vec<Duration>,
+    /// Total local wall-clock duration of the job.
+    pub wall: Duration,
+}
+
+impl JobStats {
+    /// Simulated job duration on a cluster: map-phase makespan over the
+    /// cluster's map slots, plus reduce-phase makespan over its reduce
+    /// slots, plus per-task and per-job overheads.
+    pub fn sim_duration(&self, cfg: &ClusterConfig) -> Duration {
+        let map_tasks: Vec<Duration> = self
+            .map_durations
+            .iter()
+            .map(|d| *d + cfg.task_overhead)
+            .collect();
+        let reduce_tasks: Vec<Duration> = self
+            .reduce_durations
+            .iter()
+            .map(|d| *d + cfg.task_overhead)
+            .collect();
+        cfg.job_overhead
+            + makespan(&map_tasks, cfg.map_slots())
+            + makespan(&reduce_tasks, cfg.reduce_slots())
+    }
+}
+
+/// Output of a job run: the produced records plus statistics.
+#[derive(Debug)]
+pub struct JobOutput<O> {
+    /// Records produced by the job.
+    pub output: Vec<O>,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects() {
+        let mut e: Emitter<u32, &str> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(1, "a");
+        e.emit(2, "b");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![(1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn sim_duration_scales_with_nodes() {
+        let stats = JobStats {
+            map_tasks: 8,
+            map_durations: vec![Duration::from_millis(100); 8],
+            reduce_durations: vec![Duration::from_millis(50); 2],
+            ..Default::default()
+        };
+        let small = ClusterConfig {
+            nodes: 1,
+            map_slots_per_node: 1,
+            reduce_slots_per_node: 1,
+            job_overhead: Duration::ZERO,
+            task_overhead: Duration::ZERO,
+            ..ClusterConfig::default()
+        };
+        let big = ClusterConfig {
+            nodes: 8,
+            ..small.clone()
+        };
+        assert!(stats.sim_duration(&big) < stats.sim_duration(&small));
+        // 1 node: 8*100 + 2*50 = 900ms.
+        assert_eq!(stats.sim_duration(&small), Duration::from_millis(900));
+        // 8 nodes: map 100, reduce 100 (2 tasks on... 8 reduce slots -> 50).
+        assert_eq!(stats.sim_duration(&big), Duration::from_millis(150));
+    }
+}

@@ -1,0 +1,25 @@
+//! A local, multi-threaded MapReduce engine standing in for the paper's
+//! 10-node Hadoop cluster.
+//!
+//! The engine executes map and reduce tasks on real OS threads (bounded by
+//! the host's parallelism) while *accounting* time against a configurable
+//! simulated cluster: per-task wall durations are measured and scheduled
+//! onto the simulated cluster's map/reduce slots (LPT makespan), plus
+//! Hadoop-style per-task and per-job overheads. This is what lets the
+//! benchmark harness reproduce the paper's cluster-size sweep (5/10/15/20
+//! nodes, Section 11.4) from a single physical machine.
+//!
+//! Operators interact with the engine exactly the way Falcon's operators
+//! interact with Hadoop: they provide map/reduce functions, read the
+//! configured per-mapper memory budget (which gates the `apply_*` physical
+//! operator selection of Section 10.1), and receive job statistics.
+
+pub mod cluster;
+pub mod job;
+pub mod runner;
+pub mod sim_time;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use job::{Emitter, JobOutput, JobStats};
+pub use runner::{run_map_combine_reduce, run_map_only, run_map_reduce};
+pub use sim_time::{makespan, SimDuration};

@@ -1,0 +1,446 @@
+//! Threaded execution of MapReduce jobs over in-memory splits.
+
+use crate::cluster::Cluster;
+use crate::job::{Emitter, JobOutput, JobStats};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Run a full map-shuffle-reduce job.
+///
+/// * `splits` — input splits; each becomes one map task.
+/// * `map_fn(record, emitter)` — called per record; emits intermediate pairs.
+/// * `reduce_fn(key, values, out)` — called once per distinct key with all
+///   its values; pushes output records.
+///
+/// Map tasks run concurrently on the cluster's local worker threads; so do
+/// reduce partitions. Output records are concatenated in partition order;
+/// callers needing a total order should sort the output.
+///
+/// ```
+/// use falcon_dataflow::{run_map_reduce, Cluster, ClusterConfig, Emitter};
+///
+/// let cluster = Cluster::new(ClusterConfig::small(2));
+/// let out = run_map_reduce(
+///     &cluster,
+///     vec![vec!["a b", "b"], vec!["a"]],
+///     2,
+///     |doc: &&str, e: &mut Emitter<String, u32>| {
+///         for w in doc.split_whitespace() { e.emit(w.to_string(), 1); }
+///     },
+///     |w: &String, ones: Vec<u32>, out: &mut Vec<(String, u32)>| {
+///         out.push((w.clone(), ones.len() as u32));
+///     },
+/// );
+/// let mut counts = out.output;
+/// counts.sort();
+/// assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2)]);
+/// ```
+pub fn run_map_reduce<I, K, V, O, M, R>(
+    cluster: &Cluster,
+    splits: Vec<Vec<I>>,
+    reduce_partitions: usize,
+    map_fn: M,
+    reduce_fn: R,
+) -> JobOutput<O>
+where
+    I: Sync,
+    K: Hash + Eq + Send + Clone,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
+{
+    let start = Instant::now();
+    let reduce_partitions = reduce_partitions.max(1);
+    let n_splits = splits.len();
+    let input_records: usize = splits.iter().map(|s| s.len()).sum();
+
+    // ---- Map phase ----
+    let map_results: Mutex<Vec<(usize, Vec<Vec<(K, V)>>, Duration)>> =
+        Mutex::new(Vec::with_capacity(n_splits));
+    {
+        let next = AtomicUsize::new(0);
+        let splits_ref = &splits;
+        let map_ref = &map_fn;
+        let results_ref = &map_results;
+        let n_threads = cluster.threads().min(n_splits.max(1));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_splits {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let mut emitter = Emitter::new();
+                    for record in &splits_ref[idx] {
+                        map_ref(record, &mut emitter);
+                    }
+                    let mut buckets: Vec<Vec<(K, V)>> =
+                        (0..reduce_partitions).map(|_| Vec::new()).collect();
+                    for (k, v) in emitter.into_pairs() {
+                        let p = partition_of(&k, reduce_partitions);
+                        buckets[p].push((k, v));
+                    }
+                    results_ref.lock().push((idx, buckets, t0.elapsed()));
+                });
+            }
+        })
+        .expect("map phase panicked");
+    }
+    let mut map_results = map_results.into_inner();
+    map_results.sort_by_key(|(idx, _, _)| *idx);
+    let map_durations: Vec<Duration> = map_results.iter().map(|(_, _, d)| *d).collect();
+
+    // ---- Shuffle ----
+    let mut partitions: Vec<Vec<(K, V)>> =
+        (0..reduce_partitions).map(|_| Vec::new()).collect();
+    let mut shuffled_records = 0usize;
+    for (_, buckets, _) in map_results {
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            shuffled_records += bucket.len();
+            partitions[p].extend(bucket);
+        }
+    }
+
+    // ---- Reduce phase ----
+    // Each worker takes ownership of a whole partition via Mutex<Option<_>>.
+    let reduce_inputs: Vec<Mutex<Option<Vec<(K, V)>>>> =
+        partitions.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let reduce_results: Mutex<Vec<(usize, Vec<O>, Duration)>> =
+        Mutex::new(Vec::with_capacity(reduce_partitions));
+    {
+        let next = AtomicUsize::new(0);
+        let reduce_ref = &reduce_fn;
+        let inputs_ref = &reduce_inputs;
+        let results_ref = &reduce_results;
+        let n_threads = cluster.threads().min(reduce_partitions);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let pid = next.fetch_add(1, Ordering::Relaxed);
+                    if pid >= inputs_ref.len() {
+                        break;
+                    }
+                    let pairs = inputs_ref[pid].lock().take().expect("partition taken once");
+                    let t0 = Instant::now();
+                    let mut grouped: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in pairs {
+                        grouped.entry(k).or_default().push(v);
+                    }
+                    let mut out = Vec::new();
+                    for (k, vs) in grouped {
+                        reduce_ref(&k, vs, &mut out);
+                    }
+                    results_ref.lock().push((pid, out, t0.elapsed()));
+                });
+            }
+        })
+        .expect("reduce phase panicked");
+    }
+    let mut reduce_results = reduce_results.into_inner();
+    reduce_results.sort_by_key(|(pid, _, _)| *pid);
+    let reduce_durations: Vec<Duration> =
+        reduce_results.iter().map(|(_, _, d)| *d).collect();
+    let mut output = Vec::new();
+    for (_, mut out, _) in reduce_results {
+        output.append(&mut out);
+    }
+
+    let stats = JobStats {
+        map_tasks: n_splits,
+        reduce_tasks: reduce_partitions,
+        input_records,
+        shuffled_records,
+        output_records: output.len(),
+        map_durations,
+        reduce_durations,
+        wall: start.elapsed(),
+    };
+    JobOutput { output, stats }
+}
+
+/// Run a map-only job: each record maps to zero or more output records, no
+/// shuffle or reduce (the implementation of `gen_fvs` and `apply_matcher`
+/// in the paper, Sections 8 and 9).
+pub fn run_map_only<I, O, M>(cluster: &Cluster, splits: Vec<Vec<I>>, map_fn: M) -> JobOutput<O>
+where
+    I: Sync,
+    O: Send,
+    M: Fn(&I, &mut Vec<O>) + Sync,
+{
+    let start = Instant::now();
+    let n_splits = splits.len();
+    let input_records: usize = splits.iter().map(|s| s.len()).sum();
+    let results: Mutex<Vec<(usize, Vec<O>, Duration)>> = Mutex::new(Vec::with_capacity(n_splits));
+    {
+        let next = AtomicUsize::new(0);
+        let splits_ref = &splits;
+        let map_ref = &map_fn;
+        let results_ref = &results;
+        let n_threads = cluster.threads().min(n_splits.max(1));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_splits {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let mut out = Vec::new();
+                    for record in &splits_ref[idx] {
+                        map_ref(record, &mut out);
+                    }
+                    results_ref.lock().push((idx, out, t0.elapsed()));
+                });
+            }
+        })
+        .expect("map-only phase panicked");
+    }
+    let mut results = results.into_inner();
+    results.sort_by_key(|(idx, _, _)| *idx);
+    let map_durations: Vec<Duration> = results.iter().map(|(_, _, d)| *d).collect();
+    let mut output = Vec::new();
+    for (_, mut out, _) in results {
+        output.append(&mut out);
+    }
+    let stats = JobStats {
+        map_tasks: n_splits,
+        reduce_tasks: 0,
+        input_records,
+        shuffled_records: 0,
+        output_records: output.len(),
+        map_durations,
+        reduce_durations: Vec::new(),
+        wall: start.elapsed(),
+    };
+    JobOutput { output, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::small(2)).with_threads(4)
+    }
+
+    #[test]
+    fn word_count() {
+        let docs = vec![
+            vec!["a b a", "c"],
+            vec!["b b", "a c c"],
+        ];
+        let out = run_map_reduce(
+            &cluster(),
+            docs,
+            3,
+            |doc: &&str, e: &mut Emitter<String, u32>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: Vec<u32>, out: &mut Vec<(String, u32)>| {
+                out.push((k.clone(), vs.iter().sum()));
+            },
+        );
+        let mut counts = out.output;
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 3),
+                ("c".to_string(), 3)
+            ]
+        );
+        assert_eq!(out.stats.map_tasks, 2);
+        assert_eq!(out.stats.input_records, 4);
+        assert_eq!(out.stats.shuffled_records, 9);
+        assert_eq!(out.stats.output_records, 3);
+    }
+
+    #[test]
+    fn map_only_flat_maps() {
+        let out = run_map_only(
+            &cluster(),
+            vec![vec![1, 2], vec![3]],
+            |x: &i32, out: &mut Vec<i32>| {
+                out.push(x * 10);
+                out.push(x * 10 + 1);
+            },
+        );
+        assert_eq!(out.output, vec![10, 11, 20, 21, 30, 31]);
+        assert_eq!(out.stats.output_records, 6);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = run_map_reduce(
+            &cluster(),
+            Vec::<Vec<u32>>::new(),
+            4,
+            |_: &u32, _: &mut Emitter<u32, u32>| {},
+            |_: &u32, _: Vec<u32>, _: &mut Vec<u32>| {},
+        );
+        assert!(out.output.is_empty());
+        assert_eq!(out.stats.map_tasks, 0);
+    }
+
+    #[test]
+    fn all_values_reach_one_reducer_call() {
+        // Keys spread over many partitions; every key sees all its values at
+        // once.
+        let splits: Vec<Vec<u32>> = (0..8).map(|s| (0..100).map(|i| s * 100 + i).collect()).collect();
+        let out = run_map_reduce(
+            &cluster(),
+            splits,
+            5,
+            |x: &u32, e: &mut Emitter<u32, u32>| e.emit(x % 7, *x),
+            |k: &u32, vs: Vec<u32>, out: &mut Vec<(u32, usize)>| out.push((*k, vs.len())),
+        );
+        let mut sizes = out.output;
+        sizes.sort();
+        assert_eq!(sizes.len(), 7);
+        let total: usize = sizes.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn sequential_equivalence() {
+        // The engine must compute the same grouped aggregation as a
+        // sequential reference implementation.
+        let data: Vec<u64> = (0..500).map(|i| i * 37 % 101).collect();
+        let splits: Vec<Vec<u64>> = data.chunks(61).map(|c| c.to_vec()).collect();
+        let out = run_map_reduce(
+            &cluster(),
+            splits,
+            7,
+            |x: &u64, e: &mut Emitter<u64, u64>| e.emit(x % 10, *x),
+            |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((*k, vs.iter().sum()))
+            },
+        );
+        let mut got = out.output;
+        got.sort();
+        let mut expect: HashMap<u64, u64> = HashMap::new();
+        for x in data {
+            *expect.entry(x % 10).or_default() += x;
+        }
+        let mut expect: Vec<(u64, u64)> = expect.into_iter().collect();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+}
+
+/// Run a map-combine-shuffle-reduce job: like [`run_map_reduce`], but a
+/// combiner runs on each map task's output before the shuffle, collapsing
+/// each key's local values into one (Hadoop's classic network-traffic
+/// optimization — the token-frequency job of the paper's Section 7.5 is
+/// the textbook use).
+pub fn run_map_combine_reduce<I, K, V, O, M, CB, R>(
+    cluster: &Cluster,
+    splits: Vec<Vec<I>>,
+    reduce_partitions: usize,
+    map_fn: M,
+    combine_fn: CB,
+    reduce_fn: R,
+) -> JobOutput<O>
+where
+    I: Sync,
+    K: Hash + Eq + Send + Clone,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut Emitter<K, V>) + Sync,
+    CB: Fn(&K, Vec<V>) -> V + Sync,
+    R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
+{
+    let combine_ref = &combine_fn;
+    let map_ref = &map_fn;
+    let true_input_records: usize = splits.iter().map(Vec::len).sum();
+    // Re-split so each original split becomes a single record: the
+    // combiner then runs once per map task, exactly like Hadoop's.
+    let wrapped: Vec<Vec<Vec<I>>> = splits.into_iter().map(|s| vec![s]).collect();
+    let mut out = run_map_reduce(
+        cluster,
+        wrapped,
+        reduce_partitions,
+        move |records: &Vec<I>, emitter: &mut Emitter<K, V>| {
+            let mut local = Emitter::new();
+            for record in records {
+                map_ref(record, &mut local);
+            }
+            let mut grouped: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in local.into_pairs() {
+                grouped.entry(k).or_default().push(v);
+            }
+            for (k, vs) in grouped {
+                let combined = combine_ref(&k, vs);
+                emitter.emit(k, combined);
+            }
+        },
+        reduce_fn,
+    );
+    // input_records counted wrapped splits; restore the true record count.
+    out.stats.input_records = true_input_records;
+    out
+}
+
+#[cfg(test)]
+mod combiner_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_same_answer() {
+        let cluster = Cluster::new(ClusterConfig::small(2)).with_threads(2);
+        let docs: Vec<Vec<&str>> = vec![vec!["a a a b"], vec!["a b b"]];
+        let plain = run_map_reduce(
+            &cluster,
+            docs.clone(),
+            2,
+            |doc: &&str, e: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: Vec<u64>, out: &mut Vec<(String, u64)>| {
+                out.push((k.clone(), vs.iter().sum()));
+            },
+        );
+        let combined = run_map_combine_reduce(
+            &cluster,
+            docs,
+            2,
+            |doc: &&str, e: &mut Emitter<String, u64>| {
+                for w in doc.split_whitespace() {
+                    e.emit(w.to_string(), 1);
+                }
+            },
+            |_k: &String, vs: Vec<u64>| vs.iter().sum(),
+            |k: &String, vs: Vec<u64>, out: &mut Vec<(String, u64)>| {
+                out.push((k.clone(), vs.iter().sum()));
+            },
+        );
+        let norm = |mut v: Vec<(String, u64)>| {
+            v.sort();
+            v
+        };
+        assert_eq!(norm(plain.output), norm(combined.output));
+        // The combined job shuffles at most one record per (split, key).
+        assert!(combined.stats.shuffled_records <= plain.stats.shuffled_records);
+        assert_eq!(combined.stats.shuffled_records, 4); // {a,b} × 2 splits
+        assert_eq!(plain.stats.shuffled_records, 7); // every token
+    }
+}

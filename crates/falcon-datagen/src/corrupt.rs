@@ -1,0 +1,241 @@
+//! Corruption model: turns a clean attribute value into the dirty variant a
+//! second data source would hold. The mix of operations (typos, dropped /
+//! swapped tokens, abbreviations, missing values, numeric jitter) is what
+//! gives the synthetic datasets the real-world property the paper leans on:
+//! exact keys disagree across sources while similarity stays high.
+
+use falcon_table::Value;
+use rand::Rng;
+
+/// How dirty a source is (probabilities per value).
+#[derive(Debug, Clone, Copy)]
+pub struct Dirtiness {
+    /// Probability of injecting a character-level typo into some token.
+    pub typo: f64,
+    /// Probability of dropping one token.
+    pub drop_token: f64,
+    /// Probability of swapping two adjacent tokens.
+    pub swap_tokens: f64,
+    /// Probability of abbreviating one token ("john" -> "j.").
+    pub abbreviate: f64,
+    /// Probability the value goes missing entirely.
+    pub missing: f64,
+    /// Relative jitter applied to numeric values (uniform in ±jitter).
+    pub numeric_jitter: f64,
+    /// Probability a numeric value goes missing.
+    pub numeric_missing: f64,
+}
+
+impl Dirtiness {
+    /// Light corruption (Songs-like: mostly clean duplicates).
+    pub fn light() -> Self {
+        Self {
+            typo: 0.15,
+            drop_token: 0.05,
+            swap_tokens: 0.05,
+            abbreviate: 0.03,
+            missing: 0.02,
+            numeric_jitter: 0.0,
+            numeric_missing: 0.05,
+        }
+    }
+
+    /// Medium corruption (Products-like).
+    pub fn medium() -> Self {
+        Self {
+            typo: 0.3,
+            drop_token: 0.15,
+            swap_tokens: 0.10,
+            abbreviate: 0.05,
+            missing: 0.08,
+            numeric_jitter: 0.05,
+            numeric_missing: 0.10,
+        }
+    }
+
+    /// Heavy corruption (Citations-like: abbreviations everywhere, missing
+    /// fields — the regime where key-based blocking collapses).
+    pub fn heavy() -> Self {
+        Self {
+            typo: 0.35,
+            drop_token: 0.20,
+            swap_tokens: 0.15,
+            abbreviate: 0.45,
+            missing: 0.15,
+            numeric_jitter: 0.0,
+            numeric_missing: 0.25,
+        }
+    }
+}
+
+/// Applies a [`Dirtiness`] profile to values using a caller-owned RNG.
+pub struct Corruptor {
+    /// The corruption profile.
+    pub dirt: Dirtiness,
+}
+
+impl Corruptor {
+    /// Create a corruptor with the given profile.
+    pub fn new(dirt: Dirtiness) -> Self {
+        Self { dirt }
+    }
+
+    /// Corrupt a string value.
+    pub fn string(&self, rng: &mut impl Rng, s: &str) -> Value {
+        if rng.gen_bool(self.dirt.missing) {
+            return Value::Null;
+        }
+        self.string_present(rng, s)
+    }
+
+    /// Corrupt a string value that can never go missing (primary
+    /// attributes like titles: the paper's Songs crowd instructions note
+    /// "The song title will never be missing").
+    pub fn string_present(&self, rng: &mut impl Rng, s: &str) -> Value {
+        let mut tokens: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+        if tokens.is_empty() {
+            return Value::Null;
+        }
+        if tokens.len() > 1 && rng.gen_bool(self.dirt.drop_token) {
+            let i = rng.gen_range(0..tokens.len());
+            tokens.remove(i);
+        }
+        if tokens.len() > 1 && rng.gen_bool(self.dirt.swap_tokens) {
+            let i = rng.gen_range(0..tokens.len() - 1);
+            tokens.swap(i, i + 1);
+        }
+        if rng.gen_bool(self.dirt.abbreviate) {
+            let i = rng.gen_range(0..tokens.len());
+            if let Some(c) = tokens[i].chars().next() {
+                if c.is_alphabetic() && tokens[i].len() > 2 {
+                    tokens[i] = format!("{c}.");
+                }
+            }
+        }
+        if rng.gen_bool(self.dirt.typo) {
+            let i = rng.gen_range(0..tokens.len());
+            tokens[i] = typo(rng, &tokens[i]);
+        }
+        Value::str(tokens.join(" "))
+    }
+
+    /// Corrupt a numeric value.
+    pub fn number(&self, rng: &mut impl Rng, x: f64) -> Value {
+        if rng.gen_bool(self.dirt.numeric_missing) {
+            return Value::Null;
+        }
+        if self.dirt.numeric_jitter > 0.0 && rng.gen_bool(0.5) {
+            let f = 1.0 + rng.gen_range(-self.dirt.numeric_jitter..=self.dirt.numeric_jitter);
+            Value::num((x * f * 100.0).round() / 100.0)
+        } else {
+            Value::num(x)
+        }
+    }
+}
+
+/// Inject one character-level typo (substitute / delete / insert /
+/// transpose) into a token.
+pub fn typo(rng: &mut impl Rng, token: &str) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.is_empty() {
+        return token.to_string();
+    }
+    let mut out = chars.clone();
+    let i = rng.gen_range(0..chars.len());
+    match rng.gen_range(0..4u8) {
+        0 => out[i] = (b'a' + rng.gen_range(0..26)) as char, // substitute
+        1 if out.len() > 1 => {
+            out.remove(i); // delete
+        }
+        2 => out.insert(i, (b'a' + rng.gen_range(0..26)) as char), // insert
+        _ => {
+            if i + 1 < out.len() {
+                out.swap(i, i + 1); // transpose
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn typo_changes_little() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = typo(&mut r, "keyboard");
+            let d = falcon_textsim::edit::levenshtein("keyboard", &t);
+            assert!(d <= 2, "{t}");
+        }
+    }
+
+    #[test]
+    fn zero_dirtiness_is_identity() {
+        let c = Corruptor::new(Dirtiness {
+            typo: 0.0,
+            drop_token: 0.0,
+            swap_tokens: 0.0,
+            abbreviate: 0.0,
+            missing: 0.0,
+            numeric_jitter: 0.0,
+            numeric_missing: 0.0,
+        });
+        let mut r = rng();
+        assert_eq!(c.string(&mut r, "hello world"), Value::str("hello world"));
+        assert_eq!(c.number(&mut r, 42.0), Value::num(42.0));
+    }
+
+    #[test]
+    fn full_missing_always_null() {
+        let c = Corruptor::new(Dirtiness {
+            missing: 1.0,
+            ..Dirtiness::light()
+        });
+        let mut r = rng();
+        assert!(c.string(&mut r, "anything").is_null());
+    }
+
+    #[test]
+    fn corrupted_strings_remain_similar() {
+        use falcon_textsim::{SimContext, SimFunction, Tokenizer};
+        let c = Corruptor::new(Dirtiness::medium());
+        let mut r = rng();
+        let base = "sony wireless noise-canceling headphones wh-1000";
+        let ctx = SimContext::empty();
+        let mut sims = Vec::new();
+        for _ in 0..100 {
+            let v = c.string(&mut r, base);
+            if v.is_null() {
+                continue;
+            }
+            if let Some(s) =
+                SimFunction::Jaccard(Tokenizer::QGram(3)).score_str(base, &v.render(), &ctx)
+            {
+                sims.push(s);
+            }
+        }
+        let avg = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(avg > 0.6, "avg qgram jaccard {avg}");
+    }
+
+    #[test]
+    fn heavy_dirt_abbreviates_often() {
+        let c = Corruptor::new(Dirtiness::heavy());
+        let mut r = rng();
+        let abbreviated = (0..200)
+            .filter(|_| {
+                let v = c.string(&mut r, "jonathan williams");
+                v.render().contains('.')
+            })
+            .count();
+        assert!(abbreviated > 30, "{abbreviated}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Bagged random forests: majority voting, vote fractions for active
+//! learning, out-of-bag accuracy.
+
+use crate::tree::{Tree, TreeConfig};
+use crate::Dataset;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Forest training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees (Corleone uses a 10-tree forest).
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Bootstrap-sample trees (true = classic bagging).
+    pub bagging: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 10,
+            tree: TreeConfig::default(),
+            bagging: true,
+        }
+    }
+}
+
+/// A trained random forest.
+///
+/// ```
+/// use falcon_forest::{Dataset, Forest, ForestConfig};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut data = Dataset::new();
+/// for i in 0..100 {
+///     let x = i as f64 / 100.0;
+///     data.push(vec![x], x > 0.5);
+/// }
+/// let forest = Forest::train(&data, &ForestConfig::default(), &mut SmallRng::seed_from_u64(1));
+/// assert!(forest.predict(&[0.9]));
+/// assert!(!forest.predict(&[0.1]));
+/// // Vote disagreement drives active learning: boundary points score high.
+/// assert!(forest.disagreement(&[0.5]) >= forest.disagreement(&[0.95]));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Forest {
+    /// The component trees.
+    pub trees: Vec<Tree>,
+    /// Feature arity.
+    pub arity: usize,
+    /// Out-of-bag accuracy estimate, when bagging was used and every
+    /// example was out-of-bag for at least one tree.
+    pub oob_accuracy: Option<f64>,
+}
+
+impl Forest {
+    /// Train a forest.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `cfg.n_trees == 0`.
+    pub fn train(data: &Dataset, cfg: &ForestConfig, rng: &mut impl Rng) -> Forest {
+        assert!(!data.is_empty(), "cannot train forest on empty dataset");
+        assert!(cfg.n_trees > 0, "need at least one tree");
+        let n = data.len();
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        // votes[i] = (oob positive votes, oob total votes)
+        let mut oob_votes = vec![(0usize, 0usize); n];
+        for _ in 0..cfg.n_trees {
+            let idx: Vec<usize> = if cfg.bagging {
+                (0..n).map(|_| rng.gen_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            let tree = Tree::train_on(data, &idx, &cfg.tree, rng);
+            if cfg.bagging {
+                let mut in_bag = vec![false; n];
+                for &i in &idx {
+                    in_bag[i] = true;
+                }
+                for i in 0..n {
+                    if !in_bag[i] {
+                        let p = tree.predict(&data.features[i]);
+                        oob_votes[i].1 += 1;
+                        if p {
+                            oob_votes[i].0 += 1;
+                        }
+                    }
+                }
+            }
+            trees.push(tree);
+        }
+        let oob_accuracy = if cfg.bagging {
+            let scored: Vec<(usize, bool)> = oob_votes
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, total))| *total > 0)
+                .map(|(i, (pos, total))| (i, *pos * 2 > *total))
+                .collect();
+            if scored.is_empty() {
+                None
+            } else {
+                let correct = scored
+                    .iter()
+                    .filter(|(i, pred)| *pred == data.labels[*i])
+                    .count();
+                Some(correct as f64 / scored.len() as f64)
+            }
+        } else {
+            None
+        };
+        Forest {
+            trees,
+            arity: data.arity(),
+            oob_accuracy,
+        }
+    }
+
+    /// Fraction of trees voting "match" for this feature vector, in
+    /// `[0, 1]`.
+    pub fn positive_fraction(&self, features: &[f64]) -> f64 {
+        let pos = self.trees.iter().filter(|t| t.predict(features)).count();
+        pos as f64 / self.trees.len() as f64
+    }
+
+    /// Majority-vote prediction.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.positive_fraction(features) > 0.5
+    }
+
+    /// Active-learning disagreement: distance of the positive-vote fraction
+    /// from a unanimous vote, in `[0, 0.5]`. Pairs with the **highest**
+    /// disagreement are the "most controversial" pairs Corleone sends to
+    /// the crowd.
+    pub fn disagreement(&self, features: &[f64]) -> f64 {
+        let p = self.positive_fraction(features);
+        0.5 - (p - 0.5).abs()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True iff the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    fn noisy_separable(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            let y = (i * 7 % 13) as f64 / 13.0;
+            d.push(vec![x, y], x + 0.1 * y > 0.55);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns() {
+        let d = noisy_separable(200);
+        let f = Forest::train(&d, &ForestConfig::default(), &mut rng());
+        let correct = d
+            .features
+            .iter()
+            .zip(&d.labels)
+            .filter(|(x, l)| f.predict(x) == **l)
+            .count();
+        assert!(correct as f64 / d.len() as f64 > 0.95, "{correct}/200");
+    }
+
+    #[test]
+    fn oob_accuracy_reported() {
+        let d = noisy_separable(200);
+        let f = Forest::train(&d, &ForestConfig::default(), &mut rng());
+        let oob = f.oob_accuracy.expect("bagging produces OOB");
+        assert!(oob > 0.8, "{oob}");
+    }
+
+    #[test]
+    fn disagreement_range_and_extremes() {
+        let d = noisy_separable(100);
+        let f = Forest::train(&d, &ForestConfig::default(), &mut rng());
+        for x in &d.features {
+            let dis = f.disagreement(x);
+            assert!((0.0..=0.5).contains(&dis));
+        }
+        // A clearly-positive point should have near-zero disagreement.
+        assert!(f.disagreement(&[1.0, 1.0]) < 0.2);
+    }
+
+    #[test]
+    fn no_bagging_trains_identical_data() {
+        let d = noisy_separable(100);
+        let cfg = ForestConfig {
+            bagging: false,
+            n_trees: 3,
+            ..Default::default()
+        };
+        let f = Forest::train(&d, &cfg, &mut rng());
+        assert_eq!(f.len(), 3);
+        assert!(f.oob_accuracy.is_none());
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64], true);
+        }
+        let f = Forest::train(&d, &ForestConfig::default(), &mut rng());
+        assert!(f.predict(&[3.0]));
+        assert_eq!(f.positive_fraction(&[3.0]), 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Feature-importance estimation: mean impurity decrease, recomputed over
+//! a reference dataset. In a hands-off system nobody writes the features
+//! into rules by hand, so importances are the main lens a service operator
+//! has into *why* the learned blocking rules look the way they do.
+
+use crate::tree::{Node, Tree};
+use crate::{Dataset, Forest};
+use std::collections::HashMap;
+
+fn gini(pos: f64, neg: f64) -> f64 {
+    let n = pos + neg;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+/// Per-node (pos, neg) counts of `data` routed through `tree`, keyed by a
+/// node path id.
+fn route_counts(tree: &Tree, data: &Dataset) -> HashMap<u64, (f64, f64)> {
+    let mut counts: HashMap<u64, (f64, f64)> = HashMap::new();
+    for (fv, &label) in data.features.iter().zip(&data.labels) {
+        let mut node = &tree.root;
+        let mut path: u64 = 1;
+        loop {
+            let slot = counts.entry(path).or_insert((0.0, 0.0));
+            if label {
+                slot.0 += 1.0;
+            } else {
+                slot.1 += 1.0;
+            }
+            match node {
+                Node::Leaf { .. } => break,
+                Node::Split {
+                    feature, threshold, left, right, ..
+                } => {
+                    let v = fv.get(*feature).copied().unwrap_or(f64::NAN);
+                    if v > *threshold {
+                        node = right;
+                        path = path * 2 + 1;
+                    } else {
+                        node = left;
+                        path *= 2;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+fn accumulate(
+    node: &Node,
+    path: u64,
+    counts: &HashMap<u64, (f64, f64)>,
+    total: f64,
+    importances: &mut [f64],
+) {
+    if let Node::Split {
+        feature, left, right, ..
+    } = node
+    {
+        let (p, n) = counts.get(&path).copied().unwrap_or((0.0, 0.0));
+        let (lp, ln) = counts.get(&(path * 2)).copied().unwrap_or((0.0, 0.0));
+        let (rp, rn) = counts.get(&(path * 2 + 1)).copied().unwrap_or((0.0, 0.0));
+        let here = p + n;
+        if here > 0.0 && total > 0.0 {
+            let decrease = gini(p, n)
+                - (lp + ln) / here * gini(lp, ln)
+                - (rp + rn) / here * gini(rp, rn);
+            importances[*feature] += here / total * decrease.max(0.0);
+        }
+        accumulate(left, path * 2, counts, total, importances);
+        accumulate(right, path * 2 + 1, counts, total, importances);
+    }
+}
+
+/// Mean-impurity-decrease importance of every feature, evaluated by
+/// routing `data` through the forest. Normalized to sum to 1 when any
+/// importance is positive.
+pub fn feature_importance(forest: &Forest, data: &Dataset) -> Vec<f64> {
+    let arity = forest.arity.max(data.arity());
+    let mut importances = vec![0.0; arity];
+    let total = data.len() as f64;
+    for tree in &forest.trees {
+        let counts = route_counts(tree, data);
+        accumulate(&tree.root, 1, &counts, total, &mut importances);
+    }
+    let sum: f64 = importances.iter().sum();
+    if sum > 0.0 {
+        for v in &mut importances {
+            *v /= sum;
+        }
+    }
+    importances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForestConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Feature 0 decides the label; features 1-2 are noise.
+    fn fixture() -> (Forest, Dataset) {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut data = Dataset::new();
+        for _ in 0..400 {
+            let signal: f64 = rng.gen();
+            let noise1: f64 = rng.gen();
+            let noise2: f64 = rng.gen();
+            data.push(vec![signal, noise1, noise2], signal > 0.5);
+        }
+        let forest = Forest::train(&data, &ForestConfig::default(), &mut rng);
+        (forest, data)
+    }
+
+    #[test]
+    fn signal_feature_dominates() {
+        let (forest, data) = fixture();
+        let imp = feature_importance(&forest, &data);
+        assert_eq!(imp.len(), 3);
+        assert!(imp[0] > 0.6, "{imp:?}");
+        assert!(imp[0] > imp[1] && imp[0] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn importances_normalized() {
+        let (forest, data) = fixture();
+        let imp = feature_importance(&forest, &data);
+        let sum: f64 = imp.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        assert!(imp.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn pure_forest_zero_importance() {
+        let mut data = Dataset::new();
+        for i in 0..10 {
+            data.push(vec![i as f64], true);
+        }
+        let forest = Forest::train(
+            &data,
+            &ForestConfig::default(),
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let imp = feature_importance(&forest, &data);
+        assert!(imp.iter().all(|v| *v == 0.0), "{imp:?}");
+    }
+}

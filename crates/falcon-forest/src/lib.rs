@@ -1,0 +1,104 @@
+//! Random-forest learner for Falcon.
+//!
+//! Corleone/Falcon learn a random forest (Breiman 2001) over feature
+//! vectors of tuple pairs, use vote disagreement to pick "controversial"
+//! pairs for crowd labeling (active learning), and extract root→"No"-leaf
+//! paths as candidate blocking rules. This crate provides exactly those
+//! capabilities:
+//!
+//! * [`tree`] — CART-style binary decision trees with Gini impurity and
+//!   per-node random feature subsampling,
+//! * [`forest`] — bagged forests with majority voting, positive-vote
+//!   fractions (the active-learning disagreement signal) and out-of-bag
+//!   accuracy,
+//! * [`paths`] — extraction of negative paths as conjunctions of threshold
+//!   predicates (the raw material of blocking rules),
+//! * [`eval`] — precision/recall/F1 and confusion counts.
+//!
+//! Feature values are `f64` with `NaN` meaning *missing*; missing values
+//! always take the left (`<=`) branch so predictions are deterministic.
+
+pub mod eval;
+pub mod forest;
+pub mod importance;
+pub mod paths;
+pub mod tree;
+
+pub use eval::{confusion, f1_score, Confusion};
+pub use importance::feature_importance;
+pub use forest::{Forest, ForestConfig};
+pub use paths::{NegativePath, PathPredicate, SplitOp};
+pub use tree::{Node, Tree, TreeConfig};
+
+/// A training set: dense feature vectors (NaN = missing) plus boolean
+/// match/no-match labels.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// One row of feature values per example.
+    pub features: Vec<Vec<f64>>,
+    /// One label per example (`true` = match).
+    pub labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one labeled example.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from previously pushed rows.
+    pub fn push(&mut self, features: Vec<f64>, label: bool) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "feature arity mismatch");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per example (0 when empty).
+    pub fn arity(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Count of positive labels.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|l| **l).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_basics() {
+        let mut d = Dataset::new();
+        assert!(d.is_empty());
+        d.push(vec![1.0, 2.0], true);
+        d.push(vec![0.0, 1.0], false);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.positives(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_enforced() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], true);
+        d.push(vec![1.0, 2.0], false);
+    }
+}

@@ -1,0 +1,307 @@
+//! CART-style binary decision trees with Gini impurity.
+
+use crate::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for a single tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum examples required to attempt a split.
+    pub min_split: usize,
+    /// Number of random features considered per node; `None` means
+    /// `ceil(sqrt(arity))` (the random-forest default).
+    pub features_per_node: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            min_split: 2,
+            features_per_node: None,
+        }
+    }
+}
+
+/// A tree node. Missing feature values (`NaN`) take the left branch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node predicting `label`; `pos`/`neg` are training counts.
+    Leaf {
+        /// Predicted label.
+        label: bool,
+        /// Positive training examples that reached this leaf.
+        pos: usize,
+        /// Negative training examples that reached this leaf.
+        neg: usize,
+    },
+    /// Internal split on `feature <= threshold` (left) vs `> threshold`
+    /// (right).
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `value <= threshold` (and missing values).
+        left: Box<Node>,
+        /// Subtree for `value > threshold`.
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    /// Root node.
+    pub root: Node,
+    /// Feature arity the tree was trained on.
+    pub arity: usize,
+}
+
+impl Tree {
+    /// Train a tree on (a bootstrap view of) `data`, using the example
+    /// indices in `idx`.
+    pub fn train_on(data: &Dataset, idx: &[usize], cfg: &TreeConfig, rng: &mut impl Rng) -> Tree {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let arity = data.arity();
+        let k = cfg
+            .features_per_node
+            .unwrap_or_else(|| (arity as f64).sqrt().ceil() as usize)
+            .clamp(1, arity.max(1));
+        let root = build(data, idx, cfg, k, 0, rng);
+        Tree { root, arity }
+    }
+
+    /// Train on the entire dataset.
+    pub fn train(data: &Dataset, cfg: &TreeConfig, rng: &mut impl Rng) -> Tree {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        Self::train_on(data, &idx, cfg, rng)
+    }
+
+    /// Predict the label for a feature vector.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = features.get(*feature).copied().unwrap_or(f64::NAN);
+                    // NaN fails `v > threshold`, taking the left branch.
+                    node = if v > *threshold { right } else { left };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn gini(pos: usize, neg: usize) -> f64 {
+    let n = (pos + neg) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n;
+    2.0 * p * (1.0 - p)
+}
+
+fn leaf(data: &Dataset, idx: &[usize]) -> Node {
+    let pos = idx.iter().filter(|&&i| data.labels[i]).count();
+    let neg = idx.len() - pos;
+    Node::Leaf {
+        label: pos > neg,
+        pos,
+        neg,
+    }
+}
+
+fn build(
+    data: &Dataset,
+    idx: &[usize],
+    cfg: &TreeConfig,
+    k: usize,
+    depth: usize,
+    rng: &mut impl Rng,
+) -> Node {
+    let pos = idx.iter().filter(|&&i| data.labels[i]).count();
+    let neg = idx.len() - pos;
+    if depth >= cfg.max_depth || idx.len() < cfg.min_split || pos == 0 || neg == 0 {
+        return Node::Leaf {
+            label: pos > neg,
+            pos,
+            neg,
+        };
+    }
+
+    // Random feature subset for this node.
+    let mut feats: Vec<usize> = (0..data.arity()).collect();
+    feats.shuffle(rng);
+    feats.truncate(k);
+
+    let parent_gini = gini(pos, neg);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for &f in &feats {
+        // Candidate thresholds: midpoints of adjacent distinct observed
+        // values (missing values excluded).
+        let mut vals: Vec<f64> = idx
+            .iter()
+            .map(|&i| data.features[i][f])
+            .filter(|v| !v.is_nan())
+            .collect();
+        if vals.len() < 2 {
+            continue;
+        }
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        vals.dedup();
+        for w in vals.windows(2) {
+            let t = (w[0] + w[1]) / 2.0;
+            let (mut lp, mut ln, mut rp, mut rn) = (0usize, 0usize, 0usize, 0usize);
+            for &i in idx {
+                let v = data.features[i][f];
+                let right = v > t; // NaN -> left
+                match (right, data.labels[i]) {
+                    (false, true) => lp += 1,
+                    (false, false) => ln += 1,
+                    (true, true) => rp += 1,
+                    (true, false) => rn += 1,
+                }
+            }
+            if lp + ln == 0 || rp + rn == 0 {
+                continue;
+            }
+            let n = idx.len() as f64;
+            let child = (lp + ln) as f64 / n * gini(lp, ln) + (rp + rn) as f64 / n * gini(rp, rn);
+            let gain = parent_gini - child;
+            if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, f, t));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return leaf(data, idx);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .iter()
+        .partition(|&&i| !(data.features[i][feature] > threshold));
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(data, &left_idx, cfg, k, depth + 1, rng)),
+        right: Box::new(build(data, &right_idx, cfg, k, depth + 1, rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    fn separable() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..50 {
+            let x = i as f64 / 50.0;
+            d.push(vec![x, 1.0 - x], x > 0.5);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let d = separable();
+        let t = Tree::train(&d, &TreeConfig::default(), &mut rng());
+        for (f, l) in d.features.iter().zip(&d.labels) {
+            assert_eq!(t.predict(f), *l);
+        }
+    }
+
+    #[test]
+    fn pure_data_is_single_leaf() {
+        let mut d = Dataset::new();
+        for _ in 0..10 {
+            d.push(vec![1.0], true);
+        }
+        let t = Tree::train(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.size(), 1);
+        assert!(t.predict(&[0.0]));
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = separable();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let t = Tree::train(&d, &cfg, &mut rng());
+        assert!(t.size() <= 3);
+    }
+
+    #[test]
+    fn missing_values_go_left() {
+        // Single split on feature 0 at 0.5: left=false, right=true.
+        let t = Tree {
+            root: Node::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: Box::new(Node::Leaf {
+                    label: false,
+                    pos: 0,
+                    neg: 1,
+                }),
+                right: Box::new(Node::Leaf {
+                    label: true,
+                    pos: 1,
+                    neg: 0,
+                }),
+            },
+            arity: 1,
+        };
+        assert!(!t.predict(&[f64::NAN]));
+        assert!(!t.predict(&[0.2]));
+        assert!(t.predict(&[0.9]));
+    }
+
+    #[test]
+    fn handles_nan_training_values() {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            let v = if i % 5 == 0 { f64::NAN } else { i as f64 };
+            d.push(vec![v], i >= 10);
+        }
+        // Must not panic, and should fit the non-missing part reasonably.
+        let t = Tree::train(&d, &TreeConfig::default(), &mut rng());
+        assert!(t.predict(&[19.0]));
+        assert!(!t.predict(&[1.0]));
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(0, 0), 0.0);
+        assert_eq!(gini(5, 0), 0.0);
+        assert!((gini(5, 5) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Index structures and the five blocking filters of Section 7.4.
+//!
+//! `apply_blocking_rules` avoids enumerating `A × B` by building indexes
+//! over table `A` and probing them with each `B` tuple. This crate provides:
+//!
+//! * [`scalar`] — hash index (equivalence filter), sorted range index
+//!   (range filter) and length index (length filter),
+//! * [`inverted`] — global token ordering plus prefix inverted index
+//!   (prefix and position filters),
+//! * [`spec`] — [`FilterSpec`]: the per-predicate description of which
+//!   filters apply, the built [`PredicateIndex`], and the probe routine
+//!   (`FindProbableCandidates` of Algorithm 1 in the paper).
+//!
+//! Every filter is a **necessary** condition for its predicate: probing
+//! never misses a tuple that satisfies the predicate (lossless blocking),
+//! but may return false positives that the reducer-side rule evaluation
+//! weeds out.
+
+pub mod inverted;
+pub mod scalar;
+pub mod spec;
+
+pub use inverted::{PrefixIndex, TokenOrder};
+pub use scalar::{HashIndex, LengthIndex, RangeIndex};
+pub use spec::{FilterSpec, PredicateIndex};

@@ -1,0 +1,221 @@
+//! Hash, range and length indexes (equivalence, range and length filters).
+
+use falcon_table::TupleId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hash index over rendered attribute values: the equivalence filter for
+/// `exact_match` predicates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HashIndex {
+    map: HashMap<String, Vec<TupleId>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Build from `(id, value)` pairs; null/empty values are skipped (a
+    /// null never exact-matches anything under our missing-value
+    /// semantics).
+    pub fn build<'a>(values: impl Iterator<Item = (TupleId, &'a str)>) -> Self {
+        let mut map: HashMap<String, Vec<TupleId>> = HashMap::new();
+        let mut entries = 0;
+        for (id, v) in values {
+            if v.is_empty() {
+                continue;
+            }
+            map.entry(v.to_string()).or_default().push(id);
+            entries += 1;
+        }
+        Self { map, entries }
+    }
+
+    /// Ids whose value equals the probe exactly.
+    pub fn probe(&self, value: &str) -> &[TupleId] {
+        self.map.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Estimated memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        let key_bytes: usize = self.map.keys().map(|k| k.len() + 48).sum();
+        key_bytes + self.entries * std::mem::size_of::<TupleId>()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True iff nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// Sorted numeric index: the range filter for `abs_diff` / `rel_diff`
+/// predicates (the paper's "B-tree index"; a sorted array with binary
+/// search has the same probe complexity and a smaller footprint).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RangeIndex {
+    // Sorted by value.
+    entries: Vec<(f64, TupleId)>,
+}
+
+impl RangeIndex {
+    /// Build from `(id, numeric value)` pairs.
+    pub fn build(values: impl Iterator<Item = (TupleId, f64)>) -> Self {
+        let mut entries: Vec<(f64, TupleId)> = values
+            .filter(|(_, v)| v.is_finite())
+            .map(|(id, v)| (v, id))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        Self { entries }
+    }
+
+    /// Ids whose value lies in `[lo, hi]` (inclusive).
+    pub fn probe(&self, lo: f64, hi: f64, out: &mut Vec<TupleId>) {
+        let start = self.entries.partition_point(|(v, _)| *v < lo);
+        for (v, id) in &self.entries[start..] {
+            if *v > hi {
+                break;
+            }
+            out.push(*id);
+        }
+    }
+
+    /// Estimated memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(f64, TupleId)>()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Length index: ids bucketed by token-set (or character) length, probed
+/// with an inclusive length range — the length filter of Example 6.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LengthIndex {
+    // by_len[l] = ids with length l; lengths are small so a dense Vec is
+    // compact and cache friendly.
+    by_len: Vec<Vec<TupleId>>,
+    entries: usize,
+}
+
+impl LengthIndex {
+    /// Build from `(id, length)` pairs.
+    pub fn build(values: impl Iterator<Item = (TupleId, usize)>) -> Self {
+        let mut by_len: Vec<Vec<TupleId>> = Vec::new();
+        let mut entries = 0;
+        for (id, len) in values {
+            if by_len.len() <= len {
+                by_len.resize_with(len + 1, Vec::new);
+            }
+            by_len[len].push(id);
+            entries += 1;
+        }
+        Self { by_len, entries }
+    }
+
+    /// Length of a specific tuple's value, if indexed. O(#lengths) — used
+    /// only in tests; filters store lengths separately.
+    pub fn ids_with_len(&self, len: usize) -> &[TupleId] {
+        self.by_len.get(len).map_or(&[], Vec::as_slice)
+    }
+
+    /// Append all ids whose length lies in `[lo, hi]` (inclusive).
+    pub fn probe(&self, lo: usize, hi: usize, out: &mut Vec<TupleId>) {
+        let hi = hi.min(self.by_len.len().saturating_sub(1));
+        for bucket in self.by_len.iter().take(hi + 1).skip(lo) {
+            out.extend_from_slice(bucket);
+        }
+    }
+
+    /// Estimated memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.entries * std::mem::size_of::<TupleId>() + self.by_len.len() * 24
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True iff nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_probe() {
+        let idx = HashIndex::build(
+            [(0, "x"), (1, "y"), (2, "x"), (3, "")].into_iter(),
+        );
+        assert_eq!(idx.probe("x"), &[0, 2]);
+        assert_eq!(idx.probe("y"), &[1]);
+        assert_eq!(idx.probe("z"), &[] as &[TupleId]);
+        assert_eq!(idx.probe(""), &[] as &[TupleId]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn range_index_probe() {
+        let idx = RangeIndex::build([(0, 5.0), (1, 10.0), (2, 7.5), (3, f64::NAN)].into_iter());
+        assert_eq!(idx.len(), 3);
+        let mut out = Vec::new();
+        idx.probe(6.0, 10.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        idx.probe(-1.0, 100.0, &mut out);
+        assert_eq!(out.len(), 3);
+        out.clear();
+        idx.probe(11.0, 12.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_probe_inclusive() {
+        let idx = RangeIndex::build([(0, 5.0), (1, 10.0)].into_iter());
+        let mut out = Vec::new();
+        idx.probe(5.0, 10.0, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn length_index_probe() {
+        let idx = LengthIndex::build([(0, 2), (1, 5), (2, 2), (3, 9)].into_iter());
+        let mut out = Vec::new();
+        idx.probe(2, 5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+        out.clear();
+        idx.probe(6, 100, &mut out);
+        assert_eq!(out, vec![3]);
+        out.clear();
+        idx.probe(10, 20, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(idx.ids_with_len(2), &[0, 2]);
+    }
+
+    #[test]
+    fn estimated_bytes_positive() {
+        let h = HashIndex::build([(0, "abc")].into_iter());
+        assert!(h.estimated_bytes() > 0);
+        let r = RangeIndex::build([(0, 1.0)].into_iter());
+        assert!(r.estimated_bytes() > 0);
+        let l = LengthIndex::build([(0, 3)].into_iter());
+        assert!(l.estimated_bytes() > 0);
+    }
+}

@@ -1,0 +1,733 @@
+//! Per-predicate filter specification, index bundle, and the probe routine
+//! (`FindProbableCandidates` of Algorithm 1).
+//!
+//! ## Missing-value semantics
+//!
+//! Blocking must be recall-safe on dirty data: a pair may never be
+//! dropped because a value is *missing*. Falcon's rule layer therefore
+//! treats a missing feature value as "maximally similar", which means
+//! every filterable positive-rule predicate (`sim > t`, `dist <= v`) is
+//! **satisfied** when either side's value is missing. Consequences for
+//! every filter kind:
+//!
+//! * `A` tuples whose indexed value is missing are *permanent candidates*
+//!   (kept in a `missing` side list returned by every probe), and
+//! * a probe with a missing `B` value matches **all** of `A`
+//!   ([`Candidates::All`]).
+//!
+//! Similarity-below-threshold and distance-above-threshold predicates
+//! match (almost) all dissimilar pairs and admit no index:
+//! [`FilterSpec`] construction reports them as unfilterable.
+
+use crate::inverted::{PrefixIndex, TokenOrder};
+use crate::scalar::{HashIndex, LengthIndex, RangeIndex};
+use falcon_table::{Table, TupleId, Value};
+use falcon_textsim::{prefix, SimFunction, Tokenizer};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What kind of index-based filtering a positive-rule predicate admits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterSpec {
+    /// `exact_match(a.x, b.y) = 1` → equivalence filter (hash index).
+    Equals {
+        /// Indexed A-side attribute.
+        a_attr: String,
+    },
+    /// `abs_diff/rel_diff(a.x, b.y) <= v` → range filter (sorted index).
+    Range {
+        /// Indexed A-side attribute.
+        a_attr: String,
+        /// Distance threshold `v`.
+        width: f64,
+        /// True for `rel_diff` (relative width).
+        relative: bool,
+    },
+    /// `sim(a.x, b.y) > t` for a set measure → prefix + position + length
+    /// filters.
+    SetSim {
+        /// Indexed A-side attribute.
+        a_attr: String,
+        /// The set similarity measure (carries its tokenizer).
+        sim: SimFunction,
+        /// Similarity threshold `t`.
+        threshold: f64,
+    },
+    /// `levenshtein(a.x, b.y) > t` → character-length filter plus a
+    /// share-a-qgram filter where provably sound.
+    EditSim {
+        /// Indexed A-side attribute.
+        a_attr: String,
+        /// Similarity threshold `t`.
+        threshold: f64,
+    },
+}
+
+impl FilterSpec {
+    /// Classify a positive-rule predicate `sim(a.x, b.y) op v` into a
+    /// filter spec. `gt` is true for `> v` predicates (from complementing
+    /// `<=` splits), false for `<= v`. Returns `None` when the predicate is
+    /// unfilterable (dissimilarity predicates, exotic measures).
+    pub fn from_predicate(sim: SimFunction, a_attr: &str, gt: bool, v: f64) -> Option<FilterSpec> {
+        match (sim, gt) {
+            // Similarity must EXCEED a threshold -> prunable.
+            (SimFunction::ExactMatch, true) if (0.0..1.0).contains(&v) => Some(FilterSpec::Equals {
+                a_attr: a_attr.to_string(),
+            }),
+            (s, true) if s.is_set_based() && v > 0.0 => Some(FilterSpec::SetSim {
+                a_attr: a_attr.to_string(),
+                sim: s,
+                threshold: v,
+            }),
+            (SimFunction::Levenshtein, true) if v > 0.0 => Some(FilterSpec::EditSim {
+                a_attr: a_attr.to_string(),
+                threshold: v,
+            }),
+            // Distance must stay BELOW a threshold -> prunable.
+            (SimFunction::AbsDiff, false) => Some(FilterSpec::Range {
+                a_attr: a_attr.to_string(),
+                width: v,
+                relative: false,
+            }),
+            (SimFunction::RelDiff, false) if v < 1.0 => Some(FilterSpec::Range {
+                a_attr: a_attr.to_string(),
+                width: v,
+                relative: true,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The A-side attribute the filter indexes.
+    pub fn a_attr(&self) -> &str {
+        match self {
+            FilterSpec::Equals { a_attr }
+            | FilterSpec::Range { a_attr, .. }
+            | FilterSpec::SetSim { a_attr, .. }
+            | FilterSpec::EditSim { a_attr, .. } => a_attr,
+        }
+    }
+}
+
+/// Candidate set returned by a probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Candidates {
+    /// Every `A` tuple is a candidate (no pruning possible for this probe).
+    All,
+    /// These ids (possibly with duplicates) are the only candidates.
+    Some(Vec<TupleId>),
+}
+
+/// Built index bundle for one filterable predicate.
+///
+/// ```
+/// use falcon_index::{FilterSpec, PredicateIndex};
+/// use falcon_index::spec::Candidates;
+/// use falcon_table::{AttrType, Schema, Table, Value};
+/// use falcon_textsim::{SimFunction, Tokenizer};
+///
+/// let schema = Schema::new([("title", AttrType::Str)]);
+/// let a = Table::new("A", schema, vec![
+///     vec![Value::str("digital camera")],
+///     vec![Value::str("gaming mouse")],
+/// ]);
+/// let spec = FilterSpec::SetSim {
+///     a_attr: "title".into(),
+///     sim: SimFunction::Jaccard(Tokenizer::Word),
+///     threshold: 0.5,
+/// };
+/// let index = PredicateIndex::build(&a, &spec, None);
+/// match index.probe(&Value::str("compact digital camera")) {
+///     Candidates::Some(ids) => assert!(ids.contains(&0) && !ids.contains(&1)),
+///     Candidates::All => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PredicateIndex {
+    /// Equivalence filter; `missing` lists A-ids with absent values
+    /// (always candidates under missing-is-similar semantics).
+    Equals {
+        /// Hash index over present values.
+        index: HashIndex,
+        /// Ids with missing values.
+        missing: Vec<TupleId>,
+    },
+    /// Range filter over numeric values; `missing` lists A-ids whose value
+    /// is absent (they satisfy `dist <= v` vacuously under Le/NaN
+    /// semantics).
+    Range {
+        /// Sorted numeric index.
+        index: RangeIndex,
+        /// Ids with missing values (always candidates).
+        missing: Vec<TupleId>,
+        /// Distance threshold.
+        width: f64,
+        /// True for `rel_diff`.
+        relative: bool,
+    },
+    /// Prefix/position/length filters for one set-similarity predicate.
+    SetSim {
+        /// Prefix inverted index (carries per-id set sizes).
+        index: PrefixIndex,
+        /// Global token order shared between index and probes.
+        order: TokenOrder,
+        /// The measure.
+        sim: SimFunction,
+        /// Threshold.
+        threshold: f64,
+        /// Ids with missing values (always candidates).
+        missing: Vec<TupleId>,
+    },
+    /// Character-length + shared-qgram filters for Levenshtein predicates.
+    Edit {
+        /// Length index over character counts.
+        lengths: LengthIndex,
+        /// qgram -> ids, for ids where the shared-qgram condition is sound.
+        qgrams: HashMap<String, Vec<TupleId>>,
+        /// Ids where qgram pruning is not sound (always candidates after
+        /// the length filter).
+        unprunable: Vec<TupleId>,
+        /// Per-id character length (usize::MAX = missing).
+        char_lens: Vec<usize>,
+        /// Threshold.
+        threshold: f64,
+        /// Ids with missing values (always candidates).
+        missing: Vec<TupleId>,
+    },
+}
+
+const QGRAM: usize = 3;
+
+impl PredicateIndex {
+    /// Build the index bundle for `spec` over table `a`. For set-similarity
+    /// specs a prebuilt [`TokenOrder`] may be supplied (the output of the
+    /// token-frequency MR jobs); otherwise one is computed here.
+    pub fn build(a: &Table, spec: &FilterSpec, order: Option<TokenOrder>) -> PredicateIndex {
+        let attr_idx = a
+            .schema()
+            .index_of(spec.a_attr())
+            .unwrap_or_else(|| panic!("attribute {:?} missing from table A", spec.a_attr()));
+        match spec {
+            FilterSpec::Equals { .. } => {
+                let rendered: Vec<(TupleId, String)> = a
+                    .rows()
+                    .iter()
+                    .map(|t| (t.id, t.value(attr_idx).render()))
+                    .collect();
+                let missing = rendered
+                    .iter()
+                    .filter(|(_, s)| s.is_empty())
+                    .map(|(id, _)| *id)
+                    .collect();
+                PredicateIndex::Equals {
+                    index: HashIndex::build(
+                        rendered.iter().map(|(id, s)| (*id, s.as_str())),
+                    ),
+                    missing,
+                }
+            }
+            FilterSpec::Range {
+                width, relative, ..
+            } => {
+                let mut missing = Vec::new();
+                let mut present = Vec::new();
+                for t in a.rows() {
+                    match t.value(attr_idx).as_num() {
+                        Some(v) => present.push((t.id, v)),
+                        None => missing.push(t.id),
+                    }
+                }
+                PredicateIndex::Range {
+                    index: RangeIndex::build(present.into_iter()),
+                    missing,
+                    width: *width,
+                    relative: *relative,
+                }
+            }
+            FilterSpec::SetSim { sim, threshold, .. } => {
+                let tokenizer = sim.tokenizer().expect("set sims have tokenizers");
+                let rendered: Vec<(TupleId, String)> = a
+                    .rows()
+                    .iter()
+                    .map(|t| (t.id, t.value(attr_idx).render()))
+                    .collect();
+                let order = order.unwrap_or_else(|| {
+                    token_order_for(rendered.iter().map(|(_, s)| s.as_str()), tokenizer)
+                });
+                let index = PrefixIndex::build(
+                    rendered.iter().map(|(id, s)| (*id, s.as_str())),
+                    tokenizer,
+                    *sim,
+                    *threshold,
+                    &order,
+                );
+                let missing = rendered
+                    .iter()
+                    .filter(|(_, s)| s.is_empty())
+                    .map(|(id, _)| *id)
+                    .collect();
+                PredicateIndex::SetSim {
+                    index,
+                    order,
+                    sim: *sim,
+                    threshold: *threshold,
+                    missing,
+                }
+            }
+            FilterSpec::EditSim { threshold, .. } => {
+                let t = *threshold;
+                let mut lengths = Vec::new();
+                let mut qgrams: HashMap<String, Vec<TupleId>> = HashMap::new();
+                let mut unprunable = Vec::new();
+                let mut missing = Vec::new();
+                let mut char_lens = vec![usize::MAX; a.len()];
+                for row in a.rows() {
+                    let s = row.value(attr_idx).render();
+                    if s.is_empty() {
+                        missing.push(row.id); // missing is always a candidate
+                        continue;
+                    }
+                    let n = s.chars().count();
+                    char_lens[row.id as usize] = n;
+                    lengths.push((row.id, n));
+                    // Shared-qgram condition: any y with lev_sim >= t has
+                    // ED <= (1-t)·max(|x|,|y|) <= (1-t)/t·|x| =: d. x and y
+                    // then share >= (|x| - q + 1) - d·q qgrams. Pruning by
+                    // "shares >= 1 qgram" is sound iff that bound >= 1.
+                    let d = ((1.0 - t) / t * n as f64).floor();
+                    let min_shared = (n as f64 - QGRAM as f64 + 1.0) - d * QGRAM as f64;
+                    if min_shared >= 1.0 {
+                        for g in falcon_textsim::tokenize::qgrams(&s, QGRAM) {
+                            let list = qgrams.entry(g).or_default();
+                            if list.last() != Some(&row.id) {
+                                list.push(row.id);
+                            }
+                        }
+                    } else {
+                        unprunable.push(row.id);
+                    }
+                }
+                PredicateIndex::Edit {
+                    lengths: LengthIndex::build(lengths.into_iter()),
+                    qgrams,
+                    unprunable,
+                    char_lens,
+                    threshold: t,
+                    missing,
+                }
+            }
+        }
+    }
+
+    /// Probe with the `B`-side value of the predicate. Returns candidate
+    /// `A` ids passing every filter of this predicate.
+    pub fn probe(&self, b_value: &Value) -> Candidates {
+        match self {
+            PredicateIndex::Equals { index, missing } => {
+                let key = b_value.render();
+                if key.is_empty() {
+                    return Candidates::All; // missing probe is "similar" to everything
+                }
+                let mut out = missing.clone();
+                out.extend_from_slice(index.probe(&key));
+                Candidates::Some(out)
+            }
+            PredicateIndex::Range {
+                index,
+                missing,
+                width,
+                relative,
+            } => {
+                let Some(y) = b_value.as_num() else {
+                    // dist(missing, anything) is missing -> Le satisfied.
+                    return Candidates::All;
+                };
+                let w = if *relative {
+                    if *width >= 1.0 {
+                        return Candidates::All;
+                    }
+                    // |x-y| <= w·max(|x|,|y|) implies
+                    // x ∈ [y - w|y|/(1-w), y + w|y|/(1-w)].
+                    width * y.abs() / (1.0 - width)
+                } else {
+                    *width
+                };
+                let mut out = missing.clone();
+                index.probe(y - w, y + w, &mut out);
+                Candidates::Some(out)
+            }
+            PredicateIndex::SetSim {
+                index,
+                order,
+                sim,
+                threshold,
+                missing,
+            } => {
+                let raw = b_value.render();
+                if raw.is_empty() {
+                    return Candidates::All;
+                }
+                let mut out = missing.clone();
+                index.probe(
+                    &raw,
+                    sim.tokenizer().expect("set sim"),
+                    *sim,
+                    *threshold,
+                    order,
+                    &mut out,
+                );
+                Candidates::Some(out)
+            }
+            PredicateIndex::Edit {
+                lengths,
+                qgrams,
+                unprunable,
+                char_lens,
+                threshold,
+                missing,
+            } => {
+                let raw = b_value.render();
+                if raw.is_empty() {
+                    return Candidates::All;
+                }
+                let y_len = raw.chars().count();
+                let Some((lo, hi)) =
+                    prefix::length_bounds(SimFunction::Levenshtein, *threshold, y_len)
+                else {
+                    return Candidates::All;
+                };
+                let in_bounds = |id: TupleId| {
+                    let l = char_lens[id as usize];
+                    l != usize::MAX && l >= lo && l <= hi
+                };
+                if qgrams.is_empty() && unprunable.is_empty() {
+                    return Candidates::Some(missing.clone());
+                }
+                // Short probes can't contribute qgram evidence reliably;
+                // fall back to the length filter alone.
+                if y_len < QGRAM {
+                    let mut out = missing.clone();
+                    lengths.probe(lo, hi, &mut out);
+                    return Candidates::Some(out);
+                }
+                let mut out: Vec<TupleId> = missing.clone();
+                out.extend(unprunable.iter().copied().filter(|id| in_bounds(*id)));
+                for g in falcon_textsim::tokenize::qgrams(&raw, QGRAM) {
+                    if let Some(list) = qgrams.get(&g) {
+                        out.extend(list.iter().copied().filter(|id| in_bounds(*id)));
+                    }
+                }
+                Candidates::Some(out)
+            }
+        }
+    }
+
+    /// Estimated memory footprint in bytes (gates physical-operator
+    /// selection against the mapper memory budget).
+    pub fn estimated_bytes(&self) -> usize {
+        match self {
+            PredicateIndex::Equals { index, missing } => {
+                index.estimated_bytes() + missing.len() * 4
+            }
+            PredicateIndex::Range { index, missing, .. } => {
+                index.estimated_bytes() + missing.len() * 4
+            }
+            PredicateIndex::SetSim {
+                index,
+                order,
+                missing,
+                ..
+            } => index.estimated_bytes() + order.estimated_bytes() + missing.len() * 4,
+            PredicateIndex::Edit {
+                lengths,
+                qgrams,
+                unprunable,
+                char_lens,
+                missing,
+                ..
+            } => {
+                lengths.estimated_bytes()
+                    + qgrams
+                        .iter()
+                        .map(|(k, v)| k.len() + 48 + v.len() * 4)
+                        .sum::<usize>()
+                    + (unprunable.len() + missing.len()) * 4
+                    + char_lens.len() * 8
+            }
+        }
+    }
+}
+
+/// Compute a global token order (ascending frequency) for an attribute.
+pub fn token_order_for<'a>(
+    values: impl Iterator<Item = &'a str>,
+    tokenizer: Tokenizer,
+) -> TokenOrder {
+    let mut freq: HashMap<String, usize> = HashMap::new();
+    for v in values {
+        for t in tokenizer.tokenize(v) {
+            *freq.entry(t).or_default() += 1;
+        }
+    }
+    TokenOrder::from_frequencies(freq.into_iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_table::{AttrType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new([
+            ("title", AttrType::Str),
+            ("year", AttrType::Str),
+            ("price", AttrType::Num),
+        ]);
+        Table::new(
+            "A",
+            schema,
+            vec![
+                vec![
+                    Value::str("the quick brown fox"),
+                    Value::str("1999"),
+                    Value::num(10.0),
+                ],
+                vec![Value::str("lazy dog"), Value::str("2001"), Value::num(25.0)],
+                vec![
+                    Value::str("quick brown foxes"),
+                    Value::str("1999"),
+                    Value::Null,
+                ],
+                vec![Value::Null, Value::Null, Value::num(11.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn from_predicate_classification() {
+        let w = Tokenizer::Word;
+        assert!(matches!(
+            FilterSpec::from_predicate(SimFunction::ExactMatch, "year", true, 0.5),
+            Some(FilterSpec::Equals { .. })
+        ));
+        assert!(matches!(
+            FilterSpec::from_predicate(SimFunction::Jaccard(w), "title", true, 0.6),
+            Some(FilterSpec::SetSim { .. })
+        ));
+        assert!(matches!(
+            FilterSpec::from_predicate(SimFunction::AbsDiff, "price", false, 10.0),
+            Some(FilterSpec::Range { .. })
+        ));
+        assert!(matches!(
+            FilterSpec::from_predicate(SimFunction::Levenshtein, "title", true, 0.8),
+            Some(FilterSpec::EditSim { .. })
+        ));
+        // Dissimilarity predicates are unfilterable.
+        assert_eq!(
+            FilterSpec::from_predicate(SimFunction::Jaccard(w), "title", false, 0.6),
+            None
+        );
+        assert_eq!(
+            FilterSpec::from_predicate(SimFunction::AbsDiff, "price", true, 10.0),
+            None
+        );
+        // exact_match <= 0.5 ("not equal") is unfilterable.
+        assert_eq!(
+            FilterSpec::from_predicate(SimFunction::ExactMatch, "year", false, 0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn equals_probe() {
+        let idx = PredicateIndex::build(
+            &table(),
+            &FilterSpec::Equals {
+                a_attr: "year".into(),
+            },
+            None,
+        );
+        match idx.probe(&Value::str("1999")) {
+            Candidates::Some(mut ids) => {
+                ids.sort_unstable();
+                // 0 and 2 share the year; 3 has a missing year and is a
+                // permanent candidate.
+                assert_eq!(ids, vec![0, 2, 3]);
+            }
+            Candidates::All => panic!("expected Some"),
+        }
+        // Missing probe value is "similar" to everything.
+        assert_eq!(idx.probe(&Value::Null), Candidates::All);
+    }
+
+    #[test]
+    fn range_probe_includes_missing() {
+        let idx = PredicateIndex::build(
+            &table(),
+            &FilterSpec::Range {
+                a_attr: "price".into(),
+                width: 5.0,
+                relative: false,
+            },
+            None,
+        );
+        match idx.probe(&Value::num(12.0)) {
+            Candidates::Some(mut ids) => {
+                ids.sort_unstable();
+                // 10.0 and 11.0 in range; id 2 missing -> always candidate.
+                assert_eq!(ids, vec![0, 2, 3]);
+            }
+            Candidates::All => panic!(),
+        }
+        // Missing probe satisfies dist <= v for every A tuple.
+        assert_eq!(idx.probe(&Value::Null), Candidates::All);
+    }
+
+    #[test]
+    fn rel_range_probe() {
+        let idx = PredicateIndex::build(
+            &table(),
+            &FilterSpec::Range {
+                a_attr: "price".into(),
+                width: 0.2,
+                relative: true,
+            },
+            None,
+        );
+        match idx.probe(&Value::num(10.0)) {
+            Candidates::Some(mut ids) => {
+                ids.sort_unstable();
+                // w' = 0.2·10/0.8 = 2.5 -> [7.5, 12.5]: ids 0 (10), 3 (11),
+                // plus missing id 2.
+                assert_eq!(ids, vec![0, 2, 3]);
+            }
+            Candidates::All => panic!(),
+        }
+    }
+
+    #[test]
+    fn setsim_probe() {
+        let idx = PredicateIndex::build(
+            &table(),
+            &FilterSpec::SetSim {
+                a_attr: "title".into(),
+                sim: SimFunction::Jaccard(Tokenizer::Word),
+                threshold: 0.4,
+            },
+            None,
+        );
+        match idx.probe(&Value::str("quick brown fox")) {
+            Candidates::Some(mut ids) => {
+                ids.sort_unstable();
+                ids.dedup();
+                assert!(ids.contains(&0));
+                assert!(ids.contains(&2));
+                assert!(!ids.contains(&1));
+            }
+            Candidates::All => panic!(),
+        }
+    }
+
+    #[test]
+    fn editsim_probe_lossless() {
+        let idx = PredicateIndex::build(
+            &table(),
+            &FilterSpec::EditSim {
+                a_attr: "title".into(),
+                threshold: 0.8,
+            },
+            None,
+        );
+        // "the quick brown fox" vs itself with one typo: sim >= 0.8.
+        match idx.probe(&Value::str("the quick browm fox")) {
+            Candidates::Some(ids) => assert!(ids.contains(&0), "{ids:?}"),
+            Candidates::All => {}
+        }
+        assert_eq!(idx.probe(&Value::Null), Candidates::All);
+    }
+
+    /// Brute-force losslessness across all four filter kinds.
+    #[test]
+    fn all_filters_lossless() {
+        use falcon_textsim::SimContext;
+        let a = table();
+        let ctx = SimContext::empty();
+        let b_vals = [
+            Value::str("the quick brown fox"),
+            Value::str("lazy dogs"),
+            Value::str("1999"),
+            Value::num(9.0),
+            Value::Null,
+        ];
+        let specs: Vec<(FilterSpec, SimFunction, bool, f64, &str)> = vec![
+            (
+                FilterSpec::Equals {
+                    a_attr: "year".into(),
+                },
+                SimFunction::ExactMatch,
+                true,
+                0.5,
+                "year",
+            ),
+            (
+                FilterSpec::SetSim {
+                    a_attr: "title".into(),
+                    sim: SimFunction::Jaccard(Tokenizer::Word),
+                    threshold: 0.5,
+                },
+                SimFunction::Jaccard(Tokenizer::Word),
+                true,
+                0.5,
+                "title",
+            ),
+            (
+                FilterSpec::Range {
+                    a_attr: "price".into(),
+                    width: 3.0,
+                    relative: false,
+                },
+                SimFunction::AbsDiff,
+                false,
+                3.0,
+                "price",
+            ),
+            (
+                FilterSpec::EditSim {
+                    a_attr: "title".into(),
+                    threshold: 0.7,
+                },
+                SimFunction::Levenshtein,
+                true,
+                0.7,
+                "title",
+            ),
+        ];
+        for (spec, sim, gt, v, attr) in specs {
+            let idx = PredicateIndex::build(&a, &spec, None);
+            for b in &b_vals {
+                let cands = idx.probe(b);
+                for row in a.rows() {
+                    let av = row.value(a.schema().index_of(attr).unwrap());
+                    let score = sim.score_str(&av.render(), &b.render(), &ctx);
+                    // Missing values are maximally similar: they satisfy
+                    // every filterable predicate.
+                    let satisfied = match (score, gt) {
+                        (Some(s), true) => s > v,
+                        (Some(s), false) => s <= v,
+                        (None, _) => true,
+                    };
+                    if satisfied {
+                        match &cands {
+                            Candidates::All => {}
+                            Candidates::Some(ids) => assert!(
+                                ids.contains(&row.id),
+                                "{spec:?} missed a={} for b={b:?}",
+                                row.id
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property test: no filter ever prunes a tuple pair that satisfies its
+//! predicate — the invariant that makes Falcon's blocking lossless.
+
+use falcon_index::{FilterSpec, PredicateIndex};
+use falcon_index::spec::Candidates;
+use falcon_table::{AttrType, Schema, Table, Value};
+use falcon_textsim::{SimContext, SimFunction, Tokenizer};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => proptest::collection::vec("[a-d]{1,3}", 0..6).prop_map(|v| Value::str(v.join(" "))),
+        1 => (0i64..40).prop_map(|x| Value::Num(x as f64)),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    proptest::collection::vec(value_strategy(), 1..25).prop_map(|vals| {
+        let schema = Schema::new([("x", AttrType::Str)]);
+        Table::new("A", schema, vals.into_iter().map(|v| vec![v]))
+    })
+}
+
+fn check(spec: FilterSpec, sim: SimFunction, gt: bool, v: f64, a: &Table, b_vals: &[Value]) {
+    let ctx = SimContext::empty();
+    let idx = PredicateIndex::build(a, &spec, None);
+    for b in b_vals {
+        let cands = idx.probe(b);
+        for row in a.rows() {
+            let score = sim.score_str(&row.value(0).render(), &b.render(), &ctx);
+            // Missing values are maximally similar: they satisfy every
+            // filterable predicate (see spec.rs module docs).
+            let satisfied = match (score, gt) {
+                (Some(s), true) => s > v,
+                (Some(s), false) => s <= v,
+                (None, _) => true,
+            };
+            if satisfied {
+                match &cands {
+                    Candidates::All => {}
+                    Candidates::Some(ids) => assert!(
+                        ids.contains(&row.id),
+                        "{spec:?} pruned satisfying pair: a={:?} b={:?} score={score:?}",
+                        row.value(0),
+                        b
+                    ),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn setsim_filters_lossless(
+        a in table_strategy(),
+        b_vals in proptest::collection::vec(value_strategy(), 1..10),
+        t in 0.05f64..=1.0,
+    ) {
+        for sim in [
+            SimFunction::Jaccard(Tokenizer::Word),
+            SimFunction::Dice(Tokenizer::Word),
+            SimFunction::Cosine(Tokenizer::Word),
+            SimFunction::Overlap(Tokenizer::Word),
+            SimFunction::Jaccard(Tokenizer::QGram(3)),
+        ] {
+            check(
+                FilterSpec::SetSim { a_attr: "x".into(), sim, threshold: t },
+                sim,
+                true,
+                t,
+                &a,
+                &b_vals,
+            );
+        }
+    }
+
+    #[test]
+    fn equals_filter_lossless(
+        a in table_strategy(),
+        b_vals in proptest::collection::vec(value_strategy(), 1..10),
+    ) {
+        check(
+            FilterSpec::Equals { a_attr: "x".into() },
+            SimFunction::ExactMatch,
+            true,
+            0.5,
+            &a,
+            &b_vals,
+        );
+    }
+
+    #[test]
+    fn range_filter_lossless(
+        a in table_strategy(),
+        b_vals in proptest::collection::vec(value_strategy(), 1..10),
+        w in 0.0f64..20.0,
+    ) {
+        check(
+            FilterSpec::Range { a_attr: "x".into(), width: w, relative: false },
+            SimFunction::AbsDiff,
+            false,
+            w,
+            &a,
+            &b_vals,
+        );
+        if w < 1.0 {
+            check(
+                FilterSpec::Range { a_attr: "x".into(), width: w, relative: true },
+                SimFunction::RelDiff,
+                false,
+                w,
+                &a,
+                &b_vals,
+            );
+        }
+    }
+
+    #[test]
+    fn edit_filter_lossless(
+        a in table_strategy(),
+        b_vals in proptest::collection::vec(value_strategy(), 1..10),
+        t in 0.05f64..=1.0,
+    ) {
+        check(
+            FilterSpec::EditSim { a_attr: "x".into(), threshold: t },
+            SimFunction::Levenshtein,
+            true,
+            t,
+            &a,
+            &b_vals,
+        );
+    }
+}

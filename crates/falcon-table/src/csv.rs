@@ -1,0 +1,127 @@
+//! Minimal CSV reader/writer (RFC-4180-ish: quoted fields, embedded commas,
+//! doubled quotes). Enough to persist/load the synthetic datasets without an
+//! external dependency.
+
+use crate::schema::{AttrType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::io::{self, BufRead, Write};
+
+/// Parse one CSV record from a line (no embedded newlines).
+pub fn parse_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Escape a field for CSV output.
+pub fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Read a table from CSV with a header row. All columns load as `Str`;
+/// numeric-looking fields are parsed to numbers via [`Value::parse`].
+pub fn read_table(name: &str, reader: impl BufRead) -> io::Result<Table> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let names = parse_record(&header);
+    let schema = Schema::new(names.iter().map(|n| (n.clone(), AttrType::Str)));
+    let mut rows = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line);
+        if fields.len() != schema.arity() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row arity {} != header {}", fields.len(), schema.arity()),
+            ));
+        }
+        rows.push(fields.iter().map(|f| Value::parse(f)).collect());
+    }
+    Ok(Table::new(name, schema, rows))
+}
+
+/// Write a table as CSV with a header row.
+pub fn write_table(table: &Table, mut w: impl Write) -> io::Result<()> {
+    let header: Vec<String> = table.schema().names().map(escape).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for row in table.rows() {
+        let fields: Vec<String> = row.values.iter().map(|v| escape(&v.render())).collect();
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_handles_quotes() {
+        assert_eq!(parse_record("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(parse_record(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(parse_record(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+        assert_eq!(parse_record(""), vec![""]);
+        assert_eq!(parse_record("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let csv = "title,price\n\"laptop, 15in\",999.5\nmouse,25\n";
+        let t = read_table("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value_of(0, "title"), Some(&Value::str("laptop, 15in")));
+        assert_eq!(t.value_of(1, "price"), Some(&Value::Num(25.0)));
+        let mut out = Vec::new();
+        write_table(&t, &mut out).unwrap();
+        let t2 = read_table("t2", out.as_slice()).unwrap();
+        assert_eq!(t2.rows(), t.rows());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let csv = "a,b\n1\n";
+        assert!(read_table("t", csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in ["plain", "with,comma", "with \"quote\"", ""] {
+            let line = escape(s);
+            assert_eq!(parse_record(&line), vec![s.to_string()]);
+        }
+    }
+}

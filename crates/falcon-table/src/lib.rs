@@ -1,0 +1,23 @@
+//! Tabular data model for Falcon: typed values, schemas, tuples, tables,
+//! attribute profiling (the "type and characteristics" analysis of Section 8)
+//! and a small CSV reader/writer.
+//!
+//! Tables are in-memory row stores. Falcon's input tables in the paper are
+//! HDFS files; here a [`Table`] plays that role and the dataflow engine
+//! splits it into partitions for mappers.
+
+pub mod csv;
+pub mod profile;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use profile::{AttrCharacteristic, AttrProfile, TableProfile};
+pub use schema::{AttrType, Attribute, Schema};
+pub use table::{Table, Tuple, TupleId};
+pub use value::Value;
+
+/// A pair of tuple ids, `(a_id, b_id)`, identifying one candidate match
+/// between table A and table B. This is the unit that flows through
+/// sampling, blocking, feature generation and matching.
+pub type IdPair = (TupleId, TupleId);

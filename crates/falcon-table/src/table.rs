@@ -1,0 +1,180 @@
+//! Tuples and tables.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Tuple identifier, unique within its table.
+pub type TupleId = u32;
+
+/// A row: its id plus one value per schema attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Identifier, unique within the owning table.
+    pub id: TupleId,
+    /// Values, aligned with the table schema.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Value at an attribute index.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+/// An in-memory table: a schema plus rows. Cheap to clone (rows behind an
+/// `Arc`) so the dataflow engine can hand partitions to worker threads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Arc<Vec<Tuple>>,
+}
+
+impl Table {
+    /// Build a table from rows of values. Ids are assigned positionally.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the schema's.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Self {
+        let rows: Vec<Tuple> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, values)| {
+                assert_eq!(
+                    values.len(),
+                    schema.arity(),
+                    "row {i} arity mismatch"
+                );
+                Tuple {
+                    id: i as TupleId,
+                    values,
+                }
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            schema,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Row by id (ids are positional).
+    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
+        self.rows.get(id as usize)
+    }
+
+    /// Value of `attr` in row `id`, if both exist.
+    pub fn value_of(&self, id: TupleId, attr: &str) -> Option<&Value> {
+        let idx = self.schema.index_of(attr)?;
+        self.get(id).map(|t| t.value(idx))
+    }
+
+    /// A new table containing the first `n` rows (re-identified from 0).
+    /// Used by the table-size sensitivity experiments (Figure 10).
+    pub fn head(&self, n: usize) -> Table {
+        Table::new(
+            format!("{}[..{n}]", self.name),
+            self.schema.clone(),
+            self.rows.iter().take(n).map(|t| t.values.clone()),
+        )
+    }
+
+    /// Split row ids into `k` contiguous chunks for parallel scans.
+    pub fn splits(&self, k: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.rows.len();
+        let k = k.max(1);
+        let chunk = n.div_ceil(k).max(1);
+        (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    fn t() -> Table {
+        let schema = Schema::new([("name", AttrType::Str), ("age", AttrType::Num)]);
+        Table::new(
+            "people",
+            schema,
+            vec![
+                vec![Value::str("ann"), Value::num(30.0)],
+                vec![Value::str("bob"), Value::num(41.0)],
+                vec![Value::Null, Value::num(12.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn ids_positional() {
+        let t = t();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(1).unwrap().values[0], Value::str("bob"));
+        assert_eq!(t.get(9), None);
+    }
+
+    #[test]
+    fn value_of_by_name() {
+        let t = t();
+        assert_eq!(t.value_of(0, "age"), Some(&Value::Num(30.0)));
+        assert_eq!(t.value_of(0, "nope"), None);
+    }
+
+    #[test]
+    fn head_reidentifies() {
+        let h = t().head(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(0).unwrap().id, 0);
+    }
+
+    #[test]
+    fn splits_cover_all_rows() {
+        let t = t();
+        for k in 1..6 {
+            let splits = t.splits(k);
+            let total: usize = splits.iter().map(|r| r.len()).sum();
+            assert_eq!(total, t.len(), "k={k}");
+        }
+        assert_eq!(t.head(0).splits(4).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let schema = Schema::new([("a", AttrType::Str)]);
+        Table::new("bad", schema, vec![vec![Value::Null, Value::Null]]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Sequence-alignment similarity measures: Needleman-Wunsch (global),
+//! Smith-Waterman (local) and Smith-Waterman-Gotoh (affine gaps).
+//!
+//! Figure 5 lists these as matching-stage-only measures for short strings.
+//! Scores use match = +1, mismatch = -1, gap open/extend penalties as noted,
+//! normalized by the length of the shorter string so results land in
+//! `[0, 1]` (negative raw scores clamp to 0).
+
+const MATCH: f64 = 1.0;
+const MISMATCH: f64 = -1.0;
+const GAP: f64 = -1.0;
+const GAP_OPEN: f64 = -1.0;
+const GAP_EXTEND: f64 = -0.5;
+
+fn score(a: char, b: char) -> f64 {
+    if a == b {
+        MATCH
+    } else {
+        MISMATCH
+    }
+}
+
+/// Needleman-Wunsch global alignment score, normalized to `[0, 1]`.
+pub fn needleman_wunsch_sim(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * GAP).collect();
+    let mut cur = vec![0.0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = (i + 1) as f64 * GAP;
+        for (j, cb) in b.iter().enumerate() {
+            cur[j + 1] = (prev[j] + score(*ca, *cb))
+                .max(prev[j + 1] + GAP)
+                .max(cur[j] + GAP);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let raw = prev[b.len()];
+    (raw / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+}
+
+/// Smith-Waterman local alignment score, normalized to `[0, 1]`.
+pub fn smith_waterman_sim(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut prev = vec![0.0f64; b.len() + 1];
+    let mut cur = vec![0.0f64; b.len() + 1];
+    let mut best = 0.0f64;
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            cur[j + 1] = (prev[j] + score(*ca, *cb))
+                .max(prev[j + 1] + GAP)
+                .max(cur[j] + GAP)
+                .max(0.0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (best / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+}
+
+/// Smith-Waterman-Gotoh: local alignment with affine gap penalties
+/// (open -1, extend -0.5), normalized to `[0, 1]`.
+pub fn smith_waterman_gotoh_sim(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let n = b.len();
+    // h: best score ending at (i, j); e: gap in a; f: gap in b.
+    let mut h_prev = vec![0.0f64; n + 1];
+    let mut e_prev = vec![f64::NEG_INFINITY; n + 1];
+    let mut best = 0.0f64;
+    for ca in &a {
+        let mut h_cur = vec![0.0f64; n + 1];
+        let mut e_cur = vec![f64::NEG_INFINITY; n + 1];
+        let mut f = f64::NEG_INFINITY;
+        for (j, cb) in b.iter().enumerate() {
+            e_cur[j + 1] = (h_prev[j + 1] + GAP_OPEN).max(e_prev[j + 1] + GAP_EXTEND);
+            f = (h_cur[j] + GAP_OPEN).max(f + GAP_EXTEND);
+            h_cur[j + 1] = (h_prev[j] + score(*ca, *cb))
+                .max(e_cur[j + 1])
+                .max(f)
+                .max(0.0);
+            best = best.max(h_cur[j + 1]);
+        }
+        h_prev = h_cur;
+        e_prev = e_cur;
+    }
+    (best / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        for f in [
+            needleman_wunsch_sim,
+            smith_waterman_sim,
+            smith_waterman_gotoh_sim,
+        ] {
+            assert_eq!(f("hello", "hello"), 1.0);
+            assert_eq!(f("", ""), 1.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        for f in [
+            needleman_wunsch_sim,
+            smith_waterman_sim,
+            smith_waterman_gotoh_sim,
+        ] {
+            assert_eq!(f("aaaa", "bbbb"), 0.0);
+            assert_eq!(f("a", ""), 0.0);
+        }
+    }
+
+    #[test]
+    fn local_beats_global_on_substring() {
+        // Smith-Waterman finds the local "water" block; NW pays for the
+        // unmatched flanks.
+        let sw = smith_waterman_sim("water", "the waterfall");
+        let nw = needleman_wunsch_sim("water", "the waterfall");
+        assert!(sw > nw);
+        assert_eq!(sw, 1.0); // "water" fully embedded
+    }
+
+    #[test]
+    fn gotoh_prefers_one_long_gap() {
+        // With affine gaps, one long gap is cheaper than many scattered ones,
+        // so gotoh >= plain SW on a string with a single inserted run.
+        let g = smith_waterman_gotoh_sim("abcdef", "abcXXXXdef");
+        let s = smith_waterman_sim("abcdef", "abcXXXXdef");
+        assert!(g >= s - 1e-12);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        for (a, b) in [("abc", "abd"), ("ab", "ba"), ("xyz", "zyxwv"), ("q", "qq")] {
+            for f in [
+                needleman_wunsch_sim,
+                smith_waterman_sim,
+                smith_waterman_gotoh_sim,
+            ] {
+                let v = f(a, b);
+                assert!((0.0..=1.0).contains(&v), "{a} vs {b} -> {v}");
+            }
+        }
+    }
+}

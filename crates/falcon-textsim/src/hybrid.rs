@@ -1,0 +1,66 @@
+//! Hybrid token/character measures (Monge-Elkan).
+
+use crate::edit::jaro_winkler;
+use crate::tokenize::word_tokens;
+
+/// Monge-Elkan similarity: for each token of `a`, take the best
+/// Jaro-Winkler match among tokens of `b`, and average. Symmetrized by
+/// taking the max of both directions so `monge_elkan(a, b) ==
+/// monge_elkan(b, a)`.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = word_tokens(a);
+    let tb = word_tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return if ta.is_empty() && tb.is_empty() { 1.0 } else { 0.0 };
+    }
+    directional(&ta, &tb).max(directional(&tb, &ta))
+}
+
+fn directional(xs: &[String], ys: &[String]) -> f64 {
+    let total: f64 = xs
+        .iter()
+        .map(|x| {
+            ys.iter()
+                .map(|y| jaro_winkler(x, y))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    total / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(monge_elkan("john smith", "john smith"), 1.0);
+        assert_eq!(monge_elkan("", ""), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(monge_elkan("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn tolerates_token_reordering() {
+        let s = monge_elkan("smith john", "john smith");
+        assert!(s > 0.99, "{s}");
+    }
+
+    #[test]
+    fn tolerates_typos() {
+        let s = monge_elkan("jon smith", "john smyth");
+        assert!(s > 0.8, "{s}");
+        let d = monge_elkan("alpha beta", "gamma delta");
+        assert!(s > d);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = "peter christen";
+        let b = "christen p";
+        assert!((monge_elkan(a, b) - monge_elkan(b, a)).abs() < 1e-12);
+    }
+}

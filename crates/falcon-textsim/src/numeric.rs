@@ -1,0 +1,39 @@
+//! Numeric distance measures for numeric attributes (Figure 5, last row).
+
+/// Absolute difference `|a - b|`. Smaller means closer; unbounded above.
+pub fn abs_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs()
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|)` in `[0, ∞)`; `0` when both
+/// values are zero. Smaller means closer.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_diff_basics() {
+        assert_eq!(abs_diff(10.0, 4.0), 6.0);
+        assert_eq!(abs_diff(4.0, 10.0), 6.0);
+        assert_eq!(abs_diff(-3.0, 3.0), 6.0);
+        assert_eq!(abs_diff(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn rel_diff_basics() {
+        assert_eq!(rel_diff(10.0, 5.0), 0.5);
+        assert_eq!(rel_diff(5.0, 10.0), 0.5);
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert_eq!(rel_diff(0.0, 7.0), 1.0);
+        assert_eq!(rel_diff(2.0, 2.0), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Set-based similarity coefficients over token sets.
+//!
+//! These four measures (plus Levenshtein) are the ones the paper's
+//! prefix/position/length filters know how to index (Section 7.4).
+
+use std::collections::BTreeSet;
+
+fn intersection_size(x: &BTreeSet<String>, y: &BTreeSet<String>) -> usize {
+    if x.len() <= y.len() {
+        x.iter().filter(|t| y.contains(*t)).count()
+    } else {
+        y.iter().filter(|t| x.contains(*t)).count()
+    }
+}
+
+/// Jaccard coefficient `|x ∩ y| / |x ∪ y|`.
+pub fn jaccard(x: &BTreeSet<String>, y: &BTreeSet<String>) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    let i = intersection_size(x, y) as f64;
+    i / (x.len() as f64 + y.len() as f64 - i)
+}
+
+/// Dice coefficient `2|x ∩ y| / (|x| + |y|)`.
+pub fn dice(x: &BTreeSet<String>, y: &BTreeSet<String>) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size(x, y) as f64 / (x.len() + y.len()) as f64
+}
+
+/// Overlap coefficient `|x ∩ y| / min(|x|, |y|)`.
+pub fn overlap_coefficient(x: &BTreeSet<String>, y: &BTreeSet<String>) -> f64 {
+    let m = x.len().min(y.len());
+    if m == 0 {
+        return 0.0;
+    }
+    intersection_size(x, y) as f64 / m as f64
+}
+
+/// Set cosine `|x ∩ y| / sqrt(|x| · |y|)`.
+pub fn cosine(x: &BTreeSet<String>, y: &BTreeSet<String>) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    intersection_size(x, y) as f64 / ((x.len() * y.len()) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(words: &[&str]) -> BTreeSet<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let x = set(&["a", "b", "c"]);
+        for f in [jaccard, dice, overlap_coefficient, cosine] {
+            assert!((f(&x, &x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let x = set(&["a", "b"]);
+        let y = set(&["c", "d"]);
+        for f in [jaccard, dice, overlap_coefficient, cosine] {
+            assert_eq!(f(&x, &y), 0.0);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let x = set(&["a", "b", "c"]);
+        let y = set(&["b", "c", "d"]);
+        assert!((jaccard(&x, &y) - 0.5).abs() < 1e-12); // 2/4
+        assert!((dice(&x, &y) - 2.0 / 3.0).abs() < 1e-12); // 4/6
+        assert!((overlap_coefficient(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cosine(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_subset_is_one() {
+        let x = set(&["a", "b"]);
+        let y = set(&["a", "b", "c", "d"]);
+        assert_eq!(overlap_coefficient(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn empty_sets_are_zero_not_nan() {
+        let e = set(&[]);
+        let x = set(&["a"]);
+        for f in [jaccard, dice, overlap_coefficient, cosine] {
+            assert_eq!(f(&e, &e), 0.0);
+            assert_eq!(f(&e, &x), 0.0);
+        }
+    }
+}

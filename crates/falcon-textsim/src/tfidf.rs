@@ -1,0 +1,168 @@
+//! Corpus-weighted TF/IDF and Soft TF/IDF similarity (Figure 5: long-string
+//! measures, matching stage only).
+
+use crate::edit::jaro_winkler;
+use crate::tokenize::word_tokens;
+use std::collections::HashMap;
+
+/// Inverse-document-frequency statistics over a corpus of attribute values.
+///
+/// Build once per attribute correspondence from (a sample of) both tables,
+/// then evaluate [`TfIdfModel::cosine`] / [`TfIdfModel::soft_cosine`] on
+/// value pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfModel {
+    idf: HashMap<String, f64>,
+    n_docs: usize,
+}
+
+impl TfIdfModel {
+    /// Build the model from an iterator of documents (attribute values).
+    pub fn build<'a>(docs: impl Iterator<Item = &'a str>) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut n_docs = 0usize;
+        for doc in docs {
+            n_docs += 1;
+            let mut seen: Vec<String> = word_tokens(doc);
+            seen.sort_unstable();
+            seen.dedup();
+            for tok in seen {
+                *df.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let idf = df
+            .into_iter()
+            .map(|(tok, d)| (tok, ((1 + n_docs) as f64 / (1 + d) as f64).ln() + 1.0))
+            .collect();
+        Self { idf, n_docs }
+    }
+
+    /// Number of documents the model was built from.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// IDF weight for a token; unseen tokens get the maximum weight.
+    pub fn idf(&self, token: &str) -> f64 {
+        self.idf
+            .get(token)
+            .copied()
+            .unwrap_or_else(|| ((1 + self.n_docs) as f64).ln() + 1.0)
+    }
+
+    fn weight_vector(&self, s: &str) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for tok in word_tokens(s) {
+            *tf.entry(tok).or_insert(0.0) += 1.0;
+        }
+        for (tok, w) in tf.iter_mut() {
+            *w *= self.idf(tok);
+        }
+        tf
+    }
+
+    /// TF/IDF cosine similarity in `[0, 1]`; `None` when either side has no
+    /// tokens.
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f64> {
+        let va = self.weight_vector(a);
+        let vb = self.weight_vector(b);
+        if va.is_empty() || vb.is_empty() {
+            return None;
+        }
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(tok, wa)| vb.get(tok).map(|wb| wa * wb))
+            .sum();
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        Some((dot / (na * nb)).clamp(0.0, 1.0))
+    }
+
+    /// Soft TF/IDF: like [`Self::cosine`], but tokens of `a` and `b` whose
+    /// Jaro-Winkler similarity is at least `theta` are treated as partial
+    /// matches weighted by that similarity.
+    pub fn soft_cosine(&self, a: &str, b: &str, theta: f64) -> Option<f64> {
+        let ta = word_tokens(a);
+        let tb = word_tokens(b);
+        if ta.is_empty() || tb.is_empty() {
+            return None;
+        }
+        let va = self.weight_vector(a);
+        let vb = self.weight_vector(b);
+        let mut dot = 0.0;
+        for (tok_a, wa) in &va {
+            // Best close token of b for tok_a.
+            let mut best: Option<(f64, &String)> = None;
+            for tok_b in vb.keys() {
+                let s = if tok_a == tok_b {
+                    1.0
+                } else {
+                    jaro_winkler(tok_a, tok_b)
+                };
+                if s >= theta && best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, tok_b));
+                }
+            }
+            if let Some((s, tok_b)) = best {
+                dot += wa * vb[tok_b] * s;
+            }
+        }
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        Some((dot / (na * nb)).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TfIdfModel {
+        TfIdfModel::build(
+            [
+                "the quick brown fox",
+                "the lazy dog",
+                "the quick dog",
+                "a brown cow",
+            ]
+            .iter()
+            .copied(),
+        )
+    }
+
+    #[test]
+    fn identical_docs_score_one() {
+        let m = model();
+        assert!((m.cosine("quick brown fox", "quick brown fox").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_docs_score_zero() {
+        let m = model();
+        assert_eq!(m.cosine("fox", "cow").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rare_tokens_weigh_more() {
+        let m = model();
+        // "fox" (rare) shared vs "the" (common) shared.
+        let rare = m.cosine("fox alpha", "fox beta").unwrap();
+        let common = m.cosine("the alpha", "the beta").unwrap();
+        assert!(rare > common, "{rare} vs {common}");
+    }
+
+    #[test]
+    fn soft_cosine_tolerates_typos() {
+        let m = model();
+        let hard = m.cosine("quick browm fox", "quick brown fox").unwrap();
+        let soft = m.soft_cosine("quick browm fox", "quick brown fox", 0.9).unwrap();
+        assert!(soft > hard, "{soft} vs {hard}");
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let m = model();
+        assert_eq!(m.cosine("", "abc"), None);
+        assert_eq!(m.soft_cosine("abc", "", 0.9), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Tokenizers used by the set-based similarity measures and by the
+//! prefix/position filter indexes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How a string attribute value is decomposed into tokens.
+///
+/// `Word` splits on whitespace after lowercasing and stripping punctuation
+/// edges; `QGram(q)` slides a window of `q` characters over the padded,
+/// lowercased string. Tokens are *sets* (duplicates removed) as in standard
+/// set-similarity-join formulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tokenizer {
+    /// Whitespace-delimited word tokens.
+    Word,
+    /// Character q-grams (the paper uses q = 3).
+    QGram(u8),
+}
+
+impl Tokenizer {
+    /// Tokenize into a deduplicated, sorted token set.
+    pub fn tokenize(self, s: &str) -> BTreeSet<String> {
+        match self {
+            Tokenizer::Word => word_tokens(s).into_iter().collect(),
+            Tokenizer::QGram(q) => qgrams(s, q as usize).into_iter().collect(),
+        }
+    }
+
+    /// Tokenize preserving order and duplicates (used by TF weighting and by
+    /// the hybrid measures that align token sequences).
+    pub fn tokenize_seq(self, s: &str) -> Vec<String> {
+        match self {
+            Tokenizer::Word => word_tokens(s),
+            Tokenizer::QGram(q) => qgrams(s, q as usize),
+        }
+    }
+
+    /// Suffix used in feature names (`jaccard_word`, `dice_3gram`, ...).
+    pub fn suffix(self) -> String {
+        match self {
+            Tokenizer::Word => "word".into(),
+            Tokenizer::QGram(q) => format!("{q}gram"),
+        }
+    }
+}
+
+/// Lowercased word tokens with leading/trailing punctuation stripped.
+pub fn word_tokens(s: &str) -> Vec<String> {
+    s.split_whitespace()
+        .map(|w| {
+            w.trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase()
+        })
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// Character q-grams of the lowercased string. Strings shorter than `q`
+/// yield a single token (the whole string) so short values still index.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let lower = s.to_lowercase();
+    let chars: Vec<char> = lower.chars().collect();
+    if chars.is_empty() || q == 0 {
+        return Vec::new();
+    }
+    if chars.len() <= q {
+        return vec![lower];
+    }
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Number of word tokens in a value — the "length in words" that the length
+/// filter of Example 6 in the paper indexes.
+pub fn word_len(s: &str) -> usize {
+    word_tokens(s).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_tokens_normalize() {
+        assert_eq!(word_tokens("The  Quick, brown fox!"), vec!["the", "quick", "brown", "fox"]);
+        assert_eq!(word_tokens(""), Vec::<String>::new());
+        assert_eq!(word_tokens("...  ,"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn qgrams_slide() {
+        assert_eq!(qgrams("abcd", 3), vec!["abc", "bcd"]);
+        assert_eq!(qgrams("ab", 3), vec!["ab"]);
+        assert_eq!(qgrams("", 3), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenize_dedups() {
+        let t = Tokenizer::Word.tokenize("a b a b c");
+        assert_eq!(t.len(), 3);
+        let seq = Tokenizer::Word.tokenize_seq("a b a b c");
+        assert_eq!(seq.len(), 5);
+    }
+
+    #[test]
+    fn qgram_tokenizer_lowercases() {
+        let t = Tokenizer::QGram(3).tokenize("ABC");
+        assert!(t.contains("abc"));
+    }
+}

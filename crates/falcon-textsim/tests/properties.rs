@@ -1,0 +1,166 @@
+//! Property-based tests for the similarity substrate: bounds, symmetry,
+//! identity, and — critically for blocking correctness — soundness of the
+//! filter arithmetic in `prefix.rs`.
+
+use falcon_textsim::{prefix, sets, SimContext, SimFunction, Tokenizer};
+use proptest::prelude::*;
+
+fn word_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-e]{1,4}", 0..8).prop_map(|v| v.join(" "))
+}
+
+fn all_sims() -> Vec<SimFunction> {
+    use SimFunction::*;
+    vec![
+        ExactMatch,
+        Jaccard(Tokenizer::Word),
+        Jaccard(Tokenizer::QGram(3)),
+        Dice(Tokenizer::Word),
+        Overlap(Tokenizer::Word),
+        Cosine(Tokenizer::Word),
+        Levenshtein,
+        Jaro,
+        JaroWinkler,
+        MongeElkan,
+        NeedlemanWunsch,
+        SmithWaterman,
+        SmithWatermanGotoh,
+    ]
+}
+
+proptest! {
+    /// All string similarity measures are bounded in [0, 1].
+    #[test]
+    fn scores_bounded(a in word_string(), b in word_string()) {
+        let ctx = SimContext::empty();
+        for sim in all_sims() {
+            if let Some(s) = sim.score_str(&a, &b, &ctx) {
+                prop_assert!((0.0..=1.0).contains(&s), "{:?} -> {}", sim, s);
+            }
+        }
+    }
+
+    /// All string similarity measures are symmetric.
+    #[test]
+    fn scores_symmetric(a in word_string(), b in word_string()) {
+        let ctx = SimContext::empty();
+        for sim in all_sims() {
+            let ab = sim.score_str(&a, &b, &ctx);
+            let ba = sim.score_str(&b, &a, &ctx);
+            match (ab, ba) {
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9, "{:?}: {} vs {}", sim, x, y),
+                (None, None) => {}
+                _ => prop_assert!(false, "{:?}: asymmetric None", sim),
+            }
+        }
+    }
+
+    /// Self-similarity is 1 for every similarity-oriented measure.
+    #[test]
+    fn self_similarity_is_one(a in word_string().prop_filter("non-empty", |s| !s.trim().is_empty())) {
+        let ctx = SimContext::empty();
+        for sim in all_sims() {
+            if let Some(s) = sim.score_str(&a, &a, &ctx) {
+                prop_assert!((s - 1.0).abs() < 1e-9, "{:?}({:?}) = {}", sim, a, s);
+            }
+        }
+    }
+
+    /// Length bounds are sound: if sim(x, y) >= t then |x| is inside the
+    /// bounds computed from |y|.
+    #[test]
+    fn length_bounds_sound(a in word_string(), b in word_string(), t in 0.05f64..1.0) {
+        let w = Tokenizer::Word;
+        for sim in [SimFunction::Jaccard(w), SimFunction::Dice(w), SimFunction::Cosine(w)] {
+            let x = w.tokenize(&a);
+            let y = w.tokenize(&b);
+            if x.is_empty() || y.is_empty() { continue; }
+            let score = match sim {
+                SimFunction::Jaccard(_) => sets::jaccard(&x, &y),
+                SimFunction::Dice(_) => sets::dice(&x, &y),
+                SimFunction::Cosine(_) => sets::cosine(&x, &y),
+                _ => unreachable!(),
+            };
+            if score >= t {
+                if let Some((lo, hi)) = prefix::length_bounds(sim, t, y.len()) {
+                    prop_assert!(x.len() >= lo && x.len() <= hi,
+                        "{:?} t={} |x|={} not in [{},{}] (score {})", sim, t, x.len(), lo, hi, score);
+                }
+            }
+        }
+    }
+
+    /// Levenshtein character-length bounds are sound.
+    #[test]
+    fn levenshtein_length_bounds_sound(a in "[a-d]{0,12}", b in "[a-d]{0,12}", t in 0.05f64..1.0) {
+        if a.is_empty() || b.is_empty() { return Ok(()); }
+        let s = falcon_textsim::edit::levenshtein_sim(&a, &b);
+        if s >= t {
+            if let Some((lo, hi)) = prefix::length_bounds(SimFunction::Levenshtein, t, b.chars().count()) {
+                let n = a.chars().count();
+                prop_assert!(n >= lo && n <= hi, "len {} not in [{},{}], sim {}", n, lo, hi, s);
+            }
+        }
+    }
+
+    /// Prefix filter soundness: if sim(x, y) >= t, the t-prefixes of x and y
+    /// under a shared global token order must intersect.
+    #[test]
+    fn prefix_filter_sound(a in word_string(), b in word_string(), t in 0.05f64..=1.0) {
+        let w = Tokenizer::Word;
+        let x = w.tokenize(&a);
+        let y = w.tokenize(&b);
+        if x.is_empty() || y.is_empty() { return Ok(()); }
+        // Global order: lexicographic (any fixed total order is valid).
+        let mut xs: Vec<&String> = x.iter().collect();
+        let mut ys: Vec<&String> = y.iter().collect();
+        xs.sort();
+        ys.sort();
+        for sim in [SimFunction::Jaccard(w), SimFunction::Dice(w), SimFunction::Cosine(w), SimFunction::Overlap(w)] {
+            let score = match sim {
+                SimFunction::Jaccard(_) => sets::jaccard(&x, &y),
+                SimFunction::Dice(_) => sets::dice(&x, &y),
+                SimFunction::Cosine(_) => sets::cosine(&x, &y),
+                SimFunction::Overlap(_) => sets::overlap_coefficient(&x, &y),
+                _ => unreachable!(),
+            };
+            if score >= t {
+                let px = prefix::prefix_len(sim, t, xs.len());
+                let py = prefix::prefix_len(sim, t, ys.len());
+                let shared = xs[..px].iter().any(|tok| ys[..py].contains(tok));
+                prop_assert!(shared,
+                    "{:?} t={} score={} prefixes {:?} / {:?} disjoint", sim, t, score, &xs[..px], &ys[..py]);
+            }
+        }
+    }
+
+    /// Required-overlap is a true lower bound on the actual intersection.
+    #[test]
+    fn required_overlap_sound(a in word_string(), b in word_string(), t in 0.05f64..=1.0) {
+        let w = Tokenizer::Word;
+        let x = w.tokenize(&a);
+        let y = w.tokenize(&b);
+        if x.is_empty() || y.is_empty() { return Ok(()); }
+        let inter = x.intersection(&y).count();
+        for sim in [SimFunction::Jaccard(w), SimFunction::Dice(w), SimFunction::Cosine(w), SimFunction::Overlap(w)] {
+            let score = match sim {
+                SimFunction::Jaccard(_) => sets::jaccard(&x, &y),
+                SimFunction::Dice(_) => sets::dice(&x, &y),
+                SimFunction::Cosine(_) => sets::cosine(&x, &y),
+                SimFunction::Overlap(_) => sets::overlap_coefficient(&x, &y),
+                _ => unreachable!(),
+            };
+            if score >= t {
+                let need = prefix::required_overlap(sim, t, x.len(), y.len()).unwrap();
+                prop_assert!(inter >= need, "{:?} t={}: inter {} < need {}", sim, t, inter, need);
+            }
+        }
+    }
+
+    /// Levenshtein distance satisfies the triangle inequality.
+    #[test]
+    fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        use falcon_textsim::edit::levenshtein;
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+}
