@@ -61,7 +61,7 @@ fn fixture() -> Fixture {
     let conjuncts = ConjunctSpecs::derive(&seq, &lib.blocking);
     let mut built = BuiltIndexes::new();
     for spec in conjuncts.all_specs() {
-        built.build_spec(&cluster, &d.a, &spec);
+        built.build_spec(&cluster, &d.a, &spec).expect("build");
     }
     Fixture {
         a: d.a,

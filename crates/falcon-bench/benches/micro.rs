@@ -36,12 +36,16 @@ fn bench_similarity(c: &mut Criterion) {
 
 fn bench_index_probe(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
-    let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+    let words = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    ];
     let schema = Schema::new([("x", AttrType::Str)]);
     let rows: Vec<Vec<Value>> = (0..5000)
         .map(|_| {
             let n = rng.gen_range(2..6);
-            let s: Vec<&str> = (0..n).map(|_| words[rng.gen_range(0..words.len())]).collect();
+            let s: Vec<&str> = (0..n)
+                .map(|_| words[rng.gen_range(0..words.len())])
+                .collect();
             vec![Value::str(s.join(" "))]
         })
         .collect();

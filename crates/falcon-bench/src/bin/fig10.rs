@@ -45,5 +45,7 @@ fn main() {
             );
         }
     }
-    println!("\nExpected shape (paper): F1 stable; run time and cost grow sublinearly with table size.");
+    println!(
+        "\nExpected shape (paper): F1 stable; run time and cost grow sublinearly with table size."
+    );
 }

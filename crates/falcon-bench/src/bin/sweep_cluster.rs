@@ -12,7 +12,10 @@ fn main() {
     let name: String = args.get("dataset", "songs".to_string());
 
     title("Cluster-size sweep: machine time vs simulated node count");
-    println!("{:>6} {:>14} {:>14} {:>12}", "nodes", "machine", "unmasked", "speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "nodes", "machine", "unmasked", "speedup"
+    );
     let mut base: Option<f64> = None;
     for nodes in [5usize, 10, 15, 20] {
         let d = dataset(&name, scale, seed);
@@ -35,5 +38,7 @@ fn main() {
             speedup
         );
     }
-    println!("\nExpected shape (paper): largest drop from 5 to 10 nodes, diminishing returns beyond.");
+    println!(
+        "\nExpected shape (paper): largest drop from 5 to 10 nodes, diminishing returns beyond."
+    );
 }

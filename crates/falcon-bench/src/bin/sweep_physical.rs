@@ -32,8 +32,8 @@ fn main() {
     // Learn a rule sequence hands-off (oracle crowd isolates machine
     // behaviour).
     let lib = generate_features(&d.a, &d.b);
-    let sample = sample_pairs(&cluster, &d.a, &d.b, 8_000, 40, seed);
-    let s_fvs = gen_fvs(&cluster, &d.a, &d.b, &sample.pairs, &lib.blocking);
+    let sample = sample_pairs(&cluster, &d.a, &d.b, 8_000, 40, seed).expect("sample");
+    let s_fvs = gen_fvs(&cluster, &d.a, &d.b, &sample.pairs, &lib.blocking).expect("gen_fvs");
     let higher: Vec<bool> = lib
         .blocking
         .features
@@ -48,7 +48,8 @@ fn main() {
         &s_fvs.fvs,
         &higher,
         &AlConfig::default(),
-    );
+    )
+    .expect("al");
     let ranked = get_blocking_rules(&al.forest, &s_fvs.fvs, 20, &higher);
     let eval = eval_rules(
         &mut session,
@@ -68,11 +69,14 @@ fn main() {
     let conjuncts = ConjunctSpecs::derive(&seq.seq, &lib.blocking);
     let mut built = BuiltIndexes::new();
     for spec in conjuncts.all_specs() {
-        built.build_spec(&cluster, &d.a, &spec);
+        built.build_spec(&cluster, &d.a, &spec).expect("build");
     }
 
     title("Physical operator comparison (identical outputs; simulated 10-node times)");
-    println!("{:<16} {:>12} {:>14} {:>10}", "operator", "candidates", "sim time", "recall%");
+    println!(
+        "{:<16} {:>12} {:>14} {:>10}",
+        "operator", "candidates", "sim time", "recall%"
+    );
     let budget: u128 = args.get("max-pairs", 100_000_000u128);
     for op in [
         PhysicalOp::ApplyAll,

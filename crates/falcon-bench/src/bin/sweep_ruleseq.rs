@@ -34,8 +34,8 @@ fn main() {
         let mut session = CrowdSession::new(OracleCrowd::new(truth));
         let mut tl = Timeline::new();
         let lib = generate_features(&d.a, &d.b);
-        let sample = sample_pairs(&cluster, &d.a, &d.b, 8_000, 40, seed);
-        let s_fvs = gen_fvs(&cluster, &d.a, &d.b, &sample.pairs, &lib.blocking);
+        let sample = sample_pairs(&cluster, &d.a, &d.b, 8_000, 40, seed).expect("sample");
+        let s_fvs = gen_fvs(&cluster, &d.a, &d.b, &sample.pairs, &lib.blocking).expect("gen_fvs");
         let higher: Vec<bool> = lib
             .blocking
             .features
@@ -50,7 +50,8 @@ fn main() {
             &s_fvs.fvs,
             &higher,
             &AlConfig::default(),
-        );
+        )
+        .expect("al");
         let ranked = get_blocking_rules(&al.forest, &s_fvs.fvs, 20, &higher);
         let eval = eval_rules(
             &mut session,
@@ -81,7 +82,7 @@ fn main() {
             let conjuncts = ConjunctSpecs::derive(&seq, &lib.blocking);
             let mut built = BuiltIndexes::new();
             for spec in conjuncts.all_specs() {
-                built.build_spec(&cluster, &d.a, &spec);
+                built.build_spec(&cluster, &d.a, &spec).expect("build");
             }
             let sels = vec![0.5; seq.len()];
             match physical::execute(

@@ -42,7 +42,7 @@ fn main() {
         let truth: HashSet<(u32, u32)> = d.truth.iter().copied().collect();
         let count = |pairs: &[(u32, u32)]| pairs.iter().filter(|p| truth.contains(p)).count();
 
-        let falcon_s = sample_pairs(&cluster, &d.a, &d.b, n, 20, seed);
+        let falcon_s = sample_pairs(&cluster, &d.a, &d.b, n, 20, seed).expect("sample");
         let corleone_s = corleone_sample(&d.a, &d.b, n, seed);
         let uniform_s = uniform_sample(d.a.len(), d.b.len(), n, seed);
         println!(

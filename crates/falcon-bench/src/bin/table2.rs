@@ -86,5 +86,8 @@ fn main() {
     println!(
         "\nPaper (full scale): products P90.9 R74.5 F81.9 $57.6 | songs P96.0 R99.3 F97.6 $54.0 | citations P92.0 R98.5 F95.2 $65.5"
     );
-    println!("Crowd cost cap: ${:.2}", falcon::crowd::session::paper_cost_cap());
+    println!(
+        "Crowd cost cap: ${:.2}",
+        falcon::crowd::session::paper_cost_cap()
+    );
 }

@@ -2,8 +2,8 @@
 //! masked operators (`apply_block_rules`, matching-stage `al_matcher`)
 //! the unoptimized time is shown in parentheses, as in the paper.
 
-use falcon_bench::{dataset, fmt_dur, run_once, standard_config, title, Args, DATASETS};
 use falcon::prelude::OptFlags;
+use falcon_bench::{dataset, fmt_dur, run_once, standard_config, title, Args, DATASETS};
 use std::time::Duration;
 
 const OPS: [&str; 10] = [
@@ -25,7 +25,11 @@ fn main() {
     let seed: u64 = args.get("seed", 1);
 
     title("Table 4: Falcon's run times per operator (first run per dataset)");
-    println!("{:<11} {}", "Dataset", OPS.map(|o| format!("{o:>18}")).join(""));
+    println!(
+        "{:<11} {}",
+        "Dataset",
+        OPS.map(|o| format!("{o:>18}")).join("")
+    );
     for name in DATASETS {
         let d = dataset(name, scale, seed);
         // Optimized run.
@@ -49,7 +53,9 @@ fn main() {
         }
         println!("{row}");
         // Masked work moved off the critical path:
-        let masked = opt.machine_time().saturating_sub(opt.unmasked_machine_time());
+        let masked = opt
+            .machine_time()
+            .saturating_sub(opt.unmasked_machine_time());
         println!(
             "{:<11}   (machine {} of which {} masked; crowd {}; total {})",
             "",

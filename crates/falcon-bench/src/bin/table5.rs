@@ -3,8 +3,8 @@
 //! and each ablation `O − O1/O2/O3` (index prebuilding, speculative
 //! execution, masked pair selection).
 
-use falcon_bench::{dataset, fmt_dur, run_once, standard_config, title, Args, DATASETS};
 use falcon::prelude::OptFlags;
+use falcon_bench::{dataset, fmt_dur, run_once, standard_config, title, Args, DATASETS};
 use std::time::Duration;
 
 fn unmasked(data: &falcon::prelude::EmDataset, opt: OptFlags, seed: u64) -> Duration {

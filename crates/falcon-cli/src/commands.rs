@@ -14,16 +14,18 @@ falcon — hands-off crowdsourced entity matching
 
 USAGE:
     falcon match <a.csv> <b.csv> [OPTIONS]   run end-to-end EM over two CSV tables
+    falcon plan check <a.csv> <b.csv> [OPTIONS]  pre-flight plan analysis, no execution
     falcon profile <table.csv>               show inferred attribute characteristics
     falcon demo [products|songs|citations|drugs]  run on a synthetic dataset with ground truth
     falcon help                              show this message
 
-MATCH OPTIONS:
+MATCH / PLAN CHECK OPTIONS:
     --out <path>         write matched pairs as CSV (default: stdout summary only)
     --interactive        you answer the crowd questions at the terminal (y/n)
     --sample <n>         sampler target |S| (default 10000)
     --budget <pairs>     enumeration guard for the baselines (default 50000000)
     --workflow <k>       run k iterative Matcher/Estimator rounds (default 1)
+    --nodes <n>          simulated cluster size (plan check; default 10)
 
 DEMO OPTIONS:
     --scale <f>          dataset scale multiplier (default laptop-sized)
@@ -81,7 +83,13 @@ pub fn cmd_match(args: &[String]) -> Result<(), String> {
     };
     let a = load(a_path)?;
     let b = load(b_path)?;
-    println!("loaded {} ({} rows) and {} ({} rows)", a.name(), a.len(), b.name(), b.len());
+    println!(
+        "loaded {} ({} rows) and {} ({} rows)",
+        a.name(),
+        a.len(),
+        b.name(),
+        b.len()
+    );
 
     let sample: usize = flag_value(args, "--sample")
         .map(|v| v.parse().map_err(|_| "--sample expects a number"))
@@ -148,6 +156,65 @@ pub fn cmd_match(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `falcon plan check a.csv b.csv [...]`: run the pre-flight analyzer the
+/// driver uses as its execution gate, without touching the crowd.
+pub fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let [sub, a_path, b_path, ..] = args else {
+        return Err(format!(
+            "plan needs a subcommand and two CSV paths\n\n{USAGE}"
+        ));
+    };
+    if sub != "check" {
+        return Err(format!(
+            "unknown plan subcommand {sub:?} (expected `check`)\n\n{USAGE}"
+        ));
+    }
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+
+    let mut config = FalconConfig {
+        sample_size: flag_value(args, "--sample")
+            .map(|v| v.parse().map_err(|_| "--sample expects a number"))
+            .transpose()?
+            .unwrap_or(10_000),
+        max_pairs: flag_value(args, "--budget")
+            .map(|v| v.parse().map_err(|_| "--budget expects a number"))
+            .transpose()?
+            .unwrap_or(50_000_000),
+        ..FalconConfig::default()
+    };
+    if let Some(nodes) = flag_value(args, "--nodes") {
+        config.cluster.nodes = nodes.parse().map_err(|_| "--nodes expects a number")?;
+    }
+
+    let analysis = falcon::core::analyze(&a, &b, &config);
+    println!(
+        "tables         : {} ({} rows) x {} ({} rows) = {} pairs",
+        a.name(),
+        a.len(),
+        b.name(),
+        b.len(),
+        analysis.pairs
+    );
+    println!("plan           : {:?}", analysis.plan);
+    println!(
+        "features       : {} blocking / {} matching",
+        analysis.blocking_features, analysis.matching_features
+    );
+    if analysis.is_ok() {
+        println!("plan check     : ok");
+        Ok(())
+    } else {
+        for e in &analysis.errors {
+            eprintln!("plan error     : {e}");
+        }
+        Err(format!(
+            "plan check failed with {} error(s)",
+            analysis.errors.len()
+        ))
+    }
+}
+
 /// `falcon profile table.csv`: the Section 8 attribute analysis.
 pub fn cmd_profile(args: &[String]) -> Result<(), String> {
     let [path, ..] = args else {
@@ -155,7 +222,11 @@ pub fn cmd_profile(args: &[String]) -> Result<(), String> {
     };
     let t = load(path)?;
     let p = TableProfile::scan(&t);
-    println!("{path}: {} rows, {} attributes", t.len(), t.schema().arity());
+    println!(
+        "{path}: {} rows, {} attributes",
+        t.len(),
+        t.schema().arity()
+    );
     println!(
         "{:<20} {:>8} {:>18} {:>7} {:>10}",
         "attribute", "type", "characteristic", "fill%", "avg words"
@@ -272,12 +343,47 @@ mod tests {
     fn profile_runs_on_csv() {
         let dir = std::env::temp_dir();
         let p = dir.join("falcon_cli_profile.csv");
-        std::fs::write(&p, "title,price\nlong gadget name here,10\nanother item,25\n").unwrap();
+        std::fs::write(
+            &p,
+            "title,price\nlong gadget name here,10\nanother item,25\n",
+        )
+        .unwrap();
         assert!(cmd_profile(&s(&[p.to_str().unwrap()])).is_ok());
     }
 
     #[test]
     fn demo_rejects_unknown_dataset() {
         assert!(cmd_demo(&s(&["nope"])).is_err());
+    }
+
+    fn plan_fixture(tag: &str) -> (String, String) {
+        let dir = std::env::temp_dir();
+        let pa = dir.join(format!("falcon_cli_plan_a_{tag}.csv"));
+        let pb = dir.join(format!("falcon_cli_plan_b_{tag}.csv"));
+        let mut rows = String::from("title,price\n");
+        for i in 0..40 {
+            rows.push_str(&format!("useful gadget number {i},{i}\n"));
+        }
+        std::fs::write(&pa, &rows).unwrap();
+        std::fs::write(&pb, &rows).unwrap();
+        (pa.to_str().unwrap().into(), pb.to_str().unwrap().into())
+    }
+
+    #[test]
+    fn plan_check_accepts_well_formed_input() {
+        let (pa, pb) = plan_fixture("ok");
+        assert!(cmd_plan(&s(&["check", &pa, &pb])).is_ok());
+    }
+
+    #[test]
+    fn plan_check_rejects_zero_cluster() {
+        let (pa, pb) = plan_fixture("cluster");
+        let err = cmd_plan(&s(&["check", &pa, &pb, "--nodes", "0"])).unwrap_err();
+        assert!(err.contains("plan check failed"), "{err}");
+    }
+
+    #[test]
+    fn plan_check_requires_the_check_subcommand() {
+        assert!(cmd_plan(&s(&["frobnicate", "a.csv", "b.csv"])).is_err());
     }
 }

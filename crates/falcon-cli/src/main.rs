@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! falcon match a.csv b.csv [--out matches.csv] [--interactive | --demo-crowd <err>]
+//! falcon plan check a.csv b.csv [--budget pairs] [--nodes n]
 //! falcon profile table.csv
 //! falcon demo [products|songs|citations] [--scale f]
 //! ```
@@ -16,6 +17,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("match") => commands::cmd_match(&args[1..]),
+        Some("plan") => commands::cmd_plan(&args[1..]),
         Some("profile") => commands::cmd_profile(&args[1..]),
         Some("demo") => commands::cmd_demo(&args[1..]),
         Some("--help" | "-h" | "help") | None => {

@@ -1,0 +1,638 @@
+//! Pre-flight plan analysis: validate a run's plan, operator contracts and
+//! resource budgets *before* any MapReduce job or crowd question is
+//! issued.
+//!
+//! Falcon is a hands-off service: once `A`, `B` and a budget are handed
+//! over, nobody is watching a terminal. A malformed configuration must
+//! therefore be rejected up front with a typed, explainable error — not
+//! discovered three crowdsourced operators deep. [`analyze`] performs the
+//! checks that are decidable statically:
+//!
+//! * **Input contracts** — both tables non-empty, and feature generation
+//!   able to produce at least one blocking and one matching feature
+//!   (otherwise `gen_fvs` → `al_matcher` would run on zero-arity vectors).
+//! * **Cluster sanity** — nonzero nodes, slots and memory budgets; the
+//!   simulated-time model divides by slot counts and the physical-operator
+//!   selector compares against the mapper memory budget.
+//! * **Plan feasibility** — a (forced) matcher-only plan must fit the
+//!   enumeration budget and the mapper memory budget; forced `MapSide`
+//!   blocking must broadcast `A` into mapper memory; forced `MapSide` /
+//!   `ReduceSplit` blocking enumerates `A × B` and must fit the pair
+//!   budget.
+//! * **Operator configuration** — sampler, active-learning, rule-eval and
+//!   sequence-selection parameters in their documented domains.
+//!
+//! [`check_rule_sequence`] additionally validates a concrete
+//! [`RuleSequence`] against the blocking-feature arity (used by the driver
+//! between `select_opt_seq` and `apply_blocking_rules`, and by
+//! `falcon plan check` on optimizer-produced sequences).
+
+use crate::driver::FalconConfig;
+use crate::features::generate_features;
+use crate::physical::{estimate_table_bytes, PhysicalOp};
+use crate::plan::{choose_plan, estimate_fv_bytes, PlanKind};
+use crate::rules::RuleSequence;
+use falcon_dataflow::ClusterConfig;
+use falcon_table::Table;
+use std::fmt;
+
+/// A static problem with a plan, its configuration, or its inputs,
+/// detected before execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanAnalysisError {
+    /// An input table has no rows.
+    EmptyTable {
+        /// `"A"` or `"B"`.
+        table: &'static str,
+    },
+    /// Feature generation produced no features for a stage, so the
+    /// `gen_fvs` → `al_matcher` contract (arity ≥ 1) cannot hold.
+    NoFeatures {
+        /// `"blocking"` or `"matching"`.
+        stage: &'static str,
+    },
+    /// A cluster-config field is zero where the engine divides by it or
+    /// budgets against it.
+    InvalidClusterConfig {
+        /// The offending field name.
+        field: &'static str,
+    },
+    /// The plan enumerates more pairs than the enumeration budget allows.
+    PairBudgetExceeded {
+        /// `|A| * |B|`.
+        pairs: u128,
+        /// The configured `max_pairs`.
+        budget: u128,
+        /// What forces the enumeration (`"match-only plan"`,
+        /// `"map_side"`, `"reduce_split"`).
+        cause: &'static str,
+    },
+    /// A plan stage needs more memory than the per-mapper budget.
+    MemoryBudgetExceeded {
+        /// The stage (`"match-only feature vectors"`,
+        /// `"map_side broadcast of A"`).
+        stage: &'static str,
+        /// Estimated bytes required.
+        required: u128,
+        /// The configured per-mapper budget.
+        budget: u128,
+    },
+    /// An operator parameter is outside its documented domain.
+    InvalidOperatorConfig {
+        /// The operator (`"sample_pairs"`, `"al_matcher"`, ...).
+        op: &'static str,
+        /// The parameter name.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
+    /// A blocking rule violates the `select_opt_seq` →
+    /// `apply_blocking_rules` contract.
+    MalformedRule {
+        /// Index of the rule in the sequence.
+        rule: usize,
+        /// What is wrong with it.
+        issue: RuleIssue,
+    },
+}
+
+/// The specific defect of a [`PlanAnalysisError::MalformedRule`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleIssue {
+    /// The rule has no predicates — it would drop every pair.
+    NoPredicates,
+    /// A predicate references a feature index outside the blocking arity.
+    FeatureOutOfRange {
+        /// The referenced feature index.
+        feature: usize,
+        /// The blocking-feature arity.
+        arity: usize,
+    },
+    /// A predicate threshold is NaN or infinite.
+    NonFiniteThreshold {
+        /// The feature the predicate tests.
+        feature: usize,
+    },
+}
+
+impl fmt::Display for PlanAnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTable { table } => write!(f, "input table {table} is empty"),
+            Self::NoFeatures { stage } => {
+                write!(
+                    f,
+                    "feature generation produced no {stage} features \
+                     (tables share no comparable attributes)"
+                )
+            }
+            Self::InvalidClusterConfig { field } => {
+                write!(f, "cluster config field {field} must be nonzero")
+            }
+            Self::PairBudgetExceeded {
+                pairs,
+                budget,
+                cause,
+            } => write!(
+                f,
+                "{cause} enumerates {pairs} pairs, over the max_pairs budget of {budget}"
+            ),
+            Self::MemoryBudgetExceeded {
+                stage,
+                required,
+                budget,
+            } => write!(
+                f,
+                "{stage} needs ~{required} bytes but each mapper has {budget}"
+            ),
+            Self::InvalidOperatorConfig { op, field, reason } => {
+                write!(f, "{op}.{field}: {reason}")
+            }
+            Self::MalformedRule { rule, issue } => {
+                write!(f, "blocking rule {rule}: ")?;
+                match issue {
+                    RuleIssue::NoPredicates => {
+                        write!(f, "has no predicates (would drop every pair)")
+                    }
+                    RuleIssue::FeatureOutOfRange { feature, arity } => write!(
+                        f,
+                        "predicate references feature {feature} but blocking arity is {arity}"
+                    ),
+                    RuleIssue::NonFiniteThreshold { feature } => {
+                        write!(
+                            f,
+                            "predicate on feature {feature} has a non-finite threshold"
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanAnalysisError {}
+
+/// The result of pre-flight analysis: the plan that would run, the sizes
+/// the decision was based on, and every defect found.
+#[derive(Debug, Clone)]
+pub struct PlanAnalysis {
+    /// The plan template the driver would execute.
+    pub plan: PlanKind,
+    /// `|A| * |B|`.
+    pub pairs: u128,
+    /// Number of blocking features the generator would produce.
+    pub blocking_features: usize,
+    /// Number of matching features the generator would produce.
+    pub matching_features: usize,
+    /// All defects, in detection order; empty means the plan is runnable.
+    pub errors: Vec<PlanAnalysisError>,
+}
+
+impl PlanAnalysis {
+    /// True when no defect was found.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Validate the cluster description alone.
+pub fn check_cluster(cluster: &ClusterConfig) -> Vec<PlanAnalysisError> {
+    let mut errors = Vec::new();
+    let fields: [(&'static str, usize); 5] = [
+        ("nodes", cluster.nodes),
+        ("map_slots_per_node", cluster.map_slots_per_node),
+        ("reduce_slots_per_node", cluster.reduce_slots_per_node),
+        ("mapper_memory_bytes", cluster.mapper_memory_bytes),
+        ("reducer_memory_bytes", cluster.reducer_memory_bytes),
+    ];
+    for (field, value) in fields {
+        if value == 0 {
+            errors.push(PlanAnalysisError::InvalidClusterConfig { field });
+        }
+    }
+    errors
+}
+
+/// Validate a concrete rule sequence against the blocking-feature arity:
+/// the `select_opt_seq` → `apply_blocking_rules` contract.
+pub fn check_rule_sequence(seq: &RuleSequence, arity: usize) -> Vec<PlanAnalysisError> {
+    let mut errors = Vec::new();
+    for (i, rule) in seq.rules.iter().enumerate() {
+        if rule.predicates.is_empty() {
+            errors.push(PlanAnalysisError::MalformedRule {
+                rule: i,
+                issue: RuleIssue::NoPredicates,
+            });
+        }
+        for p in &rule.predicates {
+            if p.feature >= arity {
+                errors.push(PlanAnalysisError::MalformedRule {
+                    rule: i,
+                    issue: RuleIssue::FeatureOutOfRange {
+                        feature: p.feature,
+                        arity,
+                    },
+                });
+            }
+            if !p.threshold.is_finite() {
+                errors.push(PlanAnalysisError::MalformedRule {
+                    rule: i,
+                    issue: RuleIssue::NonFiniteThreshold { feature: p.feature },
+                });
+            }
+        }
+    }
+    errors
+}
+
+fn check_operator_configs(cfg: &FalconConfig, errors: &mut Vec<PlanAnalysisError>) {
+    let mut bad = |op: &'static str, field: &'static str, reason: String| {
+        errors.push(PlanAnalysisError::InvalidOperatorConfig { op, field, reason });
+    };
+    if cfg.sample_size == 0 {
+        bad("sample_pairs", "sample_size", "must be positive".into());
+    }
+    if cfg.sample_fanout < 2 {
+        bad(
+            "sample_pairs",
+            "sample_fanout",
+            format!("fan-out y must be >= 2, got {}", cfg.sample_fanout),
+        );
+    }
+    if cfg.al.max_iterations == 0 {
+        bad("al_matcher", "max_iterations", "must be positive".into());
+    }
+    if cfg.al.batch == 0 {
+        bad("al_matcher", "batch", "must be positive".into());
+    }
+    if !(cfg.al.convergence_eps.is_finite() && cfg.al.convergence_eps >= 0.0) {
+        bad(
+            "al_matcher",
+            "convergence_eps",
+            format!("must be finite and >= 0, got {}", cfg.al.convergence_eps),
+        );
+    }
+    if cfg.eval.batch == 0 {
+        bad("eval_rules", "batch", "must be positive".into());
+    }
+    if !(cfg.eval.p_min > 0.0 && cfg.eval.p_min <= 1.0) {
+        bad(
+            "eval_rules",
+            "p_min",
+            format!("must be in (0, 1], got {}", cfg.eval.p_min),
+        );
+    }
+    if !(cfg.eval.eps_max > 0.0 && cfg.eval.eps_max.is_finite()) {
+        bad(
+            "eval_rules",
+            "eps_max",
+            format!("must be positive and finite, got {}", cfg.eval.eps_max),
+        );
+    }
+    for (field, value) in [
+        ("alpha", cfg.seq.alpha),
+        ("beta", cfg.seq.beta),
+        ("gamma", cfg.seq.gamma),
+    ] {
+        if !(value.is_finite() && value >= 0.0) {
+            bad(
+                "select_opt_seq",
+                field,
+                format!("weight must be finite and >= 0, got {value}"),
+            );
+        }
+    }
+    if cfg.seq.optimizer_bits == 0 {
+        bad(
+            "select_opt_seq",
+            "optimizer_bits",
+            "must be positive".into(),
+        );
+    }
+    if !(cfg.greedy_ratio > 0.0 && cfg.greedy_ratio <= 1.0) {
+        bad(
+            "apply_blocking_rules",
+            "greedy_ratio",
+            format!("must be in (0, 1], got {}", cfg.greedy_ratio),
+        );
+    }
+    if cfg.max_pairs == 0 {
+        bad(
+            "apply_blocking_rules",
+            "max_pairs",
+            "must be positive".into(),
+        );
+    }
+}
+
+/// Analyze a prospective run of `Falcon::run(a, b, ...)` under `cfg`.
+///
+/// Performs the feature-generation scan (cheap, no jobs) to resolve the
+/// plan the driver would choose, then checks every statically decidable
+/// contract. The driver calls this as a pre-flight gate; the
+/// `falcon plan check` subcommand exposes it directly.
+pub fn analyze(a: &Table, b: &Table, cfg: &FalconConfig) -> PlanAnalysis {
+    let mut errors = Vec::new();
+    if a.is_empty() {
+        errors.push(PlanAnalysisError::EmptyTable { table: "A" });
+    }
+    if b.is_empty() {
+        errors.push(PlanAnalysisError::EmptyTable { table: "B" });
+    }
+    errors.extend(check_cluster(&cfg.cluster));
+    check_operator_configs(cfg, &mut errors);
+
+    let lib = generate_features(a, b);
+    let pairs = a.len() as u128 * b.len() as u128;
+    let plan = cfg.force_plan.unwrap_or_else(|| {
+        choose_plan(
+            a,
+            b,
+            lib.matching.len(),
+            cfg.cluster.mapper_memory_bytes,
+            cfg.max_pairs,
+        )
+    });
+
+    if !a.is_empty() && !b.is_empty() {
+        if lib.matching.is_empty() {
+            errors.push(PlanAnalysisError::NoFeatures { stage: "matching" });
+        }
+        if plan == PlanKind::BlockAndMatch && lib.blocking.is_empty() {
+            errors.push(PlanAnalysisError::NoFeatures { stage: "blocking" });
+        }
+    }
+
+    // Plan-template feasibility. `choose_plan` only picks MatchOnly when
+    // both budgets hold, so these fire for *forced* plans/operators.
+    if plan == PlanKind::MatchOnly {
+        if pairs > cfg.max_pairs {
+            errors.push(PlanAnalysisError::PairBudgetExceeded {
+                pairs,
+                budget: cfg.max_pairs,
+                cause: "match-only plan",
+            });
+        }
+        let fv_bytes = estimate_fv_bytes(a, b, lib.matching.len());
+        if fv_bytes > cfg.cluster.mapper_memory_bytes as u128 {
+            errors.push(PlanAnalysisError::MemoryBudgetExceeded {
+                stage: "match-only feature vectors",
+                required: fv_bytes,
+                budget: cfg.cluster.mapper_memory_bytes as u128,
+            });
+        }
+    }
+    if plan == PlanKind::BlockAndMatch {
+        match cfg.force_physical {
+            Some(PhysicalOp::MapSide) => {
+                let table_bytes = estimate_table_bytes(a) as u128;
+                if table_bytes > cfg.cluster.mapper_memory_bytes as u128 {
+                    errors.push(PlanAnalysisError::MemoryBudgetExceeded {
+                        stage: "map_side broadcast of A",
+                        required: table_bytes,
+                        budget: cfg.cluster.mapper_memory_bytes as u128,
+                    });
+                }
+                if pairs > cfg.max_pairs {
+                    errors.push(PlanAnalysisError::PairBudgetExceeded {
+                        pairs,
+                        budget: cfg.max_pairs,
+                        cause: "map_side",
+                    });
+                }
+            }
+            Some(PhysicalOp::ReduceSplit) if pairs > cfg.max_pairs => {
+                errors.push(PlanAnalysisError::PairBudgetExceeded {
+                    pairs,
+                    budget: cfg.max_pairs,
+                    cause: "reduce_split",
+                });
+            }
+            _ => {}
+        }
+    }
+
+    PlanAnalysis {
+        plan,
+        pairs,
+        blocking_features: lib.blocking.len(),
+        matching_features: lib.matching.len(),
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Predicate, Rule};
+    use falcon_forest::SplitOp;
+    use falcon_table::{AttrType, Schema, Value};
+
+    fn tables(n: usize) -> (Table, Table) {
+        let schema = Schema::new([("title", AttrType::Str), ("price", AttrType::Num)]);
+        let rows = |n: usize| {
+            (0..n).map(move |i| {
+                vec![
+                    Value::str(format!("widget model {i}")),
+                    Value::num(i as f64),
+                ]
+            })
+        };
+        (
+            Table::new("a", schema.clone(), rows(n)),
+            Table::new("b", schema, rows(n)),
+        )
+    }
+
+    #[test]
+    fn default_config_on_real_tables_is_accepted() {
+        let (a, b) = tables(20);
+        let analysis = analyze(&a, &b, &FalconConfig::default());
+        assert!(analysis.is_ok(), "unexpected errors: {:?}", analysis.errors);
+        assert_eq!(analysis.pairs, 400);
+        assert!(analysis.blocking_features > 0);
+        assert!(analysis.matching_features > 0);
+    }
+
+    #[test]
+    fn empty_tables_are_rejected() {
+        let (a, b) = tables(5);
+        let empty = Table::new("e", a.schema().clone(), Vec::<Vec<Value>>::new());
+        let analysis = analyze(&empty, &b, &FalconConfig::default());
+        assert!(analysis
+            .errors
+            .contains(&PlanAnalysisError::EmptyTable { table: "A" }));
+        let analysis = analyze(&a, &empty, &FalconConfig::default());
+        assert!(analysis
+            .errors
+            .contains(&PlanAnalysisError::EmptyTable { table: "B" }));
+    }
+
+    #[test]
+    fn zero_cluster_fields_are_rejected() {
+        let (a, b) = tables(5);
+        let mut cfg = FalconConfig::default();
+        cfg.cluster.nodes = 0;
+        cfg.cluster.mapper_memory_bytes = 0;
+        let analysis = analyze(&a, &b, &cfg);
+        assert!(analysis
+            .errors
+            .contains(&PlanAnalysisError::InvalidClusterConfig { field: "nodes" }));
+        assert!(analysis
+            .errors
+            .contains(&PlanAnalysisError::InvalidClusterConfig {
+                field: "mapper_memory_bytes"
+            }));
+    }
+
+    #[test]
+    fn forced_match_only_over_pair_budget_is_rejected() {
+        let (a, b) = tables(30);
+        let cfg = FalconConfig {
+            force_plan: Some(PlanKind::MatchOnly),
+            max_pairs: 100, // 30 * 30 = 900 > 100
+            ..FalconConfig::default()
+        };
+        let analysis = analyze(&a, &b, &cfg);
+        assert!(analysis.errors.iter().any(|e| matches!(
+            e,
+            PlanAnalysisError::PairBudgetExceeded {
+                pairs: 900,
+                budget: 100,
+                cause: "match-only plan",
+            }
+        )));
+    }
+
+    #[test]
+    fn forced_map_side_without_memory_is_rejected() {
+        let (a, b) = tables(30);
+        let mut cfg = FalconConfig {
+            force_plan: Some(PlanKind::BlockAndMatch),
+            force_physical: Some(PhysicalOp::MapSide),
+            ..FalconConfig::default()
+        };
+        cfg.cluster.mapper_memory_bytes = 1; // A cannot be broadcast
+        let analysis = analyze(&a, &b, &cfg);
+        assert!(analysis.errors.iter().any(|e| matches!(
+            e,
+            PlanAnalysisError::MemoryBudgetExceeded {
+                stage: "map_side broadcast of A",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn forced_reduce_split_over_pair_budget_is_rejected() {
+        let (a, b) = tables(30);
+        let cfg = FalconConfig {
+            force_plan: Some(PlanKind::BlockAndMatch),
+            force_physical: Some(PhysicalOp::ReduceSplit),
+            max_pairs: 10,
+            ..FalconConfig::default()
+        };
+        let analysis = analyze(&a, &b, &cfg);
+        assert!(analysis.errors.iter().any(|e| matches!(
+            e,
+            PlanAnalysisError::PairBudgetExceeded {
+                cause: "reduce_split",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn bad_operator_configs_are_rejected_with_the_right_fields() {
+        let (a, b) = tables(5);
+        let mut cfg = FalconConfig {
+            sample_size: 0,
+            sample_fanout: 1,
+            greedy_ratio: 0.0,
+            ..FalconConfig::default()
+        };
+        cfg.al.batch = 0;
+        cfg.eval.p_min = 1.5;
+        cfg.seq.alpha = f64::NAN;
+        let analysis = analyze(&a, &b, &cfg);
+        let fields: Vec<(&str, &str)> = analysis
+            .errors
+            .iter()
+            .filter_map(|e| match e {
+                PlanAnalysisError::InvalidOperatorConfig { op, field, .. } => Some((*op, *field)),
+                _ => None,
+            })
+            .collect();
+        for expected in [
+            ("sample_pairs", "sample_size"),
+            ("sample_pairs", "sample_fanout"),
+            ("al_matcher", "batch"),
+            ("eval_rules", "p_min"),
+            ("select_opt_seq", "alpha"),
+            ("apply_blocking_rules", "greedy_ratio"),
+        ] {
+            assert!(
+                fields.contains(&expected),
+                "missing {expected:?} in {fields:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_sequence_contract_violations_are_typed() {
+        let pred = |feature: usize, threshold: f64| Predicate {
+            feature,
+            op: SplitOp::Le,
+            threshold,
+            nan_is_high: true,
+        };
+        let seq = RuleSequence::new(vec![
+            Rule { predicates: vec![] }, // no predicates
+            Rule {
+                predicates: vec![pred(7, 0.5)],
+            }, // feature out of range
+            Rule {
+                predicates: vec![pred(0, f64::NAN)],
+            }, // non-finite threshold
+        ]);
+        let errors = check_rule_sequence(&seq, 3);
+        assert_eq!(errors.len(), 3);
+        assert_eq!(
+            errors[0],
+            PlanAnalysisError::MalformedRule {
+                rule: 0,
+                issue: RuleIssue::NoPredicates
+            }
+        );
+        assert_eq!(
+            errors[1],
+            PlanAnalysisError::MalformedRule {
+                rule: 1,
+                issue: RuleIssue::FeatureOutOfRange {
+                    feature: 7,
+                    arity: 3
+                }
+            }
+        );
+        assert_eq!(
+            errors[2],
+            PlanAnalysisError::MalformedRule {
+                rule: 2,
+                issue: RuleIssue::NonFiniteThreshold { feature: 0 }
+            }
+        );
+    }
+
+    #[test]
+    fn well_formed_sequence_passes_the_contract() {
+        let seq = RuleSequence::new(vec![Rule {
+            predicates: vec![Predicate {
+                feature: 2,
+                op: SplitOp::Gt,
+                threshold: 0.4,
+                nan_is_high: false,
+            }],
+        }]);
+        assert!(check_rule_sequence(&seq, 3).is_empty());
+    }
+}

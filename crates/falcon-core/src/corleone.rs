@@ -8,8 +8,9 @@
 use crate::features::FeatureSet;
 use crate::physical::{BlockingError, PairEvaluator};
 use crate::rules::RuleSequence;
+use falcon_dataflow::wall_now;
 use falcon_table::{IdPair, Table};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Output of the baseline.
 #[derive(Debug)]
@@ -36,7 +37,7 @@ pub fn corleone_blocking(
         });
     }
     let evaluator = PairEvaluator::new(a, b, features, seq);
-    let t0 = Instant::now();
+    let t0 = wall_now();
     let mut candidates = Vec::new();
     for at in a.rows() {
         for bt in b.rows() {
@@ -75,9 +76,12 @@ mod tests {
     fn budget_guard_fires() {
         let (a, b) = tables();
         let lib = generate_features(&a, &b);
-        let err = corleone_blocking(&a, &b, &lib.blocking, &RuleSequence::default(), 10)
-            .unwrap_err();
-        assert!(matches!(err, BlockingError::TooManyPairs { pairs: 100, .. }));
+        let err =
+            corleone_blocking(&a, &b, &lib.blocking, &RuleSequence::default(), 10).unwrap_err();
+        assert!(matches!(
+            err,
+            BlockingError::TooManyPairs { pairs: 100, .. }
+        ));
     }
 
     #[test]
@@ -95,8 +99,8 @@ mod tests {
                 feature: jac,
                 op: SplitOp::Le,
                 threshold: 0.99,
-                            nan_is_high: true,
-}],
+                nan_is_high: true,
+            }],
         }]);
         let out = corleone_blocking(&a, &b, &lib.blocking, &seq, 1_000_000).unwrap();
         // Only identical titles survive jaccard > 0.99.

@@ -1,13 +1,15 @@
 //! The end-to-end Falcon driver: plan generation, execution and
 //! optimization over two input tables and a crowd.
 
+use crate::analyze;
+use crate::error::FalconError;
 use crate::features::{generate_features, FeatureLibrary};
 use crate::indexing::{BuiltIndexes, ConjunctSpecs};
 use crate::metrics::em_quality;
 use crate::ops::accuracy_estimator::{estimate_accuracy, AccuracyEstimate, EstimatorConfig};
 use crate::ops::al_matcher::{al_matcher, AlConfig};
-use crate::ops::difficult_pairs::locate_difficult_pairs;
 use crate::ops::apply_matcher::apply_matcher;
+use crate::ops::difficult_pairs::locate_difficult_pairs;
 use crate::ops::eval_rules::{eval_rules, EvalConfig, EvaluatedRule};
 use crate::ops::gen_fvs::gen_fvs;
 use crate::ops::get_blocking_rules::get_blocking_rules;
@@ -19,7 +21,7 @@ use crate::plan::{choose_plan, PlanKind};
 use crate::rules::RuleSequence;
 use crate::timeline::Timeline;
 use falcon_crowd::{Crowd, CrowdSession, Ledger};
-use falcon_dataflow::{run_map_only, Cluster, ClusterConfig};
+use falcon_dataflow::{run_map_only, wall_now, Cluster, ClusterConfig};
 use falcon_table::{IdPair, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -155,14 +157,37 @@ impl Falcon {
     }
 
     /// Hands-off crowdsourced EM over `A × B` using `crowd`.
+    ///
+    /// Panicking convenience wrapper around [`Falcon::try_run`] for tests
+    /// and examples; services should call `try_run` and handle the error.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn run<C: Crowd>(&self, a: &Table, b: &Table, crowd: C) -> RunReport {
+        // falcon-lint: allow(no-panic) — documented convenience wrapper.
+        self.try_run(a, b, crowd)
+            .unwrap_or_else(|e| panic!("Falcon::run: {e}"))
+    }
+
+    /// Hands-off crowdsourced EM over `A × B` using `crowd`, with the
+    /// pre-flight [`analyze`](crate::analyze::analyze) gate: a statically
+    /// malformed plan is rejected as [`FalconError::Plan`] before any
+    /// MapReduce job or crowd question is issued.
+    pub fn try_run<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+    ) -> Result<RunReport, FalconError> {
+        let analysis = analyze::analyze(a, b, &self.config);
+        if !analysis.is_ok() {
+            return Err(FalconError::Plan(analysis.errors));
+        }
         let cfg = &self.config;
         let cluster = Cluster::new(cfg.cluster.clone());
         let mut session = CrowdSession::new(crowd);
         let mut timeline = Timeline::new();
 
         // Feature generation (fast table scans).
-        let t0 = std::time::Instant::now();
+        let t0 = wall_now();
         let lib = generate_features(a, b);
         timeline.machine("gen_features", t0.elapsed());
 
@@ -193,13 +218,13 @@ impl Falcon {
         cluster: &Cluster,
         session: &mut CrowdSession<C>,
         timeline: &mut Timeline,
-    ) -> RunReport {
+    ) -> Result<RunReport, FalconError> {
         let cfg = &self.config;
         // Cartesian product of ids.
         let pairs: Vec<IdPair> = (0..a.len() as u32)
             .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
             .collect();
-        let fv_out = gen_fvs(cluster, a, b, &pairs, &lib.matching);
+        let fv_out = gen_fvs(cluster, a, b, &pairs, &lib.matching)?;
         timeline.machine("gen_fvs_m", fv_out.stats.sim_duration(&cfg.cluster));
         let higher: Vec<bool> = lib
             .matching
@@ -220,10 +245,10 @@ impl Falcon {
             &fv_out.fvs,
             &higher,
             &al_cfg,
-        );
-        let applied = apply_matcher(cluster, &al.forest, &fv_out.fvs);
+        )?;
+        let applied = apply_matcher(cluster, &al.forest, &fv_out.fvs)?;
         timeline.machine("apply_matcher", applied.stats.sim_duration(&cfg.cluster));
-        RunReport {
+        Ok(RunReport {
             matches: applied.matches,
             plan: PlanKind::MatchOnly,
             physical: None,
@@ -235,7 +260,7 @@ impl Falcon {
             timeline: std::mem::take(timeline),
             ledger: session.ledger(),
             feature_counts: (lib.blocking.len(), lib.matching.len()),
-        }
+        })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -247,19 +272,12 @@ impl Falcon {
         cluster: &Cluster,
         session: &mut CrowdSession<C>,
         timeline: &mut Timeline,
-    ) -> BlockingOutcome {
+    ) -> Result<BlockingOutcome, FalconError> {
         let cfg = &self.config;
         let mut built = BuiltIndexes::new();
 
         // ---- sample_pairs ----
-        let sample = sample_pairs(
-            cluster,
-            a,
-            b,
-            cfg.sample_size,
-            cfg.sample_fanout,
-            cfg.seed,
-        );
+        let sample = sample_pairs(cluster, a, b, cfg.sample_size, cfg.sample_fanout, cfg.seed)?;
         timeline.machine(
             "sample_pairs",
             sample.index_job.sim_duration(&cfg.cluster)
@@ -267,7 +285,7 @@ impl Falcon {
         );
 
         // ---- gen_fvs (blocking features) ----
-        let s_fvs = gen_fvs(cluster, a, b, &sample.pairs, &lib.blocking);
+        let s_fvs = gen_fvs(cluster, a, b, &sample.pairs, &lib.blocking)?;
         timeline.machine("gen_fvs_b", s_fvs.stats.sim_duration(&cfg.cluster));
 
         // ---- al_matcher (blocking stage) ----
@@ -290,15 +308,15 @@ impl Falcon {
             &s_fvs.fvs,
             &higher_b,
             &al_cfg,
-        );
+        )?;
 
         // Masking 1a: generic index prebuild during the AL crowd rounds.
         if cfg.opt.prebuild_indexes {
-            prebuild_generic(cluster, a, &lib.blocking, &mut built, timeline);
+            prebuild_generic(cluster, a, &lib.blocking, &mut built, timeline)?;
         }
 
         // ---- get_blocking_rules ----
-        let t0 = std::time::Instant::now();
+        let t0 = wall_now();
         let ranked = get_blocking_rules(&al_b.forest, &s_fvs.fvs, cfg.max_rules, &higher_b);
         timeline.machine("get_block_rules", t0.elapsed());
         let rules_extracted = ranked.len();
@@ -315,7 +333,14 @@ impl Falcon {
         };
         let eval = eval_rules(session, timeline, &ranked, &s_fvs.fvs, &eval_cfg);
         if cfg.opt.prebuild_indexes {
-            prebuild_for_rules(cluster, a, &ranked.rules, &lib.blocking, &mut built, timeline);
+            prebuild_for_rules(
+                cluster,
+                a,
+                &ranked.rules,
+                &lib.blocking,
+                &mut built,
+                timeline,
+            )?;
         }
         let speculated = if cfg.opt.speculative_execution {
             let rules_with_sel: Vec<_> = ranked
@@ -333,7 +358,7 @@ impl Falcon {
                 &mut built,
                 timeline,
                 cfg.max_pairs,
-            )
+            )?
         } else {
             Default::default()
         };
@@ -354,15 +379,22 @@ impl Falcon {
         let rules_retained = eval.retained.len();
 
         // ---- select_opt_seq ----
-        let t0 = std::time::Instant::now();
+        let t0 = wall_now();
         let seq_out = select_opt_seq(&ranked, &retained, &s_fvs.fvs, &cfg.seq);
         timeline.machine("sel_opt_seq", t0.elapsed());
+
+        // Contract check: the optimizer's sequence must be well-formed
+        // against the blocking arity before anything is built from it.
+        let seq_errors = analyze::check_rule_sequence(&seq_out.seq, lib.blocking.len());
+        if !seq_errors.is_empty() {
+            return Err(FalconError::Plan(seq_errors));
+        }
 
         // ---- apply_blocking_rules ----
         let conjuncts = ConjunctSpecs::derive(&seq_out.seq, &lib.blocking);
         // Build whatever indexes are still missing (unmasked).
         for spec in conjuncts.all_specs() {
-            let dur = built.build_spec(cluster, a, &spec);
+            let dur = built.build_spec(cluster, a, &spec)?;
             timeline.machine("index_build", dur);
         }
         // Reuse a speculated single-rule output when possible.
@@ -383,13 +415,12 @@ impl Falcon {
                 &seq_out.seq,
             ));
             let chunk = base.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-            let splits: Vec<Vec<IdPair>> =
-                base.chunks(chunk).map(<[IdPair]>::to_vec).collect();
+            let splits: Vec<Vec<IdPair>> = base.chunks(chunk).map(<[IdPair]>::to_vec).collect();
             let out = run_map_only(cluster, splits, move |&(x, y): &IdPair, acc| {
                 if evaluator.keeps(x, y) {
                     acc.push((x, y));
                 }
-            });
+            })?;
             timeline.machine("apply_block_rules", out.stats.sim_duration(&cfg.cluster));
             let mut c = out.output;
             c.sort_unstable();
@@ -437,22 +468,21 @@ impl Falcon {
                         &built,
                         &seq_out.rule_selectivities,
                         cfg.max_pairs,
-                    )
-                    .expect("apply-all fallback");
+                    )?;
                     timeline.machine("apply_block_rules", res.duration);
                     (res.candidates, res.op)
                 }
             }
         };
 
-        BlockingOutcome {
+        Ok(BlockingOutcome {
             candidates,
             physical_op,
             seq: seq_out.seq,
             rules_extracted,
             rules_retained,
             sample_len: sample.pairs.len(),
-        }
+        })
     }
 
     /// The matching stage: `gen_fvs` over the candidates, crowdsourced
@@ -471,17 +501,17 @@ impl Falcon {
         candidates: &[IdPair],
         priority: Vec<usize>,
         seed_salt: u64,
-    ) -> MatchStageOutcome {
+    ) -> Result<MatchStageOutcome, FalconError> {
         let cfg = &self.config;
-        let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching);
+        let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching)?;
         timeline.machine("gen_fvs_m", c_fvs.stats.sim_duration(&cfg.cluster));
         if c_fvs.fvs.is_empty() {
-            return MatchStageOutcome {
+            return Ok(MatchStageOutcome {
                 matches: Vec::new(),
                 forest: None,
                 fvs: c_fvs.fvs,
                 labeled: Vec::new(),
-            };
+            });
         }
         let higher_m: Vec<bool> = lib
             .matching
@@ -504,20 +534,20 @@ impl Falcon {
             &c_fvs.fvs,
             &higher_m,
             &al_m_cfg,
-        );
-        let applied = apply_matcher(cluster, &al_m.forest, &c_fvs.fvs);
+        )?;
+        let applied = apply_matcher(cluster, &al_m.forest, &c_fvs.fvs)?;
         let dur = applied.stats.sim_duration(&cfg.cluster);
         if cfg.opt.speculative_execution && al_m.converged {
             timeline.masked_machine("apply_matcher", dur);
         } else {
             timeline.machine("apply_matcher", dur);
         }
-        MatchStageOutcome {
+        Ok(MatchStageOutcome {
             matches: applied.matches,
             forest: Some(al_m.forest),
             fvs: c_fvs.fvs,
             labeled: al_m.labeled,
-        }
+        })
     }
 
     fn run_block_and_match<C: Crowd>(
@@ -528,8 +558,8 @@ impl Falcon {
         cluster: &Cluster,
         session: &mut CrowdSession<C>,
         timeline: &mut Timeline,
-    ) -> RunReport {
-        let block = self.blocking_stage(a, b, lib, cluster, session, timeline);
+    ) -> Result<RunReport, FalconError> {
+        let block = self.blocking_stage(a, b, lib, cluster, session, timeline)?;
         let matched = self.matching_stage(
             a,
             b,
@@ -540,8 +570,8 @@ impl Falcon {
             &block.candidates,
             Vec::new(),
             0,
-        );
-        RunReport {
+        )?;
+        Ok(RunReport {
             matches: matched.matches,
             plan: PlanKind::BlockAndMatch,
             physical: Some(block.physical_op),
@@ -553,7 +583,7 @@ impl Falcon {
             timeline: std::mem::take(timeline),
             ledger: session.ledger(),
             feature_counts: (lib.blocking.len(), lib.matching.len()),
-        }
+        })
     }
 
     /// The **full iterative EM workflow** of Figure 1: Blocker, then
@@ -570,15 +600,34 @@ impl Falcon {
         crowd: C,
         max_outer: usize,
     ) -> (RunReport, Vec<AccuracyEstimate>) {
+        // falcon-lint: allow(no-panic) — documented convenience wrapper.
+        #[allow(clippy::unwrap_used, clippy::expect_used)]
+        self.try_run_workflow(a, b, crowd, max_outer)
+            .unwrap_or_else(|e| panic!("Falcon::run_workflow: {e}"))
+    }
+
+    /// Fallible form of [`Falcon::run_workflow`], with the same pre-flight
+    /// [`analyze`](crate::analyze::analyze) gate as [`Falcon::try_run`].
+    pub fn try_run_workflow<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        max_outer: usize,
+    ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
+        let analysis = analyze::analyze(a, b, &self.config);
+        if !analysis.is_ok() {
+            return Err(FalconError::Plan(analysis.errors));
+        }
         let cfg = &self.config;
         let cluster = Cluster::new(cfg.cluster.clone());
         let mut session = CrowdSession::new(crowd);
         let mut timeline = Timeline::new();
-        let t0 = std::time::Instant::now();
+        let t0 = wall_now();
         let lib = generate_features(a, b);
         timeline.machine("gen_features", t0.elapsed());
 
-        let block = self.blocking_stage(a, b, &lib, &cluster, &mut session, &mut timeline);
+        let block = self.blocking_stage(a, b, &lib, &cluster, &mut session, &mut timeline)?;
 
         let mut estimates: Vec<AccuracyEstimate> = Vec::new();
         // Keep the round with the best crowd-estimated F1 (Corleone keeps
@@ -597,7 +646,7 @@ impl Falcon {
                 &block.candidates,
                 std::mem::take(&mut priority),
                 round as u64,
-            );
+            )?;
             for (i, l) in &outcome.labeled {
                 known.insert(*i, *l);
             }
@@ -615,9 +664,7 @@ impl Falcon {
                     ..EstimatorConfig::default()
                 },
             );
-            let improved = estimates
-                .last()
-                .is_none_or(|prev| est.f1 > prev.f1 + 0.01);
+            let improved = estimates.last().is_none_or(|prev| est.f1 > prev.f1 + 0.01);
             let difficult = locate_difficult_pairs(forest, &outcome.fvs, &known, cfg.al.batch);
             priority = difficult.into_iter().map(|d| d.index).collect();
             let keep_going = improved && !priority.is_empty() && round + 1 < max_outer;
@@ -629,7 +676,13 @@ impl Falcon {
                 break;
             }
         }
-        let (_, matched) = best.expect("at least one round");
+        // The loop body always runs at least once and every path sets
+        // `best`; guard anyway so the workflow cannot panic.
+        let Some((_, matched)) = best else {
+            return Err(FalconError::EmptyInput {
+                what: "workflow rounds",
+            });
+        };
         let report = RunReport {
             matches: matched.matches,
             plan: PlanKind::BlockAndMatch,
@@ -643,7 +696,7 @@ impl Falcon {
             ledger: session.ledger(),
             feature_counts: (lib.blocking.len(), lib.matching.len()),
         };
-        (report, estimates)
+        Ok((report, estimates))
     }
 }
 

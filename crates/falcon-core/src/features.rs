@@ -77,10 +77,7 @@ impl FeatureSet {
 
     /// Compute the full feature vector for one pair.
     pub fn vector(&self, a: &Tuple, b: &Tuple, ctx: &SimContext<'_>) -> Vec<f64> {
-        self.features
-            .iter()
-            .map(|f| f.compute(a, b, ctx))
-            .collect()
+        self.features.iter().map(|f| f.compute(a, b, ctx)).collect()
     }
 }
 
@@ -270,9 +267,7 @@ mod tests {
         let (a, b) = tables();
         let lib = generate_features(&a, &b);
         let ctx = SimContext::empty();
-        let fv = lib
-            .matching
-            .vector(&a.rows()[0], &b.rows()[0], &ctx);
+        let fv = lib.matching.vector(&a.rows()[0], &b.rows()[0], &ctx);
         assert_eq!(fv.len(), lib.matching.len());
         // Identical tuples: all similarity-oriented features should be 1 or
         // 0-distance.

@@ -9,16 +9,17 @@
 //! prebuild them during crowd rounds (Section 10.2, Solution 1) and
 //! `apply_blocking_rules` can reuse them for free.
 
+use crate::error::FalconError;
 use crate::features::FeatureSet;
 use crate::rules::RuleSequence;
-use falcon_dataflow::{run_map_combine_reduce, Cluster, Emitter};
+use falcon_dataflow::{run_map_combine_reduce, wall_now, Cluster, Emitter};
 use falcon_forest::SplitOp;
-use falcon_index::{FilterSpec, PredicateIndex, TokenOrder};
+use falcon_index::{FilterSpec, IndexError, PredicateIndex, TokenOrder};
 use falcon_table::{Table, Tuple};
 use falcon_textsim::Tokenizer;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Stable cache key for a filter spec.
 pub fn predicate_key(spec: &FilterSpec) -> String {
@@ -133,12 +134,15 @@ impl BuiltIndexes {
         a: &Table,
         attr: &str,
         tokenizer: Tokenizer,
-    ) -> Duration {
+    ) -> Result<Duration, FalconError> {
         let key = format!("{attr}:{}", tokenizer.suffix());
         if self.orders.contains_key(&key) {
-            return Duration::ZERO;
+            return Ok(Duration::ZERO);
         }
-        let attr_idx = a.schema().index_of(attr).expect("attr exists");
+        let attr_idx = a
+            .schema()
+            .index_of(attr)
+            .ok_or_else(|| IndexError::MissingAttribute { attr: attr.into() })?;
         let splits: Vec<Vec<Tuple>> = a
             .splits(cluster.threads() * 2)
             .into_iter()
@@ -147,7 +151,7 @@ impl BuiltIndexes {
         // MR job 1: token frequencies (with a combiner, so each map task
         // ships one count per distinct token instead of one record per
         // occurrence).
-        let t0 = Instant::now();
+        let t0 = wall_now();
         let out = run_map_combine_reduce(
             cluster,
             splits,
@@ -161,25 +165,32 @@ impl BuiltIndexes {
             |tok: &String, counts: Vec<u32>, out: &mut Vec<(String, usize)>| {
                 out.push((tok.clone(), counts.iter().sum::<u32>() as usize));
             },
-        );
+        )?;
         // "MR job 2": global ordering by ascending frequency.
         let order = TokenOrder::from_frequencies(out.output.into_iter());
         let dur = out.stats.sim_duration(&cluster.config).max(t0.elapsed());
         self.orders.insert(key, Arc::new(order));
-        dur
+        Ok(dur)
     }
 
     /// Build (or reuse) the index for one spec; returns the build duration
     /// (zero when cached).
-    pub fn build_spec(&mut self, cluster: &Cluster, a: &Table, spec: &FilterSpec) -> Duration {
+    pub fn build_spec(
+        &mut self,
+        cluster: &Cluster,
+        a: &Table,
+        spec: &FilterSpec,
+    ) -> Result<Duration, FalconError> {
         let key = predicate_key(spec);
         if self.indexes.contains_key(&key) {
-            return Duration::ZERO;
+            return Ok(Duration::ZERO);
         }
         let mut dur = Duration::ZERO;
         let order = if let FilterSpec::SetSim { a_attr, sim, .. } = spec {
-            let tokenizer = sim.tokenizer().expect("set sim");
-            dur += self.build_order(cluster, a, a_attr, tokenizer);
+            let tokenizer = sim
+                .tokenizer()
+                .ok_or_else(|| IndexError::NotSetBased { sim: sim.name() })?;
+            dur += self.build_order(cluster, a, a_attr, tokenizer)?;
             self.orders
                 .get(&format!("{a_attr}:{}", tokenizer.suffix()))
                 .map(|o| (**o).clone())
@@ -187,19 +198,25 @@ impl BuiltIndexes {
             None
         };
         // "MR job 3": assemble the index (single pass over A).
-        let t0 = Instant::now();
-        let idx = PredicateIndex::build(a, spec, order);
+        let t0 = wall_now();
+        let idx = PredicateIndex::try_build(a, spec, order)?;
         dur += t0.elapsed();
         self.indexes.insert(key, Arc::new(idx));
-        dur
+        Ok(dur)
     }
 
     /// Build all specs, returning the total build duration.
-    pub fn build_all(&mut self, cluster: &Cluster, a: &Table, specs: &[FilterSpec]) -> Duration {
-        specs
-            .iter()
-            .map(|s| self.build_spec(cluster, a, s))
-            .sum()
+    pub fn build_all(
+        &mut self,
+        cluster: &Cluster,
+        a: &Table,
+        specs: &[FilterSpec],
+    ) -> Result<Duration, FalconError> {
+        let mut total = Duration::ZERO;
+        for s in specs {
+            total += self.build_spec(cluster, a, s)?;
+        }
+        Ok(total)
     }
 
     /// Fetch a built index.
@@ -289,9 +306,9 @@ mod tests {
             sim: SimFunction::Jaccard(Tokenizer::Word),
             threshold: 0.5,
         };
-        let d1 = built.build_spec(&cluster(), &a, &spec);
+        let d1 = built.build_spec(&cluster(), &a, &spec).expect("build");
         assert!(d1 > Duration::ZERO);
-        let d2 = built.build_spec(&cluster(), &a, &spec);
+        let d2 = built.build_spec(&cluster(), &a, &spec).expect("build");
         assert_eq!(d2, Duration::ZERO);
         assert!(built.get(&spec).is_some());
         assert!(built.bytes_of(&[predicate_key(&spec)]) > 0);
@@ -301,8 +318,12 @@ mod tests {
     fn order_built_once_per_attr_tokenizer() {
         let (a, _) = tables();
         let mut built = BuiltIndexes::new();
-        let d1 = built.build_order(&cluster(), &a, "title", Tokenizer::Word);
-        let d2 = built.build_order(&cluster(), &a, "title", Tokenizer::Word);
+        let d1 = built
+            .build_order(&cluster(), &a, "title", Tokenizer::Word)
+            .expect("order");
+        let d2 = built
+            .build_order(&cluster(), &a, "title", Tokenizer::Word)
+            .expect("order");
         assert!(d1 > Duration::ZERO);
         assert_eq!(d2, Duration::ZERO);
     }

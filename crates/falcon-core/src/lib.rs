@@ -19,8 +19,12 @@
 //! optimizations of Section 10.2 live in [`optimizer`] and are accounted
 //! by [`timeline::Timeline`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod analyze;
 pub mod corleone;
 pub mod driver;
+pub mod error;
 pub mod features;
 pub mod fv;
 pub mod indexing;
@@ -34,7 +38,9 @@ pub mod rules;
 pub mod snb;
 pub mod timeline;
 
+pub use analyze::{analyze, PlanAnalysis, PlanAnalysisError};
 pub use driver::{Falcon, FalconConfig, RunReport};
+pub use error::FalconError;
 pub use features::{Feature, FeatureLibrary, FeatureSet};
 pub use fv::FvSet;
 pub use optimizer::OptFlags;

@@ -15,10 +15,11 @@
 //! matcher is an approximation (selection is one round stale), which the
 //! paper shows costs negligible accuracy.
 
+use crate::error::FalconError;
 use crate::fv::FvSet;
 use crate::timeline::Timeline;
 use falcon_crowd::{Crowd, CrowdSession};
-use falcon_dataflow::{run_map_only, Cluster};
+use falcon_dataflow::{run_map_only, wall_now, Cluster};
 use falcon_forest::{Dataset, Forest, ForestConfig};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -26,7 +27,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Active-learning configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -104,7 +105,7 @@ fn score_disagreement(
     forest: &Forest,
     fvs: &FvSet,
     labeled: &HashSet<usize>,
-) -> (Vec<(usize, f64)>, Duration) {
+) -> Result<(Vec<(usize, f64)>, Duration), FalconError> {
     let forest = Arc::new(forest.clone());
     let idxs: Vec<usize> = (0..fvs.len()).filter(|i| !labeled.contains(i)).collect();
     let chunk = idxs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
@@ -114,15 +115,15 @@ fn score_disagreement(
         .collect();
     let out = run_map_only(cluster, splits, move |(i, fv): &(usize, Vec<f64>), out| {
         out.push((*i, forest.disagreement(fv)));
-    });
+    })?;
     let dur = out.stats.sim_duration(&cluster.config);
-    (out.output, dur)
+    Ok((out.output, dur))
 }
 
 /// Pick the `batch` most controversial indices (ties broken by index for
 /// determinism).
 fn top_controversial(mut scored: Vec<(usize, f64)>, batch: usize) -> Vec<usize> {
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().take(batch).map(|(i, _)| i).collect()
 }
 
@@ -137,8 +138,12 @@ pub fn al_matcher<C: Crowd>(
     fvs: &FvSet,
     higher: &[bool],
     cfg: &AlConfig,
-) -> AlOutput {
-    assert!(!fvs.is_empty(), "al_matcher needs a non-empty pair set");
+) -> Result<AlOutput, FalconError> {
+    if fvs.is_empty() {
+        return Err(FalconError::EmptyInput {
+            what: "feature vectors",
+        });
+    }
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x414c4d41);
     let mut labeled_set: HashSet<usize> = HashSet::new();
     let mut data = Dataset::new();
@@ -148,11 +153,11 @@ pub fn al_matcher<C: Crowd>(
     let mut converged = false;
 
     let label_batch = |idxs: &[usize],
-                           session: &mut CrowdSession<C>,
-                           timeline: &mut Timeline,
-                           data: &mut Dataset,
-                           labeled: &mut Vec<(usize, bool)>,
-                           labeled_set: &mut HashSet<usize>| {
+                       session: &mut CrowdSession<C>,
+                       timeline: &mut Timeline,
+                       data: &mut Dataset,
+                       labeled: &mut Vec<(usize, bool)>,
+                       labeled_set: &mut HashSet<usize>| {
         let pairs: Vec<_> = idxs.iter().map(|&i| fvs.pairs[i]).collect();
         let (answers, latency) = session.label_batch(&pairs);
         timeline.crowd(label, latency);
@@ -164,14 +169,14 @@ pub fn al_matcher<C: Crowd>(
     };
 
     // ---- Seed round: likely positives + likely negatives ----
-    let t0 = Instant::now();
+    let t0 = wall_now();
     let mut scored: Vec<(usize, f64)> = fvs
         .fvs
         .iter()
         .enumerate()
         .map(|(i, fv)| (i, seed_score(fv, higher)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let half = (cfg.seeds / 2).max(1).min(fvs.len() / 2 + 1);
     let mut seed_idx: Vec<usize> = cfg
         .priority_indices
@@ -205,7 +210,9 @@ pub fn al_matcher<C: Crowd>(
     // extra rounds).
     let mut guard = 0;
     while (data.positives() == 0 || data.positives() == data.len()) && guard < 3 {
-        let mut rest: Vec<usize> = (0..fvs.len()).filter(|i| !labeled_set.contains(i)).collect();
+        let mut rest: Vec<usize> = (0..fvs.len())
+            .filter(|i| !labeled_set.contains(i))
+            .collect();
         if rest.is_empty() {
             break;
         }
@@ -230,8 +237,8 @@ pub fn al_matcher<C: Crowd>(
     // selection of the following batch happens during that round.
     let mut pending: Vec<usize> = Vec::new();
     if cfg.mask_pair_selection {
-        let t = Instant::now();
-        let (scored, job_dur) = score_disagreement(cluster, &forest, fvs, &labeled_set);
+        let t = wall_now();
+        let (scored, job_dur) = score_disagreement(cluster, &forest, fvs, &labeled_set)?;
         let picked = top_controversial(scored, cfg.batch * 2);
         let wall = t.elapsed().max(job_dur);
         selection_time += wall;
@@ -250,16 +257,13 @@ pub fn al_matcher<C: Crowd>(
             let now_batch: Vec<usize> = pending.drain(..pending.len().min(cfg.batch)).collect();
             // Post `now_batch`; while the crowd works, retrain and select
             // the next batch (masked machine time).
-            let t = Instant::now();
+            let t = wall_now();
             forest = Forest::train(&data, &cfg.forest, &mut rng);
             let mut exclude = labeled_set.clone();
             exclude.extend(now_batch.iter().copied());
             exclude.extend(pending.iter().copied());
-            let (scored, job_dur) = score_disagreement(cluster, &forest, fvs, &exclude);
-            let max_dis = scored
-                .iter()
-                .map(|(_, d)| *d)
-                .fold(0.0f64, f64::max);
+            let (scored, job_dur) = score_disagreement(cluster, &forest, fvs, &exclude)?;
+            let max_dis = scored.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
             let wall = t.elapsed().max(job_dur);
             selection_time += wall;
             timeline.masked_machine(label, wall);
@@ -278,9 +282,9 @@ pub fn al_matcher<C: Crowd>(
         } else {
             // Unmasked: select with the freshest model, on the critical
             // path.
-            let t = Instant::now();
+            let t = wall_now();
             forest = Forest::train(&data, &cfg.forest, &mut rng);
-            let (scored, job_dur) = score_disagreement(cluster, &forest, fvs, &labeled_set);
+            let (scored, job_dur) = score_disagreement(cluster, &forest, fvs, &labeled_set)?;
             let max_dis = scored.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
             let batch = top_controversial(scored, cfg.batch);
             let wall = t.elapsed().max(job_dur);
@@ -303,17 +307,17 @@ pub fn al_matcher<C: Crowd>(
     }
 
     // Final matcher trained on everything labeled.
-    let t = Instant::now();
+    let t = wall_now();
     let forest = Forest::train(&data, &cfg.forest, &mut rng);
     timeline.machine(label, t.elapsed());
 
-    AlOutput {
+    Ok(AlOutput {
         forest,
         labeled,
         iterations,
         converged,
         selection_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -358,7 +362,8 @@ mod tests {
             &fvs,
             &higher,
             &AlConfig::default(),
-        );
+        )
+        .expect("al");
         // Perfect on the training universe.
         for (pair, fv) in fvs.iter() {
             assert_eq!(out.forest.predict(fv), truth.is_match(pair), "{pair:?}");
@@ -380,7 +385,8 @@ mod tests {
             &fvs,
             &higher,
             &AlConfig::default(),
-        );
+        )
+        .expect("al");
         assert!(out.converged);
         assert!(out.iterations < 30, "{}", out.iterations);
     }
@@ -395,7 +401,8 @@ mod tests {
             convergence_eps: 0.0,
             ..Default::default()
         };
-        let out = al_matcher(&cluster(), &mut session, &mut tl, "al", &fvs, &higher, &cfg);
+        let out =
+            al_matcher(&cluster(), &mut session, &mut tl, "al", &fvs, &higher, &cfg).expect("al");
         assert!(out.iterations <= 3);
     }
 
@@ -408,7 +415,8 @@ mod tests {
             mask_pair_selection: true,
             ..Default::default()
         };
-        let out = al_matcher(&cluster(), &mut session, &mut tl, "al", &fvs, &higher, &cfg);
+        let out =
+            al_matcher(&cluster(), &mut session, &mut tl, "al", &fvs, &higher, &cfg).expect("al");
         let correct = fvs
             .iter()
             .filter(|(p, fv)| out.forest.predict(fv) == truth.is_match(*p))
@@ -434,7 +442,8 @@ mod tests {
             &fvs,
             &higher,
             &AlConfig::default(),
-        );
+        )
+        .expect("al");
         assert_eq!(session.ledger().rounds, out.iterations);
     }
 }

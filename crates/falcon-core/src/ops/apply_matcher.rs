@@ -1,6 +1,7 @@
 //! `apply_matcher` (Section 9): apply a trained matcher to every candidate
 //! pair — a map-only job.
 
+use crate::error::FalconError;
 use crate::fv::FvSet;
 use falcon_dataflow::{run_map_only, Cluster, JobStats};
 use falcon_forest::Forest;
@@ -17,7 +18,11 @@ pub struct ApplyMatcherOutput {
 }
 
 /// Predict every pair in `fvs` with `forest`; return the matches.
-pub fn apply_matcher(cluster: &Cluster, forest: &Forest, fvs: &FvSet) -> ApplyMatcherOutput {
+pub fn apply_matcher(
+    cluster: &Cluster,
+    forest: &Forest,
+    fvs: &FvSet,
+) -> Result<ApplyMatcherOutput, FalconError> {
     let forest = Arc::new(forest.clone());
     let chunk = fvs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
     let splits: Vec<Vec<(IdPair, Vec<f64>)>> = fvs
@@ -34,13 +39,13 @@ pub fn apply_matcher(cluster: &Cluster, forest: &Forest, fvs: &FvSet) -> ApplyMa
                 out.push(*pair);
             }
         },
-    );
+    )?;
     let mut matches = out.output;
     matches.sort_unstable();
-    ApplyMatcherOutput {
+    Ok(ApplyMatcherOutput {
         matches,
         stats: out.stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -69,7 +74,7 @@ mod tests {
             fvs.fvs.push(vec![i as f64 / 100.0]);
         }
         let cluster = Cluster::new(ClusterConfig::small(2)).with_threads(2);
-        let out = apply_matcher(&cluster, &forest, &fvs);
+        let out = apply_matcher(&cluster, &forest, &fvs).expect("apply_matcher");
         assert!(!out.matches.is_empty());
         for (a, _) in &out.matches {
             assert!(*a > 45, "unexpected match at {a}");
@@ -88,7 +93,7 @@ mod tests {
             &mut SmallRng::seed_from_u64(1),
         );
         let cluster = Cluster::new(ClusterConfig::small(1)).with_threads(1);
-        let out = apply_matcher(&cluster, &forest, &FvSet::default());
+        let out = apply_matcher(&cluster, &forest, &FvSet::default()).expect("apply_matcher");
         assert!(out.matches.is_empty());
     }
 }

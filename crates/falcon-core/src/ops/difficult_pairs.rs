@@ -45,12 +45,7 @@ pub fn locate_difficult_pairs(
             DifficultPair { index: i, score }
         })
         .collect();
-    scored.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap()
-            .then(a.index.cmp(&b.index))
-    });
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
     scored.truncate(k);
     scored.retain(|p| p.score > 0.0);
     scored

@@ -178,8 +178,8 @@ mod tests {
                 feature: 0,
                 op: SplitOp::Le,
                 threshold,
-                            nan_is_high: true,
-}],
+                nan_is_high: true,
+            }],
         }
     }
 
@@ -206,7 +206,13 @@ mod tests {
         let ranked = ranked_for(&sample, vec![rule(0.5)]);
         let mut session = CrowdSession::new(OracleCrowd::new(truth));
         let mut tl = Timeline::new();
-        let out = eval_rules(&mut session, &mut tl, &ranked, &sample, &EvalConfig::default());
+        let out = eval_rules(
+            &mut session,
+            &mut tl,
+            &ranked,
+            &sample,
+            &EvalConfig::default(),
+        );
         assert_eq!(out.retained.len(), 1);
         assert!(out.retained[0].precision > 0.99);
     }
@@ -218,7 +224,13 @@ mod tests {
         let ranked = ranked_for(&sample, vec![rule(1.0)]);
         let mut session = CrowdSession::new(OracleCrowd::new(truth));
         let mut tl = Timeline::new();
-        let out = eval_rules(&mut session, &mut tl, &ranked, &sample, &EvalConfig::default());
+        let out = eval_rules(
+            &mut session,
+            &mut tl,
+            &ranked,
+            &sample,
+            &EvalConfig::default(),
+        );
         assert!(out.retained.is_empty());
     }
 
@@ -251,7 +263,13 @@ mod tests {
         let ranked = ranked_for(&sample, vec![rule(-1.0)]); // fires never
         let mut session = CrowdSession::new(OracleCrowd::new(truth));
         let mut tl = Timeline::new();
-        let out = eval_rules(&mut session, &mut tl, &ranked, &sample, &EvalConfig::default());
+        let out = eval_rules(
+            &mut session,
+            &mut tl,
+            &ranked,
+            &sample,
+            &EvalConfig::default(),
+        );
         assert!(out.retained.is_empty());
         assert_eq!(out.total_iterations, 0);
     }

@@ -1,6 +1,7 @@
 //! `gen_fvs` (Section 8): convert tuple pairs into feature vectors with a
 //! map-only job.
 
+use crate::error::FalconError;
 use crate::features::FeatureSet;
 use crate::fv::FvSet;
 use falcon_dataflow::{run_map_only, Cluster, JobStats};
@@ -42,13 +43,31 @@ pub fn tfidf_model_for(features: &FeatureSet, a: &Table, b: &Table) -> Option<Tf
 }
 
 /// Run `gen_fvs` over `pairs`.
+///
+/// Every pair id must resolve in its table; a dangling id is an
+/// upstream-operator contract violation and is rejected before the job
+/// starts.
 pub fn gen_fvs(
     cluster: &Cluster,
     a: &Table,
     b: &Table,
     pairs: &[IdPair],
     features: &FeatureSet,
-) -> GenFvsOutput {
+) -> Result<GenFvsOutput, FalconError> {
+    for &(aid, bid) in pairs {
+        if a.get(aid).is_none() {
+            return Err(FalconError::UnknownTupleId {
+                table: "A",
+                id: aid,
+            });
+        }
+        if b.get(bid).is_none() {
+            return Err(FalconError::UnknownTupleId {
+                table: "B",
+                id: bid,
+            });
+        }
+    }
     let tfidf = tfidf_model_for(features, a, b);
     let a = Arc::new(a.clone());
     let b = Arc::new(b.clone());
@@ -61,19 +80,22 @@ pub fn gen_fvs(
             Some(m) => SimContext::with_tfidf(m),
             None => SimContext::empty(),
         };
-        let at = a.get(aid).expect("valid a id");
-        let bt = b.get(bid).expect("valid b id");
+        // Ids were validated above; skip (rather than crash a worker) if
+        // the invariant is somehow violated.
+        let (Some(at), Some(bt)) = (a.get(aid), b.get(bid)) else {
+            return;
+        };
         out.push(((aid, bid), features.vector(at, bt, &ctx)));
-    });
+    })?;
     let mut fvs = FvSet::default();
     for (pair, fv) in out.output {
         fvs.pairs.push(pair);
         fvs.fvs.push(fv);
     }
-    GenFvsOutput {
+    Ok(GenFvsOutput {
         fvs,
         stats: out.stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -102,7 +124,7 @@ mod tests {
         );
         let lib = generate_features(&a, &b);
         let pairs: Vec<IdPair> = vec![(0, 0), (1, 2), (9, 9)];
-        let out = gen_fvs(&cluster(), &a, &b, &pairs, &lib.blocking);
+        let out = gen_fvs(&cluster(), &a, &b, &pairs, &lib.blocking).expect("gen_fvs");
         assert_eq!(out.fvs.len(), 3);
         assert_eq!(out.fvs.arity(), lib.blocking.len());
         assert_eq!(out.fvs.pairs, pairs);
@@ -122,7 +144,18 @@ mod tests {
         let a = Table::new("a", schema.clone(), vec![vec![Value::str("x")]]);
         let b = Table::new("b", schema, vec![vec![Value::str("x")]]);
         let lib = generate_features(&a, &b);
-        let out = gen_fvs(&cluster(), &a, &b, &[], &lib.blocking);
+        let out = gen_fvs(&cluster(), &a, &b, &[], &lib.blocking).expect("gen_fvs");
         assert!(out.fvs.is_empty());
+    }
+
+    #[test]
+    fn dangling_pair_id_is_a_typed_error() {
+        let schema = Schema::new([("t", AttrType::Str)]);
+        let a = Table::new("a", schema.clone(), vec![vec![Value::str("x")]]);
+        let b = Table::new("b", schema, vec![vec![Value::str("x")]]);
+        let lib = generate_features(&a, &b);
+        let err = gen_fvs(&cluster(), &a, &b, &[(0, 7)], &lib.blocking)
+            .expect_err("id 7 does not exist in b");
+        assert_eq!(err, FalconError::UnknownTupleId { table: "B", id: 7 });
     }
 }

@@ -72,7 +72,7 @@ pub fn get_blocking_rules(
         })
         .filter(|(_, bm)| bm.count() > 0)
         .collect();
-    ranked.sort_by(|a, b| b.1.count().cmp(&a.1.count()));
+    ranked.sort_by_key(|(_, bm)| std::cmp::Reverse(bm.count()));
     ranked.truncate(max_rules);
     let (rules, coverage) = ranked.into_iter().unzip();
     RankedRules { rules, coverage }
@@ -101,7 +101,11 @@ mod tests {
             let sim = i as f64 / 100.0;
             d.push(vec![sim], sim > 0.5);
         }
-        Forest::train(&d, &ForestConfig::default(), &mut SmallRng::seed_from_u64(3))
+        Forest::train(
+            &d,
+            &ForestConfig::default(),
+            &mut SmallRng::seed_from_u64(3),
+        )
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! token count (likely matches) and `y/2` random `A` tuples
 //! (representativeness) — MR job 2.
 
+use crate::error::FalconError;
 use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, Emitter, JobStats};
 use falcon_table::{AttrType, IdPair, Table, TableProfile, Tuple, TupleId};
 use falcon_textsim::tokenize::word_tokens;
@@ -61,7 +62,7 @@ pub fn sample_pairs(
     n: usize,
     y: usize,
     seed: u64,
-) -> SampleOutput {
+) -> Result<SampleOutput, FalconError> {
     let y = y.clamp(2, n.max(2));
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x53414d50);
     let a_strings = Arc::new(string_attrs(a));
@@ -85,7 +86,7 @@ pub fn sample_pairs(
         |tok: &String, ids: Vec<TupleId>, out: &mut Vec<(String, Vec<TupleId>)>| {
             out.push((tok.clone(), ids));
         },
-    );
+    )?;
     let index: Arc<HashMap<String, Vec<TupleId>>> =
         Arc::new(index_out.output.into_iter().collect());
 
@@ -99,11 +100,7 @@ pub fn sample_pairs(
     // MR job 2 (map-only): generate pairs for each selected B tuple.
     let b_splits: Vec<Vec<(Tuple, u64)>> = selected
         .chunks((selected.len() / (cluster.threads().max(1)).max(1)).max(1))
-        .map(|c| {
-            c.iter()
-                .map(|t| (t.clone(), rng.gen::<u64>()))
-                .collect()
-        })
+        .map(|c| c.iter().map(|t| (t.clone(), rng.gen::<u64>())).collect())
         .collect();
     let a_len = a.len();
     let b_strings = Arc::new(string_attrs(b));
@@ -118,8 +115,7 @@ pub fn sample_pairs(
                 }
             }
         }
-        let mut ranked: Vec<(usize, TupleId)> =
-            counts.into_iter().map(|(id, c)| (c, id)).collect();
+        let mut ranked: Vec<(usize, TupleId)> = counts.into_iter().map(|(id, c)| (c, id)).collect();
         ranked.sort_unstable_by(|x, y| y.cmp(x));
         let y1 = (y / 2).min(ranked.len());
         let mut chosen: Vec<TupleId> = ranked[..y1].iter().map(|(_, id)| *id).collect();
@@ -135,16 +131,16 @@ pub fn sample_pairs(
         for aid in chosen {
             out.push((aid, bt.id));
         }
-    });
+    })?;
 
     let mut pairs = pair_out.output.clone();
     pairs.sort_unstable();
     pairs.dedup();
-    SampleOutput {
+    Ok(SampleOutput {
         pairs,
         index_job: index_out.stats,
         pair_job: pair_out.stats,
-    }
+    })
 }
 
 /// Corleone's original sampling strategy (Section 5): randomly draw
@@ -205,7 +201,7 @@ mod tests {
     #[test]
     fn sample_size_near_target() {
         let (a, b) = tables();
-        let out = sample_pairs(&cluster(), &a, &b, 200, 10, 1);
+        let out = sample_pairs(&cluster(), &a, &b, 200, 10, 1).expect("sample");
         // 20 B tuples × 10 A partners = ~200 (dedup may trim).
         assert!(out.pairs.len() >= 150, "{}", out.pairs.len());
         assert!(out.pairs.len() <= 200);
@@ -220,10 +216,9 @@ mod tests {
         // Identical tables: each sampled b should be paired with its exact
         // A twin (max shared tokens).
         let (a, b) = tables();
-        let out = sample_pairs(&cluster(), &a, &b, 100, 10, 2);
+        let out = sample_pairs(&cluster(), &a, &b, 100, 10, 2).expect("sample");
         let twins = out.pairs.iter().filter(|(x, y)| x == y).count();
-        let sampled_bs: std::collections::HashSet<_> =
-            out.pairs.iter().map(|(_, b)| *b).collect();
+        let sampled_bs: std::collections::HashSet<_> = out.pairs.iter().map(|(_, b)| *b).collect();
         // Every sampled b has its twin among its partners.
         assert_eq!(twins, sampled_bs.len());
     }
@@ -231,7 +226,7 @@ mod tests {
     #[test]
     fn pairs_unique() {
         let (a, b) = tables();
-        let out = sample_pairs(&cluster(), &a, &b, 300, 6, 3);
+        let out = sample_pairs(&cluster(), &a, &b, 300, 6, 3).expect("sample");
         let mut p = out.pairs.clone();
         p.dedup();
         assert_eq!(p.len(), out.pairs.len());
@@ -255,7 +250,7 @@ mod tests {
         let schema = Schema::new([("name", AttrType::Str)]);
         let a = Table::new("a", schema.clone(), vec![vec![Value::str("only one")]]);
         let b = Table::new("b", schema, vec![vec![Value::str("only one")]]);
-        let out = sample_pairs(&cluster(), &a, &b, 10, 4, 4);
+        let out = sample_pairs(&cluster(), &a, &b, 10, 4, 4).expect("sample");
         assert_eq!(out.pairs, vec![(0, 0)]);
     }
 }

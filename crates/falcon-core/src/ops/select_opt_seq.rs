@@ -13,10 +13,10 @@
 //! `get_blocking_rules`; for large samples the bitmaps are striped down to
 //! a fixed optimizer resolution so subset enumeration stays fast.
 
+use crate::fv::FvSet;
 use crate::ops::bitmap::Bitmap;
 use crate::ops::eval_rules::EvaluatedRule;
 use crate::ops::get_blocking_rules::RankedRules;
-use crate::fv::FvSet;
 use crate::rules::{Rule, RuleSequence};
 use serde::{Deserialize, Serialize};
 
@@ -129,7 +129,9 @@ fn greedy_order(cands: &[&Candidate<'_>], bits: usize) -> (Vec<usize>, f64) {
                 best = Some((rank, slot));
             }
         }
-        let (_, slot) = best.expect("non-empty remaining");
+        // `remaining` is non-empty here, so a best slot always exists; the
+        // let-else keeps this loop panic-free under the no-panic lint.
+        let Some((_, slot)) = best else { break };
         let ci = remaining.remove(slot);
         seq_time += reach_prob * cands[ci].time;
         covered.or_with(&cands[ci].cov);
@@ -163,7 +165,11 @@ fn score_subset(
         .map(|&i| cands[i].cov.count() as f64 * (1.0 - cands[i].precision))
         .sum();
     let precision = (1.0 - bad / total_cov as f64).max(0.0);
-    let time_norm = if max_time > 0.0 { seq_time / max_time } else { 0.0 };
+    let time_norm = if max_time > 0.0 {
+        seq_time / max_time
+    } else {
+        0.0
+    };
     let score = cfg.alpha * precision - cfg.beta * selectivity - cfg.gamma * time_norm;
     (order, score, precision, selectivity)
 }
@@ -234,7 +240,18 @@ pub fn select_opt_seq(
         best = current;
     }
 
-    let (order, score, precision, selectivity) = best.expect("non-empty rules");
+    // `retained` is non-empty, so the exact path scored at least mask 1 and
+    // the greedy path scored at least one singleton; fall back to "no
+    // blocking" (keep everything) rather than panic if that ever changes.
+    let Some((order, score, precision, selectivity)) = best else {
+        return SeqOutput {
+            seq: RuleSequence::default(),
+            score: 0.0,
+            precision: 1.0,
+            selectivity: 1.0,
+            rule_selectivities: Vec::new(),
+        };
+    };
     let rule_selectivities: Vec<f64> = order
         .iter()
         .map(|&i| 1.0 - cands[i].cov.count() as f64 / bits as f64)
@@ -271,8 +288,8 @@ mod tests {
                 feature: 0,
                 op: SplitOp::Le,
                 threshold: t,
-                            nan_is_high: true,
-}],
+                nan_is_high: true,
+            }],
         }
     }
 

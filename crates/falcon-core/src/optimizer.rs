@@ -15,6 +15,7 @@
 //! All scheduled work is recorded via [`Timeline::masked_machine`], which
 //! charges only the portion exceeding the accumulated crowd latency.
 
+use crate::error::FalconError;
 use crate::features::FeatureSet;
 use crate::indexing::{BuiltIndexes, ConjunctSpecs};
 use crate::physical::{self, PhysicalOp};
@@ -69,31 +70,33 @@ pub fn prebuild_generic(
     features: &FeatureSet,
     built: &mut BuiltIndexes,
     timeline: &mut Timeline,
-) {
+) -> Result<(), FalconError> {
     let mut seen = std::collections::HashSet::new();
     for f in &features.features {
         match f.sim {
             s if s.is_set_based() => {
-                let tok = s.tokenizer().expect("set sim");
+                // A set-based sim without a tokenizer cannot occur; skip
+                // (prebuilding is an optimization, never a correctness need).
+                let Some(tok) = s.tokenizer() else { continue };
                 if seen.insert(format!("o:{}:{}", f.a_attr, tok.suffix())) {
-                    let dur = built.build_order(cluster, a, &f.a_attr, tok);
+                    let dur = built.build_order(cluster, a, &f.a_attr, tok)?;
                     timeline.masked_machine("index_build", dur);
                 }
             }
-            SimFunction::ExactMatch
-                if seen.insert(format!("e:{}", f.a_attr)) => {
-                    let dur = built.build_spec(
-                        cluster,
-                        a,
-                        &FilterSpec::Equals {
-                            a_attr: f.a_attr.clone(),
-                        },
-                    );
-                    timeline.masked_machine("index_build", dur);
-                }
+            SimFunction::ExactMatch if seen.insert(format!("e:{}", f.a_attr)) => {
+                let dur = built.build_spec(
+                    cluster,
+                    a,
+                    &FilterSpec::Equals {
+                        a_attr: f.a_attr.clone(),
+                    },
+                )?;
+                timeline.masked_machine("index_build", dur);
+            }
             _ => {}
         }
     }
+    Ok(())
 }
 
 /// Masking step 1b: build every per-predicate index the top-ranked rules
@@ -105,13 +108,14 @@ pub fn prebuild_for_rules(
     features: &FeatureSet,
     built: &mut BuiltIndexes,
     timeline: &mut Timeline,
-) {
+) -> Result<(), FalconError> {
     let seq = RuleSequence::new(rules.to_vec());
     let conjuncts = ConjunctSpecs::derive(&seq, features);
     for spec in conjuncts.all_specs() {
-        let dur = built.build_spec(cluster, a, &spec);
+        let dur = built.build_spec(cluster, a, &spec)?;
         timeline.masked_machine("index_build", dur);
     }
+    Ok(())
 }
 
 /// Masking step 2: speculatively execute candidate rules one at a time in
@@ -130,7 +134,7 @@ pub fn speculate_rules(
     built: &mut BuiltIndexes,
     timeline: &mut Timeline,
     max_pairs: u128,
-) -> HashMap<String, Vec<IdPair>> {
+) -> Result<HashMap<String, Vec<IdPair>>, FalconError> {
     /// Only rules keeping at most this fraction of the sample are worth
     /// materializing individually.
     const MAX_KEEP_FRACTION: f64 = 0.05;
@@ -148,7 +152,7 @@ pub fn speculate_rules(
             continue; // no index support; speculation would enumerate A×B
         }
         for spec in conjuncts.all_specs() {
-            let dur = built.build_spec(cluster, a, &spec);
+            let dur = built.build_spec(cluster, a, &spec)?;
             timeline.masked_machine("index_build", dur);
         }
         let result = physical::execute(
@@ -168,7 +172,7 @@ pub fn speculate_rules(
             out.insert(rule.canonical_key(), res.candidates);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -209,7 +213,7 @@ mod tests {
         let mut built = BuiltIndexes::new();
         let mut tl = Timeline::new();
         tl.crowd("al_matcher", Duration::from_secs(3600));
-        prebuild_generic(&cluster(), &a, &lib.blocking, &mut built, &mut tl);
+        prebuild_generic(&cluster(), &a, &lib.blocking, &mut built, &mut tl).expect("prebuild");
         assert!(!built.orders.is_empty());
         // Fully masked: total time is still just the crowd hour.
         assert_eq!(tl.total_time(), Duration::from_secs(3600));
@@ -231,8 +235,8 @@ mod tests {
                 feature: jac,
                 op: SplitOp::Le,
                 threshold: 0.6,
-                            nan_is_high: true,
-}],
+                nan_is_high: true,
+            }],
         };
         let mut built = BuiltIndexes::new();
         let mut tl = Timeline::new(); // zero capacity
@@ -245,7 +249,8 @@ mod tests {
             &mut built,
             &mut tl,
             1 << 30,
-        );
+        )
+        .expect("speculate");
         assert!(out.is_empty());
         // With capacity, the rule gets speculated.
         let mut tl = Timeline::new();
@@ -259,7 +264,8 @@ mod tests {
             &mut built,
             &mut tl,
             1 << 30,
-        );
+        )
+        .expect("speculate");
         assert!(out.contains_key(&rule.canonical_key()));
         // Unselective rules are skipped even with capacity.
         let out = speculate_rules(
@@ -271,7 +277,8 @@ mod tests {
             &mut built,
             &mut tl,
             1 << 30,
-        );
+        )
+        .expect("speculate");
         assert!(out.is_empty());
     }
 }

@@ -33,7 +33,7 @@
 use crate::features::{score_values, FeatureSet};
 use crate::indexing::{BuiltIndexes, ConjunctSpecs};
 use crate::rules::RuleSequence;
-use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, Emitter, JobStats};
+use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, DataflowError, Emitter, JobStats};
 use falcon_index::spec::Candidates;
 use falcon_index::PredicateIndex;
 use falcon_table::{IdPair, Table, Tuple, TupleId};
@@ -87,6 +87,8 @@ pub enum BlockingError {
     },
     /// The chosen operator needs at least one filterable conjunct.
     NoFilterableConjunct,
+    /// The underlying dataflow engine failed (worker panic, lost split).
+    Dataflow(DataflowError),
 }
 
 impl std::fmt::Display for BlockingError {
@@ -96,11 +98,18 @@ impl std::fmt::Display for BlockingError {
                 write!(f, "would enumerate {pairs} pairs (budget {budget})")
             }
             BlockingError::NoFilterableConjunct => write!(f, "no filterable conjunct"),
+            BlockingError::Dataflow(e) => write!(f, "dataflow failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for BlockingError {}
+
+impl From<DataflowError> for BlockingError {
+    fn from(e: DataflowError) -> Self {
+        BlockingError::Dataflow(e)
+    }
+}
 
 /// Result of one blocking execution.
 #[derive(Debug)]
@@ -156,8 +165,11 @@ impl PairEvaluator {
 
     /// True iff the pair survives the rule sequence.
     pub fn keeps(&self, aid: TupleId, bid: TupleId) -> bool {
-        let at = self.a.get(aid).expect("a id");
-        let bt = self.b.get(bid).expect("b id");
+        // A pair referencing an unknown id cannot be a match of real
+        // tuples; dropping it is exact, not lossy.
+        let (Some(at), Some(bt)) = (self.a.get(aid), self.b.get(bid)) else {
+            return false;
+        };
         let ctx = SimContext::empty();
         let mut fv = vec![f64::NAN; self.arity];
         for &i in &self.needed {
@@ -173,21 +185,22 @@ impl PairEvaluator {
 type Bundle = Vec<(Arc<PredicateIndex>, usize)>;
 
 /// Assemble probe bundles for the given conjunct indices.
-fn bundles_for(
-    conjuncts: &ConjunctSpecs,
-    built: &BuiltIndexes,
-    which: &[usize],
-) -> Vec<Bundle> {
+///
+/// A conjunct whose spec or built index is missing is skipped *whole*:
+/// dropping an entire conjunct only weakens the filter (more candidates
+/// pass), which preserves recall. Dropping a single predicate inside a
+/// conjunct would instead shrink the probe union and could lose matches.
+fn bundles_for(conjuncts: &ConjunctSpecs, built: &BuiltIndexes, which: &[usize]) -> Vec<Bundle> {
     which
         .iter()
-        .map(|&ci| {
+        .filter_map(|&ci| {
             conjuncts.specs[ci]
                 .iter()
                 .map(|s| {
-                    let (spec, b_idx) = s.as_ref().expect("filterable conjunct");
-                    (built.get(spec).expect("index built"), *b_idx)
+                    let (spec, b_idx) = s.as_ref()?;
+                    Some((built.get(spec)?, *b_idx))
                 })
-                .collect()
+                .collect::<Option<Bundle>>()
         })
         .collect()
 }
@@ -256,24 +269,22 @@ fn run_probe_reduce(
     evaluator: Arc<PairEvaluator>,
     bundles: Vec<Bundle>,
     op: PhysicalOp,
-) -> BlockingOutput {
+) -> Result<BlockingOutput, BlockingError> {
     let a_len = a.len() as TupleId;
     let bundles = Arc::new(bundles);
     let out = run_map_reduce(
         cluster,
         b_splits(b, cluster),
         cluster.threads(),
-        move |bt: &Tuple, e: &mut Emitter<TupleId, TupleId>| {
-            match candidates_for(bt, &bundles) {
-                Some(ids) => {
-                    for aid in ids {
-                        e.emit(aid, bt.id);
-                    }
+        move |bt: &Tuple, e: &mut Emitter<TupleId, TupleId>| match candidates_for(bt, &bundles) {
+            Some(ids) => {
+                for aid in ids {
+                    e.emit(aid, bt.id);
                 }
-                None => {
-                    for aid in 0..a_len {
-                        e.emit(aid, bt.id);
-                    }
+            }
+            None => {
+                for aid in 0..a_len {
+                    e.emit(aid, bt.id);
                 }
             }
         },
@@ -284,29 +295,37 @@ fn run_probe_reduce(
                 }
             }
         },
-    );
+    )?;
     let duration = out.stats.sim_duration(&cluster.config);
     let mut candidates = out.output;
     candidates.sort_unstable();
-    BlockingOutput {
+    Ok(BlockingOutput {
         candidates,
         op,
         duration,
         jobs: vec![out.stats],
-    }
+    })
 }
 
 /// Probe-only wave for one bundle set: returns the pair set it admits.
-fn run_probe_wave(cluster: &Cluster, a: &Table, b: &Table, bundles: Vec<Bundle>) -> (HashSet<IdPair>, JobStats) {
+fn run_probe_wave(
+    cluster: &Cluster,
+    a: &Table,
+    b: &Table,
+    bundles: Vec<Bundle>,
+) -> Result<(HashSet<IdPair>, JobStats), BlockingError> {
     let a_len = a.len() as TupleId;
     let bundles = Arc::new(bundles);
-    let out = run_map_only(cluster, b_splits(b, cluster), move |bt: &Tuple, out| {
-        match candidates_for(bt, &bundles) {
-            Some(ids) => out.extend(ids.into_iter().map(|aid| (aid, bt.id))),
-            None => out.extend((0..a_len).map(|aid| (aid, bt.id))),
-        }
-    });
-    (out.output.iter().copied().collect(), out.stats)
+    let out =
+        run_map_only(
+            cluster,
+            b_splits(b, cluster),
+            move |bt: &Tuple, out| match candidates_for(bt, &bundles) {
+                Some(ids) => out.extend(ids.into_iter().map(|aid| (aid, bt.id))),
+                None => out.extend((0..a_len).map(|aid| (aid, bt.id))),
+            },
+        )?;
+    Ok((out.output.iter().copied().collect(), out.stats))
 }
 
 /// Final evaluation of the rule sequence over a pair set (map-only).
@@ -314,17 +333,17 @@ fn run_evaluate(
     cluster: &Cluster,
     evaluator: Arc<PairEvaluator>,
     pairs: Vec<IdPair>,
-) -> (Vec<IdPair>, JobStats) {
+) -> Result<(Vec<IdPair>, JobStats), BlockingError> {
     let chunk = pairs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
     let splits: Vec<Vec<IdPair>> = pairs.chunks(chunk).map(<[IdPair]>::to_vec).collect();
     let out = run_map_only(cluster, splits, move |&(aid, bid): &IdPair, out| {
         if evaluator.keeps(aid, bid) {
             out.push((aid, bid));
         }
-    });
+    })?;
     let mut kept = out.output;
     kept.sort_unstable();
-    (kept, out.stats)
+    Ok((kept, out.stats))
 }
 
 /// Execute a blocking plan with an explicit physical operator.
@@ -349,7 +368,7 @@ pub fn execute(
                 return Err(BlockingError::NoFilterableConjunct);
             }
             let bundles = bundles_for(conjuncts, built, &filterable);
-            Ok(run_probe_reduce(cluster, a, b, evaluator, bundles, op))
+            run_probe_reduce(cluster, a, b, evaluator, bundles, op)
         }
         PhysicalOp::ApplyGreedy => {
             let best = filterable
@@ -358,11 +377,11 @@ pub fn execute(
                 .min_by(|&x, &y| {
                     let sx = rule_selectivities.get(x).copied().unwrap_or(1.0);
                     let sy = rule_selectivities.get(y).copied().unwrap_or(1.0);
-                    sx.partial_cmp(&sy).unwrap()
+                    sx.total_cmp(&sy)
                 })
                 .ok_or(BlockingError::NoFilterableConjunct)?;
             let bundles = bundles_for(conjuncts, built, &[best]);
-            Ok(run_probe_reduce(cluster, a, b, evaluator, bundles, op))
+            run_probe_reduce(cluster, a, b, evaluator, bundles, op)
         }
         PhysicalOp::ApplyConjunct => {
             if filterable.is_empty() {
@@ -372,7 +391,12 @@ pub fn execute(
             let mut acc: Option<HashSet<IdPair>> = None;
             for &ci in &filterable {
                 let bundles = bundles_for(conjuncts, built, &[ci]);
-                let (set, stats) = run_probe_wave(cluster, a, b, bundles);
+                if bundles.is_empty() {
+                    // Conjunct not probe-able: skipping its wave keeps
+                    // every candidate it would have admitted (recall-safe).
+                    continue;
+                }
+                let (set, stats) = run_probe_wave(cluster, a, b, bundles)?;
                 jobs.push(stats);
                 acc = Some(match acc {
                     None => set,
@@ -381,12 +405,9 @@ pub fn execute(
             }
             let mut pairs: Vec<IdPair> = acc.unwrap_or_default().into_iter().collect();
             pairs.sort_unstable();
-            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs);
+            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs)?;
             jobs.push(stats);
-            let duration = jobs
-                .iter()
-                .map(|s| s.sim_duration(&cluster.config))
-                .sum();
+            let duration = jobs.iter().map(|s| s.sim_duration(&cluster.config)).sum();
             Ok(BlockingOutput {
                 candidates,
                 op,
@@ -402,12 +423,22 @@ pub fn execute(
             let mut acc: Option<HashSet<IdPair>> = None;
             for &ci in &filterable {
                 // Union across this conjunct's predicates, each probed in
-                // its own wave holding a single predicate index.
+                // its own wave holding a single predicate index. If *any*
+                // predicate of the conjunct cannot be probed, the whole
+                // conjunct is skipped: a partial union would shrink the
+                // candidate set and lose recall, while skipping the
+                // conjunct only admits extra candidates.
+                let specs: Option<Vec<Bundle>> = conjuncts.specs[ci]
+                    .iter()
+                    .map(|s| {
+                        let (spec, b_idx) = s.as_ref()?;
+                        Some(vec![(built.get(spec)?, *b_idx)])
+                    })
+                    .collect();
+                let Some(pred_bundles) = specs else { continue };
                 let mut union: HashSet<IdPair> = HashSet::new();
-                for s in &conjuncts.specs[ci] {
-                    let (spec, b_idx) = s.as_ref().expect("filterable");
-                    let bundle: Bundle = vec![(built.get(spec).expect("built"), *b_idx)];
-                    let (set, stats) = run_probe_wave(cluster, a, b, vec![bundle]);
+                for bundle in pred_bundles {
+                    let (set, stats) = run_probe_wave(cluster, a, b, vec![bundle])?;
                     jobs.push(stats);
                     union.extend(set);
                 }
@@ -418,12 +449,9 @@ pub fn execute(
             }
             let mut pairs: Vec<IdPair> = acc.unwrap_or_default().into_iter().collect();
             pairs.sort_unstable();
-            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs);
+            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs)?;
             jobs.push(stats);
-            let duration = jobs
-                .iter()
-                .map(|s| s.sim_duration(&cluster.config))
-                .sum();
+            let duration = jobs.iter().map(|s| s.sim_duration(&cluster.config)).sum();
             Ok(BlockingOutput {
                 candidates,
                 op,
@@ -447,7 +475,7 @@ pub fn execute(
                             out.push((aid, bt.id));
                         }
                     }
-                });
+                })?;
                 let duration = out.stats.sim_duration(&cluster.config);
                 let mut candidates = out.output;
                 candidates.sort_unstable();
@@ -475,7 +503,7 @@ pub fn execute(
                             }
                         }
                     },
-                );
+                )?;
                 let duration = out.stats.sim_duration(&cluster.config);
                 let mut candidates = out.output;
                 candidates.sort_unstable();
@@ -510,42 +538,45 @@ pub fn select_physical(
             .map(|&ci| {
                 let keys: Vec<String> = conjuncts.specs[ci]
                     .iter()
-                    .map(|s| predicate_key(&s.as_ref().expect("filterable").0))
+                    .filter_map(|s| s.as_ref().map(|(spec, _)| predicate_key(spec)))
                     .collect();
                 (ci, built.bytes_of(&keys))
             })
             .collect();
-        // Most selective filterable conjunct.
-        let (best_ci, best_bytes) = conj_bytes
-            .iter()
-            .copied()
-            .min_by(|(x, _), (y, _)| {
-                let sx = rule_selectivities.get(*x).copied().unwrap_or(1.0);
-                let sy = rule_selectivities.get(*y).copied().unwrap_or(1.0);
-                sx.partial_cmp(&sy).unwrap()
-            })
-            .expect("non-empty");
-        let best_sel = rule_selectivities.get(best_ci).copied().unwrap_or(1.0);
-        if best_sel > 0.0 && seq_selectivity / best_sel >= greedy_ratio && best_bytes <= mapper_memory
-        {
-            return PhysicalOp::ApplyGreedy;
-        }
-        let total: usize = conj_bytes.iter().map(|(_, b)| b).sum();
-        if total <= mapper_memory {
-            return PhysicalOp::ApplyAll;
-        }
-        if conj_bytes.iter().any(|(_, b)| *b <= mapper_memory) {
-            return PhysicalOp::ApplyConjunct;
-        }
-        // Per-predicate granularity.
-        let max_pred = filterable
-            .iter()
-            .flat_map(|&ci| conjuncts.specs[ci].iter())
-            .map(|s| built.bytes_of(&[predicate_key(&s.as_ref().expect("filterable").0)]))
-            .max()
-            .unwrap_or(usize::MAX);
-        if max_pred <= mapper_memory {
-            return PhysicalOp::ApplyPredicate;
+        // Most selective filterable conjunct (`conj_bytes` is non-empty
+        // because `filterable` is; the if-let keeps this panic-free).
+        if let Some((best_ci, best_bytes)) = conj_bytes.iter().copied().min_by(|(x, _), (y, _)| {
+            let sx = rule_selectivities.get(*x).copied().unwrap_or(1.0);
+            let sy = rule_selectivities.get(*y).copied().unwrap_or(1.0);
+            sx.total_cmp(&sy)
+        }) {
+            let best_sel = rule_selectivities.get(best_ci).copied().unwrap_or(1.0);
+            if best_sel > 0.0
+                && seq_selectivity / best_sel >= greedy_ratio
+                && best_bytes <= mapper_memory
+            {
+                return PhysicalOp::ApplyGreedy;
+            }
+            let total: usize = conj_bytes.iter().map(|(_, b)| b).sum();
+            if total <= mapper_memory {
+                return PhysicalOp::ApplyAll;
+            }
+            if conj_bytes.iter().any(|(_, b)| *b <= mapper_memory) {
+                return PhysicalOp::ApplyConjunct;
+            }
+            // Per-predicate granularity.
+            let max_pred = filterable
+                .iter()
+                .flat_map(|&ci| conjuncts.specs[ci].iter())
+                .filter_map(|s| {
+                    s.as_ref()
+                        .map(|(spec, _)| built.bytes_of(&[predicate_key(spec)]))
+                })
+                .max()
+                .unwrap_or(usize::MAX);
+            if max_pred <= mapper_memory {
+                return PhysicalOp::ApplyPredicate;
+            }
         }
     }
     if a_bytes <= mapper_memory {

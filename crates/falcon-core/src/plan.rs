@@ -114,7 +114,11 @@ mod tests {
 
     fn table(n: usize) -> Table {
         let schema = Schema::new([("x", AttrType::Str)]);
-        Table::new("t", schema, (0..n).map(|i| vec![Value::str(format!("v{i}"))]))
+        Table::new(
+            "t",
+            schema,
+            (0..n).map(|i| vec![Value::str(format!("v{i}"))]),
+        )
     }
 
     #[test]

@@ -48,10 +48,10 @@ impl Predicate {
         if v.is_nan() {
             // Missing = maximally similar: +∞ satisfies Gt only, -∞
             // satisfies Le only.
-            return match (self.nan_is_high, self.op) {
-                (true, SplitOp::Gt) | (false, SplitOp::Le) => true,
-                _ => false,
-            };
+            return matches!(
+                (self.nan_is_high, self.op),
+                (true, SplitOp::Gt) | (false, SplitOp::Le)
+            );
         }
         self.op.eval(v, self.threshold)
     }
@@ -273,9 +273,7 @@ pub struct CnfRule {
 impl CnfRule {
     /// True iff every conjunct has a satisfied disjunct.
     pub fn satisfied(&self, fv: &[f64]) -> bool {
-        self.conjuncts
-            .iter()
-            .all(|c| c.iter().any(|p| p.eval(fv)))
+        self.conjuncts.iter().all(|c| c.iter().any(|p| p.eval(fv)))
     }
 }
 
@@ -313,7 +311,6 @@ mod tests {
         // they fail Le, so the rule cannot fire on missing data.
         assert!(!r.fires(&[f64::NAN, 25.0]));
         assert!(r.fires(&[0.0, f64::NAN])); // NaN satisfies Gt when high
-
     }
 
     #[test]
@@ -356,11 +353,7 @@ mod tests {
             for &b in &vals {
                 for &c in &vals {
                     let fv = [a, b, c];
-                    assert_eq!(
-                        seq.keeps(&fv),
-                        cnf.satisfied(&fv),
-                        "fv = {fv:?}"
-                    );
+                    assert_eq!(seq.keeps(&fv), cnf.satisfied(&fv), "fv = {fv:?}");
                 }
             }
         }

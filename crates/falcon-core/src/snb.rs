@@ -59,8 +59,8 @@ pub fn snb_candidates(a: &Table, b: &Table, key: &str, w: usize) -> Vec<IdPair> 
 pub fn best_snb(a: &Table, b: &Table, truth: &[IdPair], w: usize) -> SnbResult {
     // SNB naturally yields about w·(|A|+|B|) pairs; the budget only
     // rejects degenerate keys whose ties blow the window up further.
-    let budget = (((a.len() as f64 * b.len() as f64) * 0.05).ceil() as usize)
-        .max(w * (a.len() + b.len()));
+    let budget =
+        (((a.len() as f64 * b.len() as f64) * 0.05).ceil() as usize).max(w * (a.len() + b.len()));
     let mut best: Option<(f64, SnbResult)> = None;
     for key in a.schema().names() {
         if b.schema().index_of(key).is_none() {

@@ -4,8 +4,8 @@
 use falcon_core::driver::{Falcon, FalconConfig};
 use falcon_core::optimizer::OptFlags;
 use falcon_core::plan::PlanKind;
-use falcon_crowd::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd};
 use falcon_crowd::session::paper_cost_cap;
+use falcon_crowd::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd};
 use falcon_dataflow::ClusterConfig;
 use falcon_datagen::{products, songs};
 
@@ -30,7 +30,13 @@ fn block_and_match_reaches_high_f1_with_oracle() {
     cfg.force_plan = Some(PlanKind::BlockAndMatch);
     let report = Falcon::new(cfg).run(&d.a, &d.b, OracleCrowd::new(truth));
     let q = report.quality(&d.truth);
-    assert!(q.f1 > 0.75, "F1 = {:.3} (P {:.3} R {:.3})", q.f1, q.precision, q.recall);
+    assert!(
+        q.f1 > 0.75,
+        "F1 = {:.3} (P {:.3} R {:.3})",
+        q.f1,
+        q.precision,
+        q.recall
+    );
     // Blocking actually pruned the space.
     let cand = report.candidate_size.unwrap();
     assert!(cand < d.a.len() * d.b.len() / 4, "{cand} candidates");
@@ -89,12 +95,12 @@ fn crowd_cost_stays_under_cap() {
     let truth = GroundTruth::new(d.truth.iter().copied());
     let mut cfg = small_config();
     cfg.force_plan = Some(PlanKind::BlockAndMatch);
-    let report = Falcon::new(cfg).run(
-        &d.a,
-        &d.b,
-        RandomWorkerCrowd::new(truth, 0.05, 3),
+    let report = Falcon::new(cfg).run(&d.a, &d.b, RandomWorkerCrowd::new(truth, 0.05, 3));
+    assert!(
+        report.ledger.cost <= paper_cost_cap(),
+        "{}",
+        report.ledger.cost
     );
-    assert!(report.ledger.cost <= paper_cost_cap(), "{}", report.ledger.cost);
     assert!(report.ledger.questions > 0);
     // Crowd time dominates totals (the paper's structure).
     assert!(report.crowd_time() > report.unmasked_machine_time());

@@ -42,17 +42,10 @@ fn workflow_terminates_and_reports_estimates() {
 fn workflow_never_worse_than_single_pass_by_much() {
     let d = products::generate(0.03, 72);
     let truth = GroundTruth::new(d.truth.iter().copied());
-    let single = Falcon::new(config()).run(
-        &d.a,
-        &d.b,
-        RandomWorkerCrowd::new(truth.clone(), 0.05, 4),
-    );
-    let (multi, _) = Falcon::new(config()).run_workflow(
-        &d.a,
-        &d.b,
-        RandomWorkerCrowd::new(truth, 0.05, 4),
-        3,
-    );
+    let single =
+        Falcon::new(config()).run(&d.a, &d.b, RandomWorkerCrowd::new(truth.clone(), 0.05, 4));
+    let (multi, _) =
+        Falcon::new(config()).run_workflow(&d.a, &d.b, RandomWorkerCrowd::new(truth, 0.05, 4), 3);
     let qs = single.quality(&d.truth);
     let qm = multi.quality(&d.truth);
     assert!(

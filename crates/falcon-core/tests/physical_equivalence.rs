@@ -78,17 +78,17 @@ fn all_physical_operators_agree() {
     assert!(!conjuncts.filterable().is_empty());
     let mut built = BuiltIndexes::new();
     for spec in conjuncts.all_specs() {
-        built.build_spec(&cluster, &a, &spec);
+        built.build_spec(&cluster, &a, &spec).expect("build");
     }
     let sels = vec![0.3, 0.5];
     let reference = corleone_blocking(&a, &b, &features, &seq, 1 << 40)
         .unwrap()
         .candidates;
+    assert!(!reference.is_empty(), "fixture should keep some candidates");
     assert!(
-        !reference.is_empty(),
-        "fixture should keep some candidates"
+        reference.len() < a.len() * b.len(),
+        "rules should drop pairs"
     );
-    assert!(reference.len() < a.len() * b.len(), "rules should drop pairs");
     for op in [
         PhysicalOp::ApplyAll,
         PhysicalOp::ApplyGreedy,
@@ -98,7 +98,16 @@ fn all_physical_operators_agree() {
         PhysicalOp::ReduceSplit,
     ] {
         let out = physical::execute(
-            op, &cluster, &a, &b, &features, &seq, &conjuncts, &built, &sels, 1 << 40,
+            op,
+            &cluster,
+            &a,
+            &b,
+            &features,
+            &seq,
+            &conjuncts,
+            &built,
+            &sels,
+            1 << 40,
         )
         .unwrap_or_else(|e| panic!("{op:?} failed: {e}"));
         assert_eq!(
@@ -118,7 +127,7 @@ fn blocking_preserves_recall() {
     let conjuncts = ConjunctSpecs::derive(&seq, &features);
     let mut built = BuiltIndexes::new();
     for spec in conjuncts.all_specs() {
-        built.build_spec(&cluster, &a, &spec);
+        built.build_spec(&cluster, &a, &spec).expect("build");
     }
     let out = physical::execute(
         PhysicalOp::ApplyAll,
@@ -153,7 +162,16 @@ fn enumeration_baselines_respect_pair_budget() {
     let built = BuiltIndexes::new();
     for op in [PhysicalOp::MapSide, PhysicalOp::ReduceSplit] {
         let err = physical::execute(
-            op, &cluster, &a, &b, &features, &seq, &conjuncts, &built, &[0.5, 0.5], 100,
+            op,
+            &cluster,
+            &a,
+            &b,
+            &features,
+            &seq,
+            &conjuncts,
+            &built,
+            &[0.5, 0.5],
+            100,
         )
         .unwrap_err();
         assert!(matches!(
@@ -171,7 +189,7 @@ fn physical_selection_follows_memory_budget() {
     let conjuncts = ConjunctSpecs::derive(&seq, &features);
     let mut built = BuiltIndexes::new();
     for spec in conjuncts.all_specs() {
-        built.build_spec(&cluster, &a, &spec);
+        built.build_spec(&cluster, &a, &spec).expect("build");
     }
     let sels = [0.3, 0.9];
     // Plenty of memory, sequence much more selective than any single

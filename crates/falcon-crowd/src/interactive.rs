@@ -35,7 +35,6 @@ impl<R: BufRead + Send, W: Write + Send> InteractiveCrowd<R, W> {
     pub fn answered(&self) -> usize {
         self.state.lock().2.len()
     }
-
 }
 
 impl<R: BufRead + Send, W: Write + Send> Crowd for InteractiveCrowd<R, W> {

@@ -151,6 +151,7 @@ impl<C: Crowd> CrowdSession<C> {
 /// The paper's hard cap on crowd cost (Section 3.4):
 /// `C_max = (2·n_m·v_m + k·n_e·v_e) · h · q · c = $349.60` with
 /// `n_m = 29, v_m = 3, k = 20, n_e = 5, v_e = 7, h = 2, q = 10, c = $0.02`.
+#[allow(clippy::too_many_arguments)] // one argument per symbol in the paper's formula
 pub fn cost_cap(
     n_m: usize,
     v_m: usize,
@@ -175,13 +176,7 @@ pub fn paper_cost_cap() -> f64 {
 /// AL iteration, `n` the number of rules evaluated, and `q2` pairs per
 /// rule-evaluation iteration (the 20 comes from Proposition 2's bound on
 /// iterations per rule).
-pub fn crowd_time_bound(
-    t_a: Duration,
-    k: usize,
-    q1: usize,
-    n: usize,
-    q2: usize,
-) -> Duration {
+pub fn crowd_time_bound(t_a: Duration, k: usize, q1: usize, n: usize, q2: usize) -> Duration {
     t_a * (2 * k * q1 + 20 * n * q2) as u32
 }
 

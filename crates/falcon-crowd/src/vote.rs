@@ -83,7 +83,9 @@ mod tests {
         struct Alternating(std::sync::atomic::AtomicUsize);
         impl Crowd for Alternating {
             fn answer(&self, _: IdPair) -> bool {
-                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 2 == 0
+                self.0
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    .is_multiple_of(2)
             }
             fn latency_per_round(&self) -> std::time::Duration {
                 std::time::Duration::ZERO

@@ -1,0 +1,39 @@
+//! Typed failures surfaced by the dataflow engine.
+
+use std::fmt;
+
+/// An error produced while executing a MapReduce job.
+///
+/// The engine runs user map/reduce closures on worker threads; a panic on
+/// any worker aborts the job and is reported as a value instead of being
+/// propagated, so operators can attach context and drivers can fail a
+/// whole workflow cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// A worker thread panicked while running the named job phase.
+    WorkerPanicked {
+        /// Which phase lost a worker (`"map"`, `"reduce"`, `"map-only"`).
+        phase: &'static str,
+    },
+    /// A reduce partition disappeared before its worker could claim it —
+    /// an engine invariant violation, never expected in practice.
+    PartitionMissing {
+        /// Index of the missing partition.
+        partition: usize,
+    },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerPanicked { phase } => {
+                write!(f, "a worker thread panicked during the {phase} phase")
+            }
+            Self::PartitionMissing { partition } => {
+                write!(f, "reduce partition {partition} was already taken")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}

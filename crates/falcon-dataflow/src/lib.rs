@@ -14,12 +14,16 @@
 //! configured per-mapper memory budget (which gates the `apply_*` physical
 //! operator selection of Section 10.1), and receive job statistics.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cluster;
+pub mod error;
 pub mod job;
 pub mod runner;
 pub mod sim_time;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use error::DataflowError;
 pub use job::{Emitter, JobOutput, JobStats};
 pub use runner::{run_map_combine_reduce, run_map_only, run_map_reduce};
-pub use sim_time::{makespan, SimDuration};
+pub use sim_time::{makespan, wall_now, SimDuration};

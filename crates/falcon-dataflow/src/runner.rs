@@ -1,13 +1,22 @@
 //! Threaded execution of MapReduce jobs over in-memory splits.
 
 use crate::cluster::Cluster;
+use crate::error::DataflowError;
 use crate::job::{Emitter, JobOutput, JobStats};
+use crate::sim_time::wall_now;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// One map task's result: split index, per-reduce-partition buckets of
+/// intermediate pairs, and the task's simulated duration.
+type MapTaskResult<K, V> = (usize, Vec<Vec<(K, V)>>, Duration);
+
+/// A reduce partition handed off to exactly one worker, which `take`s it.
+type PartitionSlot<K, V> = Mutex<Option<Vec<(K, V)>>>;
 
 fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
     let mut h = DefaultHasher::new();
@@ -24,7 +33,9 @@ fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
 ///
 /// Map tasks run concurrently on the cluster's local worker threads; so do
 /// reduce partitions. Output records are concatenated in partition order;
-/// callers needing a total order should sort the output.
+/// callers needing a total order should sort the output. A panic on any
+/// worker thread aborts the job and surfaces as
+/// [`DataflowError::WorkerPanicked`].
 ///
 /// ```
 /// use falcon_dataflow::{run_map_reduce, Cluster, ClusterConfig, Emitter};
@@ -40,7 +51,7 @@ fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
 ///     |w: &String, ones: Vec<u32>, out: &mut Vec<(String, u32)>| {
 ///         out.push((w.clone(), ones.len() as u32));
 ///     },
-/// );
+/// ).expect("no worker panicked");
 /// let mut counts = out.output;
 /// counts.sort();
 /// assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 2)]);
@@ -51,7 +62,7 @@ pub fn run_map_reduce<I, K, V, O, M, R>(
     reduce_partitions: usize,
     map_fn: M,
     reduce_fn: R,
-) -> JobOutput<O>
+) -> Result<JobOutput<O>, DataflowError>
 where
     I: Sync,
     K: Hash + Eq + Send + Clone,
@@ -60,14 +71,13 @@ where
     M: Fn(&I, &mut Emitter<K, V>) + Sync,
     R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
 {
-    let start = Instant::now();
+    let start = wall_now();
     let reduce_partitions = reduce_partitions.max(1);
     let n_splits = splits.len();
     let input_records: usize = splits.iter().map(|s| s.len()).sum();
 
     // ---- Map phase ----
-    let map_results: Mutex<Vec<(usize, Vec<Vec<(K, V)>>, Duration)>> =
-        Mutex::new(Vec::with_capacity(n_splits));
+    let map_results: Mutex<Vec<MapTaskResult<K, V>>> = Mutex::new(Vec::with_capacity(n_splits));
     {
         let next = AtomicUsize::new(0);
         let splits_ref = &splits;
@@ -81,7 +91,7 @@ where
                     if idx >= n_splits {
                         break;
                     }
-                    let t0 = Instant::now();
+                    let t0 = wall_now();
                     let mut emitter = Emitter::new();
                     for record in &splits_ref[idx] {
                         map_ref(record, &mut emitter);
@@ -96,15 +106,14 @@ where
                 });
             }
         })
-        .expect("map phase panicked");
+        .map_err(|_| DataflowError::WorkerPanicked { phase: "map" })?;
     }
     let mut map_results = map_results.into_inner();
     map_results.sort_by_key(|(idx, _, _)| *idx);
     let map_durations: Vec<Duration> = map_results.iter().map(|(_, _, d)| *d).collect();
 
     // ---- Shuffle ----
-    let mut partitions: Vec<Vec<(K, V)>> =
-        (0..reduce_partitions).map(|_| Vec::new()).collect();
+    let mut partitions: Vec<Vec<(K, V)>> = (0..reduce_partitions).map(|_| Vec::new()).collect();
     let mut shuffled_records = 0usize;
     for (_, buckets, _) in map_results {
         for (p, bucket) in buckets.into_iter().enumerate() {
@@ -115,8 +124,10 @@ where
 
     // ---- Reduce phase ----
     // Each worker takes ownership of a whole partition via Mutex<Option<_>>.
-    let reduce_inputs: Vec<Mutex<Option<Vec<(K, V)>>>> =
-        partitions.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let reduce_inputs: Vec<PartitionSlot<K, V>> = partitions
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
     let reduce_results: Mutex<Vec<(usize, Vec<O>, Duration)>> =
         Mutex::new(Vec::with_capacity(reduce_partitions));
     {
@@ -132,8 +143,12 @@ where
                     if pid >= inputs_ref.len() {
                         break;
                     }
-                    let pairs = inputs_ref[pid].lock().take().expect("partition taken once");
-                    let t0 = Instant::now();
+                    // `fetch_add` hands each pid to exactly one worker; a
+                    // vacant slot is reported after the scope joins.
+                    let Some(pairs) = inputs_ref[pid].lock().take() else {
+                        continue;
+                    };
+                    let t0 = wall_now();
                     let mut grouped: HashMap<K, Vec<V>> = HashMap::new();
                     for (k, v) in pairs {
                         grouped.entry(k).or_default().push(v);
@@ -146,12 +161,17 @@ where
                 });
             }
         })
-        .expect("reduce phase panicked");
+        .map_err(|_| DataflowError::WorkerPanicked { phase: "reduce" })?;
     }
     let mut reduce_results = reduce_results.into_inner();
     reduce_results.sort_by_key(|(pid, _, _)| *pid);
-    let reduce_durations: Vec<Duration> =
-        reduce_results.iter().map(|(_, _, d)| *d).collect();
+    if reduce_results.len() != reduce_partitions {
+        let partition = (0..reduce_partitions)
+            .find(|p| !reduce_results.iter().any(|(pid, _, _)| pid == p))
+            .unwrap_or(0);
+        return Err(DataflowError::PartitionMissing { partition });
+    }
+    let reduce_durations: Vec<Duration> = reduce_results.iter().map(|(_, _, d)| *d).collect();
     let mut output = Vec::new();
     for (_, mut out, _) in reduce_results {
         output.append(&mut out);
@@ -167,19 +187,23 @@ where
         reduce_durations,
         wall: start.elapsed(),
     };
-    JobOutput { output, stats }
+    Ok(JobOutput { output, stats })
 }
 
 /// Run a map-only job: each record maps to zero or more output records, no
 /// shuffle or reduce (the implementation of `gen_fvs` and `apply_matcher`
 /// in the paper, Sections 8 and 9).
-pub fn run_map_only<I, O, M>(cluster: &Cluster, splits: Vec<Vec<I>>, map_fn: M) -> JobOutput<O>
+pub fn run_map_only<I, O, M>(
+    cluster: &Cluster,
+    splits: Vec<Vec<I>>,
+    map_fn: M,
+) -> Result<JobOutput<O>, DataflowError>
 where
     I: Sync,
     O: Send,
     M: Fn(&I, &mut Vec<O>) + Sync,
 {
-    let start = Instant::now();
+    let start = wall_now();
     let n_splits = splits.len();
     let input_records: usize = splits.iter().map(|s| s.len()).sum();
     let results: Mutex<Vec<(usize, Vec<O>, Duration)>> = Mutex::new(Vec::with_capacity(n_splits));
@@ -196,7 +220,7 @@ where
                     if idx >= n_splits {
                         break;
                     }
-                    let t0 = Instant::now();
+                    let t0 = wall_now();
                     let mut out = Vec::new();
                     for record in &splits_ref[idx] {
                         map_ref(record, &mut out);
@@ -205,7 +229,7 @@ where
                 });
             }
         })
-        .expect("map-only phase panicked");
+        .map_err(|_| DataflowError::WorkerPanicked { phase: "map-only" })?;
     }
     let mut results = results.into_inner();
     results.sort_by_key(|(idx, _, _)| *idx);
@@ -224,7 +248,7 @@ where
         reduce_durations: Vec::new(),
         wall: start.elapsed(),
     };
-    JobOutput { output, stats }
+    Ok(JobOutput { output, stats })
 }
 
 #[cfg(test)]
@@ -238,10 +262,7 @@ mod tests {
 
     #[test]
     fn word_count() {
-        let docs = vec![
-            vec!["a b a", "c"],
-            vec!["b b", "a c c"],
-        ];
+        let docs = vec![vec!["a b a", "c"], vec!["b b", "a c c"]];
         let out = run_map_reduce(
             &cluster(),
             docs,
@@ -254,7 +275,8 @@ mod tests {
             |k: &String, vs: Vec<u32>, out: &mut Vec<(String, u32)>| {
                 out.push((k.clone(), vs.iter().sum()));
             },
-        );
+        )
+        .expect("job");
         let mut counts = out.output;
         counts.sort();
         assert_eq!(
@@ -280,7 +302,8 @@ mod tests {
                 out.push(x * 10);
                 out.push(x * 10 + 1);
             },
-        );
+        )
+        .expect("job");
         assert_eq!(out.output, vec![10, 11, 20, 21, 30, 31]);
         assert_eq!(out.stats.output_records, 6);
     }
@@ -293,23 +316,55 @@ mod tests {
             4,
             |_: &u32, _: &mut Emitter<u32, u32>| {},
             |_: &u32, _: Vec<u32>, _: &mut Vec<u32>| {},
-        );
+        )
+        .expect("job");
         assert!(out.output.is_empty());
         assert_eq!(out.stats.map_tasks, 0);
+    }
+
+    #[test]
+    fn map_panic_is_an_error_not_a_crash() {
+        let err = run_map_only(
+            &cluster(),
+            vec![vec![1u32], vec![2]],
+            |x: &u32, _out: &mut Vec<u32>| {
+                assert!(*x != 2, "poisoned record");
+            },
+        )
+        .expect_err("worker panic must surface");
+        assert_eq!(err, DataflowError::WorkerPanicked { phase: "map-only" });
+    }
+
+    #[test]
+    fn reduce_panic_is_an_error_not_a_crash() {
+        let err = run_map_reduce(
+            &cluster(),
+            vec![vec![1u32, 2, 3]],
+            2,
+            |x: &u32, e: &mut Emitter<u32, u32>| e.emit(*x, *x),
+            |k: &u32, _vs: Vec<u32>, _out: &mut Vec<(u32, u32)>| {
+                assert!(*k != 2, "poisoned key");
+            },
+        )
+        .expect_err("reducer panic must surface");
+        assert_eq!(err, DataflowError::WorkerPanicked { phase: "reduce" });
     }
 
     #[test]
     fn all_values_reach_one_reducer_call() {
         // Keys spread over many partitions; every key sees all its values at
         // once.
-        let splits: Vec<Vec<u32>> = (0..8).map(|s| (0..100).map(|i| s * 100 + i).collect()).collect();
+        let splits: Vec<Vec<u32>> = (0..8)
+            .map(|s| (0..100).map(|i| s * 100 + i).collect())
+            .collect();
         let out = run_map_reduce(
             &cluster(),
             splits,
             5,
             |x: &u32, e: &mut Emitter<u32, u32>| e.emit(x % 7, *x),
             |k: &u32, vs: Vec<u32>, out: &mut Vec<(u32, usize)>| out.push((*k, vs.len())),
-        );
+        )
+        .expect("job");
         let mut sizes = out.output;
         sizes.sort();
         assert_eq!(sizes.len(), 7);
@@ -328,10 +383,9 @@ mod tests {
             splits,
             7,
             |x: &u64, e: &mut Emitter<u64, u64>| e.emit(x % 10, *x),
-            |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((*k, vs.iter().sum()))
-            },
-        );
+            |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum())),
+        )
+        .expect("job");
         let mut got = out.output;
         got.sort();
         let mut expect: HashMap<u64, u64> = HashMap::new();
@@ -356,7 +410,7 @@ pub fn run_map_combine_reduce<I, K, V, O, M, CB, R>(
     map_fn: M,
     combine_fn: CB,
     reduce_fn: R,
-) -> JobOutput<O>
+) -> Result<JobOutput<O>, DataflowError>
 where
     I: Sync,
     K: Hash + Eq + Send + Clone,
@@ -391,10 +445,10 @@ where
             }
         },
         reduce_fn,
-    );
+    )?;
     // input_records counted wrapped splits; restore the true record count.
     out.stats.input_records = true_input_records;
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -418,7 +472,8 @@ mod combiner_tests {
             |k: &String, vs: Vec<u64>, out: &mut Vec<(String, u64)>| {
                 out.push((k.clone(), vs.iter().sum()));
             },
-        );
+        )
+        .expect("job");
         let combined = run_map_combine_reduce(
             &cluster,
             docs,
@@ -432,7 +487,8 @@ mod combiner_tests {
             |k: &String, vs: Vec<u64>, out: &mut Vec<(String, u64)>| {
                 out.push((k.clone(), vs.iter().sum()));
             },
-        );
+        )
+        .expect("job");
         let norm = |mut v: Vec<(String, u64)>| {
             v.sort();
             v

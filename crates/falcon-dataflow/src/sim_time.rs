@@ -1,9 +1,9 @@
 //! Simulated-time accounting: schedule measured task durations onto the
 //! simulated cluster's slots and report the makespan.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
-use std::time::Duration;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 /// A simulated duration (alias kept for API clarity: simulated cluster time
 /// as opposed to local wall time).
@@ -20,12 +20,31 @@ pub fn makespan(tasks: &[Duration], slots: usize) -> Duration {
     let mut sorted: Vec<Duration> = tasks.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     // Min-heap of slot finish times.
-    let mut heap: BinaryHeap<Reverse<Duration>> = (0..slots).map(|_| Reverse(Duration::ZERO)).collect();
+    let mut heap: BinaryHeap<Reverse<Duration>> =
+        (0..slots).map(|_| Reverse(Duration::ZERO)).collect();
     for t in sorted {
-        let Reverse(earliest) = heap.pop().expect("nonempty heap");
+        // The heap holds exactly `slots >= 1` entries throughout.
+        let earliest = heap.pop().map_or(Duration::ZERO, |Reverse(d)| d);
         heap.push(Reverse(earliest + t));
     }
-    heap.into_iter().map(|Reverse(d)| d).max().unwrap_or(Duration::ZERO)
+    heap.into_iter()
+        .map(|Reverse(d)| d)
+        .max()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// The single sanctioned wall-clock read for the workspace.
+///
+/// Everything outside the bench harness must account time against the
+/// *simulated* cluster; the only legitimate uses of real time are the
+/// per-task duration measurements that feed [`makespan`]. Those reads are
+/// funneled through this function so that `falcon-lint`'s `sim-time` rule
+/// can ban `Instant::now` everywhere else and keep accidental wall-clock
+/// dependencies out of operator and driver logic.
+#[must_use]
+pub fn wall_now() -> Instant {
+    // falcon-lint: allow(sim-time)
+    Instant::now()
 }
 
 #[cfg(test)]

@@ -48,7 +48,8 @@ proptest! {
                 out.push((*k, vs.iter().sum()));
             },
         );
-        let got: HashMap<u32, u64> = out.output.into_iter().collect();
+        prop_assert!(out.is_ok());
+        let got: HashMap<u32, u64> = out.unwrap().output.into_iter().collect();
         prop_assert_eq!(got, expected);
     }
 
@@ -63,7 +64,7 @@ proptest! {
         let reduce = |k: &u32, vs: Vec<u64>, out: &mut Vec<(u32, u64)>| {
             out.push((*k, vs.iter().sum()));
         };
-        let plain = run_map_reduce(&cluster(), split(data.clone(), n_splits), 3, map, reduce);
+        let plain = run_map_reduce(&cluster(), split(data.clone(), n_splits), 3, map, reduce).unwrap();
         let combined = run_map_combine_reduce(
             &cluster(),
             split(data, n_splits),
@@ -71,7 +72,7 @@ proptest! {
             map,
             |_k: &u32, vs: Vec<u64>| vs.iter().sum(),
             reduce,
-        );
+        ).unwrap();
         let norm = |mut v: Vec<(u32, u64)>| { v.sort_unstable(); v };
         prop_assert_eq!(norm(plain.output), norm(combined.output));
         prop_assert!(combined.stats.shuffled_records <= plain.stats.shuffled_records);
@@ -86,7 +87,7 @@ proptest! {
         let expected: Vec<u32> = data.iter().map(|x| x * 2).collect();
         let out = run_map_only(&cluster(), split(data, n_splits), |x: &u32, out| {
             out.push(x * 2);
-        });
+        }).unwrap();
         prop_assert_eq!(out.output, expected);
     }
 

@@ -178,11 +178,7 @@ pub fn generate(scale: f64, seed: u64) -> EmDataset {
         .enumerate()
         .filter_map(|(aid, (_, m))| m.map(|m| (aid as u32, b_pos[m] as u32)))
         .collect();
-    let a = Table::new(
-        "citations_a",
-        schema(),
-        a_rows.into_iter().map(|(r, _)| r),
-    );
+    let a = Table::new("citations_a", schema(), a_rows.into_iter().map(|(r, _)| r));
     let b = Table::new("citations_b", schema(), b_shuffled);
     EmDataset {
         name: "citations".into(),

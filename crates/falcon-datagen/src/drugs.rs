@@ -21,10 +21,30 @@ pub const FULL_B: usize = 451_000;
 
 /// Generic drug name stems.
 const STEMS: &[&str] = &[
-    "metformin", "lisinopril", "atorvastatin", "amlodipine", "omeprazole", "losartan",
-    "gabapentin", "sertraline", "levothyroxine", "azithromycin", "amoxicillin", "prednisone",
-    "tramadol", "ibuprofen", "acetaminophen", "warfarin", "clopidogrel", "furosemide",
-    "pantoprazole", "citalopram", "montelukast", "rosuvastatin", "escitalopram", "duloxetine",
+    "metformin",
+    "lisinopril",
+    "atorvastatin",
+    "amlodipine",
+    "omeprazole",
+    "losartan",
+    "gabapentin",
+    "sertraline",
+    "levothyroxine",
+    "azithromycin",
+    "amoxicillin",
+    "prednisone",
+    "tramadol",
+    "ibuprofen",
+    "acetaminophen",
+    "warfarin",
+    "clopidogrel",
+    "furosemide",
+    "pantoprazole",
+    "citalopram",
+    "montelukast",
+    "rosuvastatin",
+    "escitalopram",
+    "duloxetine",
 ];
 
 /// Salt names with their common abbreviations.
@@ -38,7 +58,9 @@ const SALTS: &[(&str, &str)] = &[
 ];
 
 /// Dose strengths in mg.
-const DOSES: &[u32] = &[5, 10, 20, 25, 40, 50, 75, 100, 150, 200, 250, 300, 500, 750, 850, 1000];
+const DOSES: &[u32] = &[
+    5, 10, 20, 25, 40, 50, 75, 100, 150, 200, 250, 300, 500, 750, 850, 1000,
+];
 
 /// Dosage forms with their abbreviations.
 const FORMS: &[(&str, &str)] = &[
@@ -51,7 +73,13 @@ const FORMS: &[(&str, &str)] = &[
 ];
 
 /// Routes of administration.
-const ROUTES: &[&str] = &["oral", "intravenous", "topical", "subcutaneous", "ophthalmic"];
+const ROUTES: &[&str] = &[
+    "oral",
+    "intravenous",
+    "topical",
+    "subcutaneous",
+    "ophthalmic",
+];
 
 #[derive(Clone)]
 struct Drug {
@@ -91,10 +119,7 @@ fn schema() -> Schema {
 /// System-A style: long form, spaced dose, full salt names.
 fn render_a(rng: &mut SmallRng, c: &Corruptor, d: &Drug) -> Vec<Value> {
     let salt = d.salt.map_or(String::new(), |i| format!(" {}", SALTS[i].0));
-    let descr = format!(
-        "{}{} {} mg {}",
-        d.stem, salt, d.dose_mg, FORMS[d.form].0
-    );
+    let descr = format!("{}{} {} mg {}", d.stem, salt, d.dose_mg, FORMS[d.form].0);
     vec![
         c.string_present(rng, &descr),
         if rng.gen_bool(0.85) {

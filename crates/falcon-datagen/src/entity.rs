@@ -4,40 +4,163 @@ use rand::Rng;
 
 /// Electronics brands (Products).
 pub const BRANDS: &[&str] = &[
-    "sony", "samsung", "panasonic", "toshiba", "philips", "canon", "nikon", "garmin", "logitech",
-    "netgear", "linksys", "belkin", "sandisk", "kingston", "seagate", "lacie", "asus", "acer",
-    "lenovo", "dell", "hp", "epson", "brother", "jvc", "pioneer", "kenwood", "yamaha", "olympus",
-    "casio", "vtech",
+    "sony",
+    "samsung",
+    "panasonic",
+    "toshiba",
+    "philips",
+    "canon",
+    "nikon",
+    "garmin",
+    "logitech",
+    "netgear",
+    "linksys",
+    "belkin",
+    "sandisk",
+    "kingston",
+    "seagate",
+    "lacie",
+    "asus",
+    "acer",
+    "lenovo",
+    "dell",
+    "hp",
+    "epson",
+    "brother",
+    "jvc",
+    "pioneer",
+    "kenwood",
+    "yamaha",
+    "olympus",
+    "casio",
+    "vtech",
 ];
 
 /// Product nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "camera", "camcorder", "laptop", "monitor", "keyboard", "mouse", "router", "speaker",
-    "headphones", "printer", "scanner", "projector", "television", "receiver", "microphone",
-    "tablet", "charger", "battery", "adapter", "drive", "player", "radio", "watch", "phone",
+    "camera",
+    "camcorder",
+    "laptop",
+    "monitor",
+    "keyboard",
+    "mouse",
+    "router",
+    "speaker",
+    "headphones",
+    "printer",
+    "scanner",
+    "projector",
+    "television",
+    "receiver",
+    "microphone",
+    "tablet",
+    "charger",
+    "battery",
+    "adapter",
+    "drive",
+    "player",
+    "radio",
+    "watch",
+    "phone",
 ];
 
 /// Product adjectives / qualifiers.
 pub const PRODUCT_ADJECTIVES: &[&str] = &[
-    "wireless", "digital", "portable", "compact", "professional", "ultra", "premium", "gaming",
-    "bluetooth", "optical", "hd", "4k", "stereo", "noise-canceling", "waterproof", "rechargeable",
-    "ergonomic", "slim", "mini", "dual",
+    "wireless",
+    "digital",
+    "portable",
+    "compact",
+    "professional",
+    "ultra",
+    "premium",
+    "gaming",
+    "bluetooth",
+    "optical",
+    "hd",
+    "4k",
+    "stereo",
+    "noise-canceling",
+    "waterproof",
+    "rechargeable",
+    "ergonomic",
+    "slim",
+    "mini",
+    "dual",
 ];
 
 /// Description filler words for long-string attributes.
 pub const FILLER: &[&str] = &[
-    "features", "includes", "designed", "high", "quality", "performance", "easy", "use",
-    "perfect", "ideal", "home", "office", "travel", "advanced", "technology", "battery", "life",
-    "lightweight", "durable", "warranty", "support", "connectivity", "resolution", "display",
-    "sound", "powerful", "fast", "reliable", "comfortable", "stylish",
+    "features",
+    "includes",
+    "designed",
+    "high",
+    "quality",
+    "performance",
+    "easy",
+    "use",
+    "perfect",
+    "ideal",
+    "home",
+    "office",
+    "travel",
+    "advanced",
+    "technology",
+    "battery",
+    "life",
+    "lightweight",
+    "durable",
+    "warranty",
+    "support",
+    "connectivity",
+    "resolution",
+    "display",
+    "sound",
+    "powerful",
+    "fast",
+    "reliable",
+    "comfortable",
+    "stylish",
 ];
 
 /// Song title words.
 pub const SONG_WORDS: &[&str] = &[
-    "love", "night", "heart", "dance", "fire", "rain", "dream", "blue", "summer", "road",
-    "light", "shadow", "river", "moon", "golden", "broken", "wild", "sweet", "lonely", "forever",
-    "tonight", "yesterday", "morning", "midnight", "angel", "crazy", "falling", "running",
-    "whisper", "thunder", "silver", "velvet", "echo", "stone", "glass", "paper", "ocean",
+    "love",
+    "night",
+    "heart",
+    "dance",
+    "fire",
+    "rain",
+    "dream",
+    "blue",
+    "summer",
+    "road",
+    "light",
+    "shadow",
+    "river",
+    "moon",
+    "golden",
+    "broken",
+    "wild",
+    "sweet",
+    "lonely",
+    "forever",
+    "tonight",
+    "yesterday",
+    "morning",
+    "midnight",
+    "angel",
+    "crazy",
+    "falling",
+    "running",
+    "whisper",
+    "thunder",
+    "silver",
+    "velvet",
+    "echo",
+    "stone",
+    "glass",
+    "paper",
+    "ocean",
 ];
 
 /// Artist first names.
@@ -55,24 +178,70 @@ pub const ARTIST_LAST: &[&str] = &[
 
 /// Band prefixes (for "the `<word>`s" style artists).
 pub const BAND_WORDS: &[&str] = &[
-    "rockets", "shadows", "strangers", "wanderers", "travelers", "dreamers", "ramblers",
-    "drifters", "vikings", "pilots", "monks", "pirates", "foxes", "wolves", "ravens",
+    "rockets",
+    "shadows",
+    "strangers",
+    "wanderers",
+    "travelers",
+    "dreamers",
+    "ramblers",
+    "drifters",
+    "vikings",
+    "pilots",
+    "monks",
+    "pirates",
+    "foxes",
+    "wolves",
+    "ravens",
 ];
 
 /// Research topic words (Citations titles).
 pub const TOPIC_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "approximate",
-    "optimal", "robust", "learning", "query", "index", "join", "matching", "clustering",
-    "classification", "optimization", "estimation", "processing", "analysis", "mining",
-    "detection", "integration", "cleaning", "blocking", "entity", "graph", "stream", "database",
-    "crowdsourcing", "sampling", "caching", "scheduling", "partitioning", "compression",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "approximate",
+    "optimal",
+    "robust",
+    "learning",
+    "query",
+    "index",
+    "join",
+    "matching",
+    "clustering",
+    "classification",
+    "optimization",
+    "estimation",
+    "processing",
+    "analysis",
+    "mining",
+    "detection",
+    "integration",
+    "cleaning",
+    "blocking",
+    "entity",
+    "graph",
+    "stream",
+    "database",
+    "crowdsourcing",
+    "sampling",
+    "caching",
+    "scheduling",
+    "partitioning",
+    "compression",
 ];
 
 /// Journal / venue names (Citations).
 pub const JOURNALS: &[(&str, &str)] = &[
     ("proceedings of the vldb endowment", "pvldb"),
     ("acm transactions on database systems", "tods"),
-    ("ieee transactions on knowledge and data engineering", "tkde"),
+    (
+        "ieee transactions on knowledge and data engineering",
+        "tkde",
+    ),
     ("international conference on management of data", "sigmod"),
     ("international conference on very large data bases", "vldb"),
     ("international conference on data engineering", "icde"),
@@ -84,8 +253,18 @@ pub const JOURNALS: &[(&str, &str)] = &[
 
 /// Month names.
 pub const MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Pick a random element of a slice.
@@ -95,7 +274,10 @@ pub fn pick<'a, T: ?Sized>(rng: &mut impl Rng, pool: &'a [&'a T]) -> &'a T {
 
 /// Random sentence of `n` words from a pool.
 pub fn sentence(rng: &mut impl Rng, pool: &[&str], n: usize) -> String {
-    (0..n).map(|_| pick(rng, pool)).collect::<Vec<_>>().join(" ")
+    (0..n)
+        .map(|_| pick(rng, pool))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Random alphanumeric model number like "dsc-w830".
@@ -103,16 +285,17 @@ pub fn model_number(rng: &mut impl Rng) -> String {
     let letters: String = (0..rng.gen_range(2..4))
         .map(|_| (b'a' + rng.gen_range(0..26)) as char)
         .collect();
-    format!("{}-{}{}", letters, rng.gen_range(1..10), rng.gen_range(100..1000))
+    format!(
+        "{}-{}{}",
+        letters,
+        rng.gen_range(1..10),
+        rng.gen_range(100..1000)
+    )
 }
 
 /// Random person name "first last".
 pub fn person_name(rng: &mut impl Rng) -> String {
-    format!(
-        "{} {}",
-        pick(rng, ARTIST_FIRST),
-        pick(rng, ARTIST_LAST)
-    )
+    format!("{} {}", pick(rng, ARTIST_FIRST), pick(rng, ARTIST_LAST))
 }
 
 #[cfg(test)]

@@ -39,7 +39,10 @@ fn make_product(rng: &mut SmallRng) -> Product {
     let adjs: Vec<&str> = (0..n_adj).map(|_| pick(rng, PRODUCT_ADJECTIVES)).collect();
     let title = format!("{} {} {} {}", brand, adjs.join(" "), noun, modelno);
     let price = rng.gen_range(10.0_f64..900.0).round();
-    let descr = { let n = rng.gen_range(12..25); sentence(rng, FILLER, n) };
+    let descr = {
+        let n = rng.gen_range(12..25);
+        sentence(rng, FILLER, n)
+    };
     Product {
         brand,
         modelno,
@@ -61,7 +64,10 @@ fn make_sibling(rng: &mut SmallRng, base: &Product) -> Product {
         toks.join(" ")
     };
     p.price = (base.price + rng.gen_range(20.0..150.0)).round();
-    p.descr = { let n = rng.gen_range(12..25); sentence(rng, FILLER, n) };
+    p.descr = {
+        let n = rng.gen_range(12..25);
+        sentence(rng, FILLER, n)
+    };
     p
 }
 
@@ -139,11 +145,7 @@ pub fn generate(scale: f64, seed: u64) -> EmDataset {
         .enumerate()
         .filter_map(|(aid, (_, bid))| bid.map(|b| (aid as u32, b as u32)))
         .collect();
-    let a = Table::new(
-        "products_a",
-        schema(),
-        a_rows.into_iter().map(|(r, _)| r),
-    );
+    let a = Table::new("products_a", schema(), a_rows.into_iter().map(|(r, _)| r));
     let b = Table::new("products_b", schema(), b_products.iter().map(row));
     EmDataset {
         name: "products".into(),
@@ -200,13 +202,16 @@ mod tests {
         // Random (non-truth) pairs should be much less similar on average.
         let mut rnd_sims = Vec::new();
         for i in 0..30usize {
-            let av = d.a.get((i % d.a.len()) as u32).unwrap().value(tidx).render();
-            let bv = d
-                .b
-                .get(((i * 7 + 3) % d.b.len()) as u32)
-                .unwrap()
-                .value(tidx)
-                .render();
+            let av =
+                d.a.get((i % d.a.len()) as u32)
+                    .unwrap()
+                    .value(tidx)
+                    .render();
+            let bv =
+                d.b.get(((i * 7 + 3) % d.b.len()) as u32)
+                    .unwrap()
+                    .value(tidx)
+                    .render();
             if let Some(s) = sim.score_str(&av, &bv, &ctx) {
                 rnd_sims.push(s);
             }

@@ -30,8 +30,14 @@ struct Song {
 }
 
 fn make_song(rng: &mut SmallRng) -> Song {
-    let title = { let n = rng.gen_range(1..5); sentence(rng, SONG_WORDS, n) };
-    let release = { let n = rng.gen_range(1..4); sentence(rng, SONG_WORDS, n) };
+    let title = {
+        let n = rng.gen_range(1..5);
+        sentence(rng, SONG_WORDS, n)
+    };
+    let release = {
+        let n = rng.gen_range(1..4);
+        sentence(rng, SONG_WORDS, n)
+    };
     let artist = if rng.gen_bool(0.4) {
         format!("the {}", pick(rng, BAND_WORDS))
     } else {
@@ -49,7 +55,10 @@ fn make_song(rng: &mut SmallRng) -> Song {
 /// Same song on a different album (a true duplicate).
 fn on_other_album(rng: &mut SmallRng, s: &Song) -> Song {
     let mut v = s.clone();
-    v.release = { let n = rng.gen_range(1..4); sentence(rng, SONG_WORDS, n) };
+    v.release = {
+        let n = rng.gen_range(1..4);
+        sentence(rng, SONG_WORDS, n)
+    };
     v
 }
 

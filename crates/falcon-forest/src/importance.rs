@@ -33,7 +33,11 @@ fn route_counts(tree: &Tree, data: &Dataset) -> HashMap<u64, (f64, f64)> {
             match node {
                 Node::Leaf { .. } => break,
                 Node::Split {
-                    feature, threshold, left, right, ..
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
                 } => {
                     let v = fv.get(*feature).copied().unwrap_or(f64::NAN);
                     if v > *threshold {
@@ -58,7 +62,10 @@ fn accumulate(
     importances: &mut [f64],
 ) {
     if let Node::Split {
-        feature, left, right, ..
+        feature,
+        left,
+        right,
+        ..
     } = node
     {
         let (p, n) = counts.get(&path).copied().unwrap_or((0.0, 0.0));
@@ -66,9 +73,8 @@ fn accumulate(
         let (rp, rn) = counts.get(&(path * 2 + 1)).copied().unwrap_or((0.0, 0.0));
         let here = p + n;
         if here > 0.0 && total > 0.0 {
-            let decrease = gini(p, n)
-                - (lp + ln) / here * gini(lp, ln)
-                - (rp + rn) / here * gini(rp, rn);
+            let decrease =
+                gini(p, n) - (lp + ln) / here * gini(lp, ln) - (rp + rn) / here * gini(rp, rn);
             importances[*feature] += here / total * decrease.max(0.0);
         }
         accumulate(left, path * 2, counts, total, importances);

@@ -25,8 +25,8 @@ pub mod paths;
 pub mod tree;
 
 pub use eval::{confusion, f1_score, Confusion};
-pub use importance::feature_importance;
 pub use forest::{Forest, ForestConfig};
+pub use importance::feature_importance;
 pub use paths::{NegativePath, PathPredicate, SplitOp};
 pub use tree::{Node, Tree, TreeConfig};
 

@@ -23,8 +23,8 @@ impl SplitOp {
     /// (consistent with trees routing missing values left).
     pub fn eval(self, value: f64, threshold: f64) -> bool {
         match self {
-            SplitOp::Le => !(value > threshold), // NaN -> true
-            SplitOp::Gt => value > threshold,    // NaN -> false
+            SplitOp::Le => value <= threshold || value.is_nan(),
+            SplitOp::Gt => value > threshold, // NaN -> false
         }
     }
 

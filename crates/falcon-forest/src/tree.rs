@@ -199,9 +199,10 @@ fn build(
     let Some((_, feature, threshold)) = best else {
         return leaf(data, idx);
     };
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-        .iter()
-        .partition(|&&i| !(data.features[i][feature] > threshold));
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| {
+        let v = data.features[i][feature];
+        v <= threshold || v.is_nan() // missing (NaN) values route left
+    });
     Node::Split {
         feature,
         threshold,

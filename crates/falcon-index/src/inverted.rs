@@ -235,7 +235,11 @@ mod tests {
     #[test]
     fn probe_finds_similar_and_skips_dissimilar() {
         let sim = SimFunction::Jaccard(Tokenizer::Word);
-        let a_vals = ["the quick brown fox", "lazy dogs sleep", "quick brown foxes run"];
+        let a_vals = [
+            "the quick brown fox",
+            "lazy dogs sleep",
+            "quick brown foxes run",
+        ];
         let order = order_for(&a_vals, Tokenizer::Word);
         let idx = PrefixIndex::build(
             a_vals.iter().enumerate().map(|(i, v)| (i as TupleId, *v)),
@@ -245,7 +249,14 @@ mod tests {
             &order,
         );
         let mut out = Vec::new();
-        idx.probe("the quick brown fox", Tokenizer::Word, sim, 0.5, &order, &mut out);
+        idx.probe(
+            "the quick brown fox",
+            Tokenizer::Word,
+            sim,
+            0.5,
+            &order,
+            &mut out,
+        );
         out.sort_unstable();
         out.dedup();
         assert!(out.contains(&0));

@@ -16,10 +16,12 @@
 //! but may return false positives that the reducer-side rule evaluation
 //! weeds out.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod inverted;
 pub mod scalar;
 pub mod spec;
 
 pub use inverted::{PrefixIndex, TokenOrder};
 pub use scalar::{HashIndex, LengthIndex, RangeIndex};
-pub use spec::{FilterSpec, PredicateIndex};
+pub use spec::{FilterSpec, IndexError, PredicateIndex};

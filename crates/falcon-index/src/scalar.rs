@@ -67,7 +67,7 @@ impl RangeIndex {
             .filter(|(_, v)| v.is_finite())
             .map(|(id, v)| (v, id))
             .collect();
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         Self { entries }
     }
 
@@ -159,9 +159,7 @@ mod tests {
 
     #[test]
     fn hash_index_probe() {
-        let idx = HashIndex::build(
-            [(0, "x"), (1, "y"), (2, "x"), (3, "")].into_iter(),
-        );
+        let idx = HashIndex::build([(0, "x"), (1, "y"), (2, "x"), (3, "")].into_iter());
         assert_eq!(idx.probe("x"), &[0, 2]);
         assert_eq!(idx.probe("y"), &[1]);
         assert_eq!(idx.probe("z"), &[] as &[TupleId]);

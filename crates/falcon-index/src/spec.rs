@@ -71,9 +71,11 @@ impl FilterSpec {
     pub fn from_predicate(sim: SimFunction, a_attr: &str, gt: bool, v: f64) -> Option<FilterSpec> {
         match (sim, gt) {
             // Similarity must EXCEED a threshold -> prunable.
-            (SimFunction::ExactMatch, true) if (0.0..1.0).contains(&v) => Some(FilterSpec::Equals {
-                a_attr: a_attr.to_string(),
-            }),
+            (SimFunction::ExactMatch, true) if (0.0..1.0).contains(&v) => {
+                Some(FilterSpec::Equals {
+                    a_attr: a_attr.to_string(),
+                })
+            }
             (s, true) if s.is_set_based() && v > 0.0 => Some(FilterSpec::SetSim {
                 a_attr: a_attr.to_string(),
                 sim: s,
@@ -198,16 +200,64 @@ pub enum PredicateIndex {
 
 const QGRAM: usize = 3;
 
+/// A structural problem with a [`FilterSpec`] discovered while building
+/// its index: the spec references something the table or similarity
+/// function does not provide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The spec names an attribute that the `A` table's schema lacks.
+    MissingAttribute {
+        /// The missing attribute name.
+        attr: String,
+    },
+    /// A set-similarity spec carries a similarity function with no
+    /// tokenizer (i.e. not actually set-based).
+    NotSetBased {
+        /// Debug rendering of the offending similarity function.
+        sim: String,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingAttribute { attr } => {
+                write!(f, "attribute {attr:?} missing from table A")
+            }
+            Self::NotSetBased { sim } => {
+                write!(f, "similarity function {sim} is not set-based")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 impl PredicateIndex {
+    /// Build the index bundle for `spec` over table `a`, panicking when the
+    /// spec is structurally invalid. Kept for tests and benches; library
+    /// code goes through [`PredicateIndex::try_build`].
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
+    pub fn build(a: &Table, spec: &FilterSpec, order: Option<TokenOrder>) -> PredicateIndex {
+        // falcon-lint: allow(no-panic) — convenience wrapper for tests.
+        Self::try_build(a, spec, order).unwrap_or_else(|e| panic!("PredicateIndex::build: {e}"))
+    }
+
     /// Build the index bundle for `spec` over table `a`. For set-similarity
     /// specs a prebuilt [`TokenOrder`] may be supplied (the output of the
     /// token-frequency MR jobs); otherwise one is computed here.
-    pub fn build(a: &Table, spec: &FilterSpec, order: Option<TokenOrder>) -> PredicateIndex {
-        let attr_idx = a
-            .schema()
-            .index_of(spec.a_attr())
-            .unwrap_or_else(|| panic!("attribute {:?} missing from table A", spec.a_attr()));
-        match spec {
+    pub fn try_build(
+        a: &Table,
+        spec: &FilterSpec,
+        order: Option<TokenOrder>,
+    ) -> Result<PredicateIndex, IndexError> {
+        let attr_idx =
+            a.schema()
+                .index_of(spec.a_attr())
+                .ok_or_else(|| IndexError::MissingAttribute {
+                    attr: spec.a_attr().to_string(),
+                })?;
+        Ok(match spec {
             FilterSpec::Equals { .. } => {
                 let rendered: Vec<(TupleId, String)> = a
                     .rows()
@@ -220,9 +270,7 @@ impl PredicateIndex {
                     .map(|(id, _)| *id)
                     .collect();
                 PredicateIndex::Equals {
-                    index: HashIndex::build(
-                        rendered.iter().map(|(id, s)| (*id, s.as_str())),
-                    ),
+                    index: HashIndex::build(rendered.iter().map(|(id, s)| (*id, s.as_str()))),
                     missing,
                 }
             }
@@ -245,7 +293,9 @@ impl PredicateIndex {
                 }
             }
             FilterSpec::SetSim { sim, threshold, .. } => {
-                let tokenizer = sim.tokenizer().expect("set sims have tokenizers");
+                let tokenizer = sim.tokenizer().ok_or_else(|| IndexError::NotSetBased {
+                    sim: format!("{sim:?}"),
+                })?;
                 let rendered: Vec<(TupleId, String)> = a
                     .rows()
                     .iter()
@@ -316,7 +366,7 @@ impl PredicateIndex {
                     missing,
                 }
             }
-        }
+        })
     }
 
     /// Probe with the `B`-side value of the predicate. Returns candidate
@@ -367,15 +417,14 @@ impl PredicateIndex {
                 if raw.is_empty() {
                     return Candidates::All;
                 }
+                // `try_build` only constructs SetSim from set-based sims;
+                // if that invariant ever breaks, skip filtering (returning
+                // everything is recall-safe — the reducer re-checks rules).
+                let Some(tokenizer) = sim.tokenizer() else {
+                    return Candidates::All;
+                };
                 let mut out = missing.clone();
-                index.probe(
-                    &raw,
-                    sim.tokenizer().expect("set sim"),
-                    *sim,
-                    *threshold,
-                    order,
-                    &mut out,
-                );
+                index.probe(&raw, tokenizer, *sim, *threshold, order, &mut out);
                 Candidates::Some(out)
             }
             PredicateIndex::Edit {

@@ -1,8 +1,8 @@
 //! Property test: no filter ever prunes a tuple pair that satisfies its
 //! predicate — the invariant that makes Falcon's blocking lossless.
 
-use falcon_index::{FilterSpec, PredicateIndex};
 use falcon_index::spec::Candidates;
+use falcon_index::{FilterSpec, PredicateIndex};
 use falcon_table::{AttrType, Schema, Table, Value};
 use falcon_textsim::{SimContext, SimFunction, Tokenizer};
 use proptest::prelude::*;

@@ -1,0 +1,518 @@
+//! Textual invariant linter for the Falcon workspace.
+//!
+//! The paper's system is a *hands-off cloud service*: once a job is
+//! submitted nobody watches a terminal, so a worker panic is an outage and
+//! nondeterminism makes simulated-time experiments unreproducible. Three
+//! invariants are therefore enforced mechanically over the library source
+//! (`syn` is unavailable offline, so this is a hand-rolled lexer over the
+//! token-relevant subset of Rust — comments, strings and `cfg(test)`
+//! regions are recognized and skipped):
+//!
+//! * **`no-panic`** — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in operator
+//!   (`falcon-core/src/ops/`), dataflow (`falcon-dataflow/src/`) or index
+//!   (`falcon-index/src/`) library code. These paths run inside simulated
+//!   cluster workers; a panic there kills a whole job.
+//! * **`no-nondeterminism`** — no `thread_rng` / `from_entropy` /
+//!   `SystemTime` / `RandomState` in any falcon library source. Identical
+//!   seeds must give identical plans, candidates and timelines.
+//! * **`sim-time`** — `Instant::now` only inside
+//!   `falcon-dataflow/src/sim_time.rs` (the sanctioned [`wall_now`]
+//!   funnel) and the `falcon-bench` harness. Everything else accounts time
+//!   against the simulated cluster.
+//!
+//! A violation can be waived with a `// falcon-lint: allow(<rule>)`
+//! comment on the same line, or on its own line immediately above the
+//! offending *statement* (the waiver extends to the end of that
+//! statement, so multi-line call chains need only one directive).
+//!
+//! [`wall_now`]: ../falcon_dataflow/sim_time/fn.wall_now.html
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No panicking constructs in operator/dataflow/index library code.
+    NoPanic,
+    /// No nondeterminism sources in library code.
+    NoNondeterminism,
+    /// `Instant::now` only in `sim_time.rs` and the bench harness.
+    SimTime,
+}
+
+impl Rule {
+    /// The rule's name as written in `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoNondeterminism => "no-nondeterminism",
+            Rule::SimTime => "sim-time",
+        }
+    }
+
+    fn tokens(self) -> &'static [&'static str] {
+        match self {
+            Rule::NoPanic => &[
+                ".unwrap()",
+                ".expect(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ],
+            Rule::NoNondeterminism => &["thread_rng", "from_entropy", "SystemTime", "RandomState"],
+            Rule::SimTime => &["Instant::now"],
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// File the violation is in (as given to the scanner).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The matched token.
+    pub token: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] `{}` — {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.token,
+            self.snippet
+        )
+    }
+}
+
+/// Normalize a path to `/`-separated form for rule matching.
+fn norm(path: &Path) -> String {
+    path.to_string_lossy().replace('\\', "/")
+}
+
+/// Which rules apply to a file, by workspace-relative path.
+pub fn rules_for(path: &Path) -> Vec<Rule> {
+    let p = norm(path);
+    let mut rules = Vec::new();
+    if p.contains("falcon-core/src/ops/")
+        || p.contains("falcon-dataflow/src/")
+        || p.contains("falcon-index/src/")
+    {
+        rules.push(Rule::NoPanic);
+    }
+    if p.contains("falcon-core/src/")
+        || p.contains("falcon-dataflow/src/")
+        || p.contains("falcon-index/src/")
+    {
+        rules.push(Rule::NoNondeterminism);
+    }
+    let sim_time_exempt =
+        p.ends_with("falcon-dataflow/src/sim_time.rs") || p.contains("falcon-bench/");
+    if !sim_time_exempt {
+        rules.push(Rule::SimTime);
+    }
+    rules
+}
+
+/// Per-line facts extracted by the lexer.
+struct Line {
+    /// Source with comments, string literals and char literals blanked.
+    masked: String,
+    /// Raw source (for snippets).
+    raw: String,
+    /// Rules waived on this line by `falcon-lint: allow(...)` directives.
+    allows: Vec<Rule>,
+    /// True when the directive comment was the only thing on the line, in
+    /// which case the waiver extends through the following statement.
+    standalone_allow: bool,
+}
+
+/// Lex `source` into masked lines plus allow-directive annotations.
+///
+/// Handles line comments, (nested) block comments, regular and raw string
+/// literals, and char literals. Masked characters are replaced by spaces
+/// so byte offsets and line numbers are preserved.
+fn lex(source: &str) -> Vec<Line> {
+    let bytes = source.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
+    // Comment spans, recorded so directives can be read back per line.
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &source[i..];
+        if rest.starts_with("//") {
+            let end = rest.find('\n').map_or(bytes.len(), |n| i + n);
+            masked.extend(
+                source[i..end]
+                    .bytes()
+                    .map(|b| if b == b'\n' { b } else { b' ' }),
+            );
+            i = end;
+        } else if rest.starts_with("/*") {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if source[j..].starts_with("/*") {
+                    depth += 1;
+                    j += 2;
+                } else if source[j..].starts_with("*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            masked.extend(
+                source[i..j]
+                    .bytes()
+                    .map(|b| if b == b'\n' { b } else { b' ' }),
+            );
+            i = j;
+        } else if rest.starts_with("r#\"") || rest.starts_with("r\"") || rest.starts_with("r##\"") {
+            // Raw string: count the hashes, find the closing quote+hashes.
+            let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count();
+            let open = 1 + hashes + 1; // r + hashes + quote
+            let close_pat: String = format!("\"{}", "#".repeat(hashes));
+            let end = source[i + open..]
+                .find(&close_pat)
+                .map_or(bytes.len(), |n| i + open + n + close_pat.len());
+            masked.extend(
+                source[i..end]
+                    .bytes()
+                    .map(|b| if b == b'\n' { b } else { b' ' }),
+            );
+            i = end;
+        } else if rest.starts_with('"') {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let j = j.min(bytes.len());
+            masked.extend(
+                source[i..j]
+                    .bytes()
+                    .map(|b| if b == b'\n' { b } else { b' ' }),
+            );
+            i = j;
+        } else if rest.starts_with('\'') {
+            // Char literal or lifetime. A lifetime (`'a`) has no closing
+            // quote within a couple of characters; a char literal does.
+            let lit_end = source[i + 1..]
+                .char_indices()
+                .take(5)
+                .find(|&(off, c)| c == '\'' && off != 0)
+                .map(|(off, _)| i + 1 + off + 1);
+            match lit_end {
+                Some(j) if !rest.starts_with("'\\") || j > i + 2 => {
+                    masked.extend(
+                        source[i..j]
+                            .bytes()
+                            .map(|b| if b == b'\n' { b } else { b' ' }),
+                    );
+                    i = j;
+                }
+                _ => {
+                    masked.push(bytes[i]);
+                    i += 1;
+                }
+            }
+        } else {
+            masked.push(bytes[i]);
+            i += 1;
+        }
+    }
+    let masked = String::from_utf8_lossy(&masked).into_owned();
+
+    let raw_lines: Vec<&str> = source.lines().collect();
+    masked
+        .lines()
+        .enumerate()
+        .map(|(n, m)| {
+            let raw = raw_lines.get(n).copied().unwrap_or("");
+            let mut allows = Vec::new();
+            // Directives live in comments, so parse them from the raw line.
+            if let Some(pos) = raw.find("falcon-lint:") {
+                let tail = &raw[pos + "falcon-lint:".len()..];
+                for rule in [Rule::NoPanic, Rule::NoNondeterminism, Rule::SimTime] {
+                    if tail.contains(&format!("allow({})", rule.name())) {
+                        allows.push(rule);
+                    }
+                }
+            }
+            let standalone_allow = !allows.is_empty() && m.trim().is_empty();
+            Line {
+                masked: m.to_string(),
+                raw: raw.to_string(),
+                allows,
+                standalone_allow,
+            }
+        })
+        .collect()
+}
+
+/// Line ranges (0-based, inclusive) covered by `#[cfg(test)]` items.
+fn cfg_test_ranges(lines: &[Line]) -> Vec<(usize, usize)> {
+    let masked: Vec<&str> = lines.iter().map(|l| l.masked.as_str()).collect();
+    let joined = masked.join("\n");
+    let mut ranges = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = joined[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        // Find the opening brace of the annotated item, then its match.
+        let Some(open_rel) = joined[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0usize;
+        let mut close = joined.len();
+        for (off, b) in joined[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start_line = joined[..attr_at].bytes().filter(|&b| b == b'\n').count();
+        let end_line = joined[..close].bytes().filter(|&b| b == b'\n').count();
+        ranges.push((start_line, end_line));
+        search_from = close.min(joined.len().saturating_sub(1)).max(attr_at + 1);
+        if search_from >= joined.len() {
+            break;
+        }
+    }
+    ranges
+}
+
+/// Lint one file's source under the rules its path selects.
+pub fn scan_source(path: &Path, source: &str, rules: &[Rule]) -> Vec<Violation> {
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let lines = lex(source);
+    let test_ranges = cfg_test_ranges(&lines);
+    let in_test = |n: usize| test_ranges.iter().any(|&(s, e)| n >= s && n <= e);
+
+    // Resolve waivers: a standalone directive covers itself through the
+    // end of the following statement (first subsequent line whose masked
+    // text contains `;`, `{` or `}`).
+    let mut waived: Vec<Vec<Rule>> = lines.iter().map(|l| l.allows.clone()).collect();
+    for (n, line) in lines.iter().enumerate() {
+        if !line.standalone_allow {
+            continue;
+        }
+        for m in (n + 1)..lines.len() {
+            for &r in &line.allows {
+                if !waived[m].contains(&r) {
+                    waived[m].push(r);
+                }
+            }
+            let t = &lines[m].masked;
+            if t.contains(';') || t.contains('{') || t.contains('}') {
+                break;
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        if in_test(n) {
+            continue;
+        }
+        for &rule in rules {
+            if waived[n].contains(&rule) {
+                continue;
+            }
+            for &token in rule.tokens() {
+                if line.masked.contains(token) {
+                    violations.push(Violation {
+                        file: path.to_path_buf(),
+                        line: n + 1,
+                        rule,
+                        token,
+                        snippet: line.raw.trim().to_string(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping test/bench/
+/// example/fixture directories and anything outside library source.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP_DIRS: [&str; 5] = ["tests", "benches", "examples", "fixtures", "target"];
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every library source file under `<root>/crates/`.
+///
+/// `root` is the workspace root. Vendored stub crates (`vendor/`) are not
+/// Falcon code and are not scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    collect_rs(&crates, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let source = fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let rules = rules_for(rel);
+        violations.extend(scan_source(rel, &source, &rules));
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_path() -> PathBuf {
+        PathBuf::from("crates/falcon-core/src/ops/example.rs")
+    }
+
+    #[test]
+    fn unwrap_in_operator_code_is_flagged() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanic);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_ignored() {
+        let src = concat!(
+            "// calls .unwrap() somewhere\n",
+            "/* panic! inside\n   block comment */\n",
+            "pub fn f() -> &'static str {\n",
+            "    \".unwrap() and panic! in a string\"\n",
+            "}\n",
+        );
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_module_is_skipped() {
+        let src = concat!(
+            "pub fn f() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { Some(1).unwrap(); panic!(\"x\") }\n",
+            "}\n",
+        );
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn same_line_allow_directive_waives() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // falcon-lint: allow(no-panic)\n}\n";
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_following_statement() {
+        let src = concat!(
+            "pub fn f(x: Option<u32>) -> u32 {\n",
+            "    // falcon-lint: allow(no-panic)\n",
+            "    x\n",
+            "        .unwrap()\n",
+            "}\n",
+        );
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_for_one_rule_does_not_waive_another() {
+        let src =
+            "pub fn f() { let _ = std::time::Instant::now(); } // falcon-lint: allow(no-panic)\n";
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::SimTime);
+    }
+
+    #[test]
+    fn nondeterminism_tokens_flagged_in_core_but_not_elsewhere() {
+        let src = "pub fn f() { let _ = rand::thread_rng(); }\n";
+        let core = PathBuf::from("crates/falcon-core/src/driver.rs");
+        let v = scan_source(&core, src, &rules_for(&core));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoNondeterminism);
+        // The CLI crate is not under the determinism contract.
+        let cli = PathBuf::from("crates/falcon-cli/src/main.rs");
+        let v = scan_source(&cli, src, &rules_for(&cli));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sim_time_exemptions_hold() {
+        let src = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+        let sanctioned = PathBuf::from("crates/falcon-dataflow/src/sim_time.rs");
+        assert!(scan_source(&sanctioned, src, &rules_for(&sanctioned)).is_empty());
+        let bench = PathBuf::from("crates/falcon-bench/src/lib.rs");
+        assert!(scan_source(&bench, src, &rules_for(&bench)).is_empty());
+        let elsewhere = PathBuf::from("crates/falcon-table/src/lib.rs");
+        let v = scan_source(&elsewhere, src, &rules_for(&elsewhere));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::SimTime);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_do_not_confuse_the_lexer() {
+        let src = concat!(
+            "pub fn f<'a>(s: &'a str) -> &'a str {\n",
+            "    let _ = r\"panic! .unwrap()\";\n",
+            "    let _c = '\\'';\n",
+            "    s\n",
+            "}\n",
+        );
+        let v = scan_source(&ops_path(), src, &rules_for(&ops_path()));
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,43 @@
+//! `falcon-lint`: lint the workspace's library sources for the panic,
+//! determinism and simulated-time invariants.
+//!
+//! ```sh
+//! cargo run -p falcon-lint            # lint the enclosing workspace
+//! cargo run -p falcon-lint -- <root>  # lint an explicit workspace root
+//! ```
+//!
+//! Exits `1` when any violation is found, `0` otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            // CARGO_MANIFEST_DIR = <root>/crates/falcon-lint.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest
+                .parent()
+                .and_then(std::path::Path::parent)
+                .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf)
+        },
+        PathBuf::from,
+    );
+    match falcon_lint::scan_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("falcon-lint: ok ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("falcon-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("falcon-lint: cannot scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded-violation fixture: an "operator" that breaks every rule.
+//! Scanned only by falcon-lint's own tests — not compiled.
+
+pub fn broken(x: Option<u32>) -> u32 {
+    let started = std::time::Instant::now();
+    let mut rng = rand::thread_rng();
+    let _ = (started, &mut rng);
+    x.unwrap()
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    x.unwrap() // falcon-lint: allow(no-panic)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        super::waived(Some(1));
+        Option::<u32>::None.unwrap_or(0);
+        panic!("panics are fine in tests");
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded-violation fixture: dataflow code with a panic and an unseeded
+//! hasher. Scanned only by falcon-lint's own tests — not compiled.
+
+pub fn reduce(partition: Option<Vec<u32>>) -> Vec<u32> {
+    let _state = std::collections::hash_map::RandomState::new();
+    partition.expect("partition present")
+}

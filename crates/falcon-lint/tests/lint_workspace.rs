@@ -1,0 +1,51 @@
+//! The lint gate: the real workspace must be clean, and the seeded
+//! violation fixture must trip every rule.
+
+use falcon_lint::{scan_workspace, Rule};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/falcon-lint.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let violations = scan_workspace(&workspace_root()).expect("scan");
+    assert!(
+        violations.is_empty(),
+        "workspace violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad-workspace");
+    let violations = scan_workspace(&fixture).expect("scan");
+    // bad_op.rs: Instant::now + thread_rng + unwrap; the waived unwrap and
+    // the #[cfg(test)] module must NOT be reported.
+    // bad_runner.rs: RandomState + expect.
+    let count = |rule: Rule| violations.iter().filter(|v| v.rule == rule).count();
+    assert_eq!(count(Rule::NoPanic), 2, "{violations:?}");
+    assert_eq!(count(Rule::NoNondeterminism), 2, "{violations:?}");
+    assert_eq!(count(Rule::SimTime), 1, "{violations:?}");
+    assert_eq!(violations.len(), 5, "{violations:?}");
+    // Locations are reported precisely.
+    let unwrap_v = violations
+        .iter()
+        .find(|v| v.token == ".unwrap()")
+        .expect("unwrap violation");
+    assert!(unwrap_v
+        .file
+        .ends_with("crates/falcon-core/src/ops/bad_op.rs"));
+    assert_eq!(unwrap_v.line, 8);
+}

@@ -116,7 +116,11 @@ impl TableProfile {
                     name: attr.name.clone(),
                     ty,
                     characteristic: AttrCharacteristic::from_stats(ty, avg_words),
-                    fill_rate: if rows > 0 { nn as f64 / rows as f64 } else { 0.0 },
+                    fill_rate: if rows > 0 {
+                        nn as f64 / rows as f64
+                    } else {
+                        0.0
+                    },
                     avg_words,
                 }
             })
@@ -182,7 +186,11 @@ mod tests {
         let t = Table::new(
             "t",
             schema,
-            vec![vec![Value::str("x")], vec![Value::Null], vec![Value::str("y z")]],
+            vec![
+                vec![Value::str("x")],
+                vec![Value::Null],
+                vec![Value::str("y z")],
+            ],
         );
         let p = TableProfile::scan(&t);
         assert!((p.attr("a").unwrap().fill_rate - 2.0 / 3.0).abs() < 1e-12);

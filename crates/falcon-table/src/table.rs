@@ -47,11 +47,7 @@ impl Table {
             .into_iter()
             .enumerate()
             .map(|(i, values)| {
-                assert_eq!(
-                    values.len(),
-                    schema.arity(),
-                    "row {i} arity mismatch"
-                );
+                assert_eq!(values.len(), schema.arity(), "row {i} arity mismatch");
                 Tuple {
                     id: i as TupleId,
                     values,
@@ -116,7 +112,10 @@ impl Table {
         let n = self.rows.len();
         let k = k.max(1);
         let chunk = n.div_ceil(k).max(1);
-        (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect()
+        (0..n)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(n))
+            .collect()
     }
 }
 

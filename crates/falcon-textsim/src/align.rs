@@ -25,7 +25,11 @@ pub fn needleman_wunsch_sim(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * GAP).collect();
     let mut cur = vec![0.0; b.len() + 1];
@@ -47,7 +51,11 @@ pub fn smith_waterman_sim(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let mut prev = vec![0.0f64; b.len() + 1];
     let mut cur = vec![0.0f64; b.len() + 1];
@@ -71,7 +79,11 @@ pub fn smith_waterman_gotoh_sim(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let n = b.len();
     // h: best score ending at (i, j); e: gap in a; f: gap in b.

@@ -11,7 +11,11 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
     let ta = word_tokens(a);
     let tb = word_tokens(b);
     if ta.is_empty() || tb.is_empty() {
-        return if ta.is_empty() && tb.is_empty() { 1.0 } else { 0.0 };
+        return if ta.is_empty() && tb.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     directional(&ta, &tb).max(directional(&tb, &ta))
 }
@@ -19,11 +23,7 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
 fn directional(xs: &[String], ys: &[String]) -> f64 {
     let total: f64 = xs
         .iter()
-        .map(|x| {
-            ys.iter()
-                .map(|y| jaro_winkler(x, y))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max))
         .sum();
     total / xs.len() as f64
 }

@@ -43,18 +43,16 @@ pub fn length_bounds(sim: SimFunction, t: f64, probe_len: usize) -> Option<(usiz
         SimFunction::Cosine(_) => (t * t * y, y / (t * t)),
         _ => return None,
     };
-    Some(((lo - 1e-9).ceil().max(0.0) as usize, (hi + 1e-9).floor() as usize))
+    Some((
+        (lo - 1e-9).ceil().max(0.0) as usize,
+        (hi + 1e-9).floor() as usize,
+    ))
 }
 
 /// Minimum token overlap `o` required between `x` and `y` (with the given
 /// set sizes) for `sim(x, y) >= t` to hold. Used by the position filter.
 /// Returns `None` for measures without an overlap bound.
-pub fn required_overlap(
-    sim: SimFunction,
-    t: f64,
-    x_len: usize,
-    y_len: usize,
-) -> Option<usize> {
+pub fn required_overlap(sim: SimFunction, t: f64, x_len: usize, y_len: usize) -> Option<usize> {
     if t <= 0.0 {
         return Some(0);
     }
@@ -160,11 +158,17 @@ mod tests {
     #[test]
     fn required_overlap_values() {
         // Jaccard 0.5, |x|=|y|=6 -> 0.5/1.5·12 = 4.
-        assert_eq!(required_overlap(SimFunction::Jaccard(W), 0.5, 6, 6), Some(4));
+        assert_eq!(
+            required_overlap(SimFunction::Jaccard(W), 0.5, 6, 6),
+            Some(4)
+        );
         // Dice 0.5, sizes 4,4 -> 0.25·8 = 2.
         assert_eq!(required_overlap(SimFunction::Dice(W), 0.5, 4, 4), Some(2));
         // Overlap 0.75, min=4 -> 3.
-        assert_eq!(required_overlap(SimFunction::Overlap(W), 0.75, 4, 9), Some(3));
+        assert_eq!(
+            required_overlap(SimFunction::Overlap(W), 0.75, 4, 9),
+            Some(3)
+        );
         assert_eq!(required_overlap(SimFunction::Levenshtein, 0.5, 4, 4), None);
     }
 

@@ -155,7 +155,9 @@ mod tests {
     fn soft_cosine_tolerates_typos() {
         let m = model();
         let hard = m.cosine("quick browm fox", "quick brown fox").unwrap();
-        let soft = m.soft_cosine("quick browm fox", "quick brown fox", 0.9).unwrap();
+        let soft = m
+            .soft_cosine("quick browm fox", "quick brown fox", 0.9)
+            .unwrap();
         assert!(soft > hard, "{soft} vs {hard}");
     }
 

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn word_tokens_normalize() {
-        assert_eq!(word_tokens("The  Quick, brown fox!"), vec!["the", "quick", "brown", "fox"]);
+        assert_eq!(
+            word_tokens("The  Quick, brown fox!"),
+            vec!["the", "quick", "brown", "fox"]
+        );
         assert_eq!(word_tokens(""), Vec::<String>::new());
         assert_eq!(word_tokens("...  ,"), Vec::<String>::new());
     }

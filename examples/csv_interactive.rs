@@ -29,7 +29,10 @@ fn main() {
         // Demo mode: generate a small products dataset, round-trip it
         // through CSV, and auto-answer from ground truth.
         let d = falcon::datagen::products::generate(0.01, 99);
-        for (t, path) in [(&d.a, "/tmp/falcon_demo_a.csv"), (&d.b, "/tmp/falcon_demo_b.csv")] {
+        for (t, path) in [
+            (&d.a, "/tmp/falcon_demo_a.csv"),
+            (&d.b, "/tmp/falcon_demo_b.csv"),
+        ] {
             let mut f = File::create(path).expect("write demo csv");
             csv::write_table(t, &mut f).expect("serialize");
             f.flush().unwrap();

@@ -39,11 +39,11 @@ fn main() {
     );
 
     // sample_pairs.
-    let sample = sample_pairs(&cluster, &data.a, &data.b, 10_000, 50, 1);
+    let sample = sample_pairs(&cluster, &data.a, &data.b, 10_000, 50, 1).expect("sample_pairs");
     println!("sample_pairs: |S| = {}", sample.pairs.len());
 
     // gen_fvs over the sample, blocking features only.
-    let s_fvs = gen_fvs(&cluster, &data.a, &data.b, &sample.pairs, &lib.blocking);
+    let s_fvs = gen_fvs(&cluster, &data.a, &data.b, &sample.pairs, &lib.blocking).expect("gen_fvs");
 
     // al_matcher: crowdsourced active learning of the blocking forest.
     let higher: Vec<bool> = lib
@@ -60,7 +60,8 @@ fn main() {
         &s_fvs.fvs,
         &higher,
         &AlConfig::default(),
-    );
+    )
+    .expect("al_matcher");
     println!(
         "al_matcher: {} crowd iterations, converged = {}",
         al.iterations, al.converged
@@ -96,7 +97,9 @@ fn main() {
     let conjuncts = ConjunctSpecs::derive(&seq.seq, &lib.blocking);
     let mut built = BuiltIndexes::new();
     for spec in conjuncts.all_specs() {
-        built.build_spec(&cluster, &data.a, &spec);
+        built
+            .build_spec(&cluster, &data.a, &spec)
+            .expect("build_spec");
     }
     println!("\nphysical operator comparison (identical outputs expected):");
     for op in [

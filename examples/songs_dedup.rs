@@ -47,12 +47,13 @@ fn main() {
         "candidates {} of {} possible pairs ({:.3}%)",
         report.candidate_size.unwrap_or(0),
         data.a.len() * data.b.len(),
-        100.0 * report.candidate_size.unwrap_or(0) as f64
-            / (data.a.len() * data.b.len()) as f64
+        100.0 * report.candidate_size.unwrap_or(0) as f64 / (data.a.len() * data.b.len()) as f64
     );
     println!(
         "crowd ${:.2} over {} questions; total time {:?}",
-        report.ledger.cost, report.ledger.questions, report.total_time()
+        report.ledger.cost,
+        report.ledger.questions,
+        report.total_time()
     );
 
     // Show the learned blocking rules in feature terms.

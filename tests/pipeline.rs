@@ -34,7 +34,7 @@ fn citations_pipeline_high_f1() {
     let data = falcon::datagen::citations::generate(0.001, 32);
     let (report, q) = run(&data, 0.05, 2);
     assert!(q.f1 > 0.7, "citations F1 = {:.3}", q.f1);
-    assert!(report.rules_retained > 0 || report.rule_sequence.len() > 0);
+    assert!(report.rules_retained > 0 || !report.rule_sequence.is_empty());
 }
 
 #[test]
@@ -60,11 +60,8 @@ fn oracle_beats_noisy_crowd() {
     let truth = GroundTruth::new(data.truth.iter().copied());
     let oracle_report =
         Falcon::new(config()).run(&data.a, &data.b, OracleCrowd::new(truth.clone()));
-    let noisy_report = Falcon::new(config()).run(
-        &data.a,
-        &data.b,
-        RandomWorkerCrowd::new(truth, 0.2, 5),
-    );
+    let noisy_report =
+        Falcon::new(config()).run(&data.a, &data.b, RandomWorkerCrowd::new(truth, 0.2, 5));
     let qo = oracle_report.quality(&data.truth);
     let qn = noisy_report.quality(&data.truth);
     assert!(

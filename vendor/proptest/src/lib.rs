@@ -1,0 +1,159 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the subset of the `proptest` API the workspace's
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_filter` / `boxed`, range and tuple and regex-string strategies,
+//! [`collection::vec`], `any::<T>()`, weighted `prop_oneof!`, and the
+//! `proptest!` test macro with `#![proptest_config(...)]`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! * **Deterministic.** Each test's RNG is seeded from the test name, so
+//!   failures reproduce exactly — the same invariant the rest of this
+//!   workspace builds on (no ambient entropy).
+//! * `prop_assert!` and friends panic rather than returning `Err`, which
+//!   is equivalent under this runner.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Choose between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `Config::cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                // Bodies may `return Ok(())` to discard a case, matching
+                // real proptest's Result-returning test closures.
+                #[allow(clippy::redundant_closure_call)] // gives `$body` a `return` target
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__msg) = __outcome {
+                    ::core::panic!("property {} failed: {}", stringify!($name), __msg);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let s = crate::collection::vec(0i64..100, 1..10);
+        let mut r1 = crate::test_runner::rng_for_test("x");
+        let mut r2 = crate::test_runner::rng_for_test("x");
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+
+    #[test]
+    fn regex_strings_match_class_and_len() {
+        let mut rng = crate::test_runner::rng_for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".new_value(&mut rng);
+            assert!(s.len() >= 2 && s.len() <= 5, "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_filter() {
+        let mut rng = crate::test_runner::rng_for_test("oneof");
+        let s = prop_oneof![3 => (0i64..10).boxed(), 1 => Just(99i64).boxed()]
+            .prop_filter("even", |v| *v % 2 == 0);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!(v % 2 == 0);
+            assert!((0..10).contains(&v) || v == 99);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: tuples, maps, any::<bool>.
+        #[test]
+        fn macro_end_to_end(
+            pair in (0usize..5, "[x-z]{1,2}").prop_map(|(n, s)| (n, s)),
+            flag in any::<bool>(),
+            v in crate::collection::vec(0.0f64..1.0, 3..=3),
+        ) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!(!pair.1.is_empty() && pair.1.len() <= 2);
+            prop_assert_eq!(v.len(), 3);
+            prop_assert_ne!(flag as usize, 2);
+        }
+    }
+}

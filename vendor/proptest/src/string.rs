@@ -1,0 +1,129 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern forms the workspace's tests use: literal
+//! characters, character classes `[a-z0-9 ,\"']` (with ranges), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped
+//! at 8 repetitions). Anything else panics so a test author notices
+//! immediately instead of silently getting wrong data.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in class"));
+                out.push(esc);
+                prev = Some(esc);
+            }
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().unwrap_or('-');
+                let hi = chars.next().unwrap_or('-');
+                assert!(lo <= hi, "bad class range {lo}-{hi}");
+                // `lo` is already in `out`; add the rest of the range.
+                for v in (lo as u32 + 1)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+fn parse_quant(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_quant(&mut chars);
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse(pattern) {
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,37 @@
+//! Runner configuration and per-test deterministic RNG.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The RNG handed to strategies (a deterministic xoshiro256++).
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Runner configuration (the `ProptestConfig` of real proptest, reduced
+/// to the single knob this workspace uses).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG derived from the test's name: failures reproduce
+/// without recording a seed.
+pub fn rng_for_test(name: &str) -> TestRng {
+    use rand::SeedableRng;
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    TestRng::seed_from_u64(h.finish() ^ 0x70726f_70746573)
+}

@@ -1,0 +1,335 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the small slice of the `rand 0.8` API it
+//! actually uses: [`Rng`], [`SeedableRng`], [`rngs::SmallRng`] and
+//! [`seq::SliceRandom`]. The generator is xoshiro256++ seeded through
+//! splitmix64 — deterministic for a given seed, which is exactly what the
+//! simulated-cluster experiments require (`falcon-lint` separately bans
+//! the nondeterministic entry points such as `thread_rng`, which this stub
+//! deliberately does not provide).
+//!
+//! Numeric streams differ from upstream `rand`; everything in this
+//! workspace that depends on randomness is seeded and asserts on
+//! *properties*, not on specific draws.
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their full domain
+/// (the `Standard` distribution of upstream `rand`).
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Element types `gen_range` can sample uniformly (the `SampleUniform`
+/// of upstream `rand`).
+pub trait SampleUniform: Sized {
+    /// Draw from `[lo, hi)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Ranges a value can be drawn from uniformly (the `SampleRange` of
+/// upstream `rand`). Generic over the element type so integer/float
+/// literals in `gen_range(0..26)` infer from surrounding context.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "empty gen_range");
+                let unit = <$t as StandardSample>::sample(rng);
+                lo + unit * (hi - lo)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "empty gen_range");
+                let unit = <$t as StandardSample>::sample(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )+};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`] (including `&mut R`).
+pub trait Rng: RngCore {
+    /// Sample a value from the type's full domain.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        <f64 as StandardSample>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a single `u64` (expanded through splitmix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro256++ must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut folded = 0u64;
+            for (i, b) in seed.iter().enumerate() {
+                folded ^= u64::from(*b) << ((i % 8) * 8);
+            }
+            Self::from_u64(folded)
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            Self::from_u64(state)
+        }
+    }
+}
+
+pub use rngs::SmallRng;
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random selection over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick a reference to one element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (*rng).gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (*rng).gen_range(0..self.len());
+                self.get(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let z: usize = rng.gen_range(3..=3);
+            assert_eq!(z, 3);
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        assert!(Vec::<u32>::new().choose(&mut rng).is_none());
+    }
+}

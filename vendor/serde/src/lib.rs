@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace serializes through a real serde backend (there is no
+//! `serde_json`/`bincode` here — the derives on config and plan types
+//! exist so downstream users *could* wire a backend in). This stub keeps
+//! those derives compiling: the traits are markers blanket-implemented
+//! for every type, and the derive macros expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline vendored no-op implementations of serde's derive macros.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits for all
+//! types, so the derives here only need to exist (and accept the
+//! `#[serde(...)]` helper attribute); they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
