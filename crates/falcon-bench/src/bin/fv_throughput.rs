@@ -1,0 +1,117 @@
+//! Feature-vector throughput: `gen_fvs` on the legacy
+//! render-and-tokenize-per-feature path vs the token-profile path
+//! (pre-tokenized sorted-id columns + rendered-value cache). Emits
+//! `BENCH_fv.json` with pairs/sec for both modes and the speedup — the
+//! repo's first recorded benchmark baseline.
+
+use falcon::core::features::generate_features;
+use falcon::core::ops::gen_fvs::{gen_fvs_with, FvMode};
+use falcon::prelude::*;
+use falcon::table::IdPair;
+use falcon_bench::{dataset, mean, title, Args};
+use std::time::Instant;
+
+/// Deterministic pseudo-random pairs (splitmix-style LCG keyed by seed).
+fn random_pairs(n: usize, a_len: usize, b_len: usize, seed: u64) -> Vec<IdPair> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    (0..n)
+        .map(|_| {
+            (
+                (next() % a_len as u64) as u32,
+                (next() % b_len as u64) as u32,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let runs: usize = args.get("runs", 3);
+    let seed: u64 = args.get("seed", 1);
+    let name: String = args.get("dataset", "songs".to_string());
+    let n_pairs: usize = args.get("pairs", 20_000);
+
+    let d = dataset(&name, scale, seed);
+    let cluster = Cluster::new(ClusterConfig::default());
+    let lib = generate_features(&d.a, &d.b);
+    let pairs = random_pairs(
+        n_pairs.min(d.a.len() * d.b.len()),
+        d.a.len(),
+        d.b.len(),
+        seed,
+    );
+
+    title(&format!(
+        "gen_fvs throughput: {name} {}x{} tuples, {} pairs, {runs} runs",
+        d.a.len(),
+        d.b.len(),
+        pairs.len(),
+    ));
+
+    let mut sections = Vec::new();
+    for (lib_name, features) in [("blocking", &lib.blocking), ("matching", &lib.matching)] {
+        let mut wall = [Vec::new(), Vec::new()];
+        let mut outputs = Vec::new();
+        for (slot, mode) in [(0usize, FvMode::Legacy), (1, FvMode::TokenProfile)] {
+            for r in 0..runs {
+                let t0 = Instant::now();
+                let out =
+                    gen_fvs_with(&cluster, &d.a, &d.b, &pairs, features, mode).expect("gen_fvs");
+                wall[slot].push(t0.elapsed().as_secs_f64());
+                if r == 0 {
+                    outputs.push(out);
+                }
+            }
+        }
+
+        // Sanity: both modes must produce bit-identical feature vectors.
+        let (legacy, profiled) = (&outputs[0].fvs, &outputs[1].fvs);
+        assert_eq!(legacy.pairs, profiled.pairs, "pair order diverged");
+        for (l, p) in legacy.fvs.iter().zip(&profiled.fvs) {
+            for (x, y) in l.iter().zip(p) {
+                assert_eq!(x.to_bits(), y.to_bits(), "feature vectors diverged");
+            }
+        }
+
+        let rate = |w: &[f64]| pairs.len() as f64 / mean(w);
+        let (legacy_rate, profile_rate) = (rate(&wall[0]), rate(&wall[1]));
+        let speedup = profile_rate / legacy_rate;
+        println!(
+            "\n{lib_name} feature set ({} features):",
+            features.features.len()
+        );
+        println!("{:<14} {:>12} {:>14}", "mode", "mean wall", "pairs/sec");
+        for (label, w) in [("legacy", &wall[0]), ("token-profile", &wall[1])] {
+            println!(
+                "{label:<14} {:>11.3}s {:>14.0}",
+                mean(w),
+                pairs.len() as f64 / mean(w)
+            );
+        }
+        println!("speedup: {speedup:.2}x (vectors bit-identical across modes)");
+        sections.push(format!(
+            "  \"{lib_name}\": {{\n    \"features\": {},\n    \"legacy\": {{ \"mean_wall_secs\": {:.6}, \"pairs_per_sec\": {:.1} }},\n    \"token_profile\": {{ \"mean_wall_secs\": {:.6}, \"pairs_per_sec\": {:.1} }},\n    \"speedup\": {:.3}\n  }}",
+            features.features.len(),
+            mean(&wall[0]),
+            legacy_rate,
+            mean(&wall[1]),
+            profile_rate,
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fv_throughput\",\n  \"dataset\": \"{name}\",\n  \"scale\": {scale},\n  \"runs\": {runs},\n  \"pairs\": {},\n{},\n  \"bit_identical\": true\n}}\n",
+        pairs.len(),
+        sections.join(",\n"),
+    );
+    std::fs::write("BENCH_fv.json", &json).expect("write BENCH_fv.json");
+    println!("\nwrote BENCH_fv.json");
+}

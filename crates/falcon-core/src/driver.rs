@@ -225,7 +225,7 @@ impl Falcon {
             .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
             .collect();
         let fv_out = gen_fvs(cluster, a, b, &pairs, &lib.matching)?;
-        timeline.machine("gen_fvs_m", fv_out.stats.sim_duration(&cfg.cluster));
+        timeline.machine("gen_fvs_m", fv_out.sim_duration(&cfg.cluster));
         let higher: Vec<bool> = lib
             .matching
             .features
@@ -286,7 +286,7 @@ impl Falcon {
 
         // ---- gen_fvs (blocking features) ----
         let s_fvs = gen_fvs(cluster, a, b, &sample.pairs, &lib.blocking)?;
-        timeline.machine("gen_fvs_b", s_fvs.stats.sim_duration(&cfg.cluster));
+        timeline.machine("gen_fvs_b", s_fvs.sim_duration(&cfg.cluster));
 
         // ---- al_matcher (blocking stage) ----
         let higher_b: Vec<bool> = lib
@@ -504,7 +504,7 @@ impl Falcon {
     ) -> Result<MatchStageOutcome, FalconError> {
         let cfg = &self.config;
         let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching)?;
-        timeline.machine("gen_fvs_m", c_fvs.stats.sim_duration(&cfg.cluster));
+        timeline.machine("gen_fvs_m", c_fvs.sim_duration(&cfg.cluster));
         if c_fvs.fvs.is_empty() {
             return Ok(MatchStageOutcome {
                 matches: Vec::new(),

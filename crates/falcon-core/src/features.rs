@@ -8,7 +8,7 @@
 //! from the blocking feature set (too slow / unfilterable for blocking).
 
 use falcon_table::{AttrCharacteristic, Table, TableProfile, Tuple, Value};
-use falcon_textsim::{SimContext, SimFunction, Tokenizer};
+use falcon_textsim::{sets, SimContext, SimFunction, Tokenizer};
 use serde::{Deserialize, Serialize};
 
 /// One feature: a similarity function applied to an attribute
@@ -31,10 +31,60 @@ pub struct Feature {
 
 impl Feature {
     /// Compute the feature value for a tuple pair; `NaN` means missing.
+    ///
+    /// When the context carries [`falcon_textsim::TokenProfile`]s covering
+    /// this feature's attributes and tuples, the pre-tokenized fast path is
+    /// taken; otherwise this falls back to rendering and tokenizing on the
+    /// fly. Both paths are bit-identical (enforced by the
+    /// `fv_equivalence` property test).
     pub fn compute(&self, a: &Tuple, b: &Tuple, ctx: &SimContext<'_>) -> f64 {
+        if let Some(v) = self.compute_profiled(a, b, ctx) {
+            return v;
+        }
         let av = a.value(self.a_idx);
         let bv = b.value(self.b_idx);
         score_values(self.sim, av, bv, ctx)
+    }
+
+    /// Fast path over the token profiles. Returns `None` — meaning "use
+    /// the string path" — when profiles are absent or do not cover this
+    /// feature's columns or tuples; numeric measures (other than
+    /// `ExactMatch`) never render, so they always use the direct path.
+    fn compute_profiled(&self, a: &Tuple, b: &Tuple, ctx: &SimContext<'_>) -> Option<f64> {
+        let (ap, bp) = (ctx.a_profile?, ctx.b_profile?);
+        if self.sim.is_numeric() && !matches!(self.sim, SimFunction::ExactMatch) {
+            return None;
+        }
+        let ar = ap.rendered(self.a_idx, a.id)?;
+        let br = bp.rendered(self.b_idx, b.id)?;
+        // Missingness is decided on the rendered string, exactly like
+        // `score_str`; a non-empty string can still have an empty token
+        // set (punctuation-only under `Tokenizer::Word`), which the id
+        // kernels score 0.0 just like the legacy set kernels.
+        if ar.is_empty() || br.is_empty() {
+            return Some(f64::NAN);
+        }
+        match self.sim {
+            SimFunction::Jaccard(t) => Some(sets::jaccard_ids(
+                ap.tokens(self.a_idx, t, a.id)?,
+                bp.tokens(self.b_idx, t, b.id)?,
+            )),
+            SimFunction::Dice(t) => Some(sets::dice_ids(
+                ap.tokens(self.a_idx, t, a.id)?,
+                bp.tokens(self.b_idx, t, b.id)?,
+            )),
+            SimFunction::Overlap(t) => Some(sets::overlap_ids(
+                ap.tokens(self.a_idx, t, a.id)?,
+                bp.tokens(self.b_idx, t, b.id)?,
+            )),
+            SimFunction::Cosine(t) => Some(sets::cosine_ids(
+                ap.tokens(self.a_idx, t, a.id)?,
+                bp.tokens(self.b_idx, t, b.id)?,
+            )),
+            // Edit/hybrid/TF-IDF measures still run their own algorithm but
+            // reuse the cached rendered strings instead of re-rendering.
+            _ => Some(self.sim.score_str(ar, br, ctx).unwrap_or(f64::NAN)),
+        }
     }
 }
 

@@ -16,7 +16,7 @@ use falcon_dataflow::{run_map_combine_reduce, wall_now, Cluster, Emitter};
 use falcon_forest::SplitOp;
 use falcon_index::{FilterSpec, IndexError, PredicateIndex, TokenOrder};
 use falcon_table::{Table, Tuple};
-use falcon_textsim::Tokenizer;
+use falcon_textsim::{TokenDict, TokenProfile, Tokenizer};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -108,14 +108,34 @@ impl ConjunctSpecs {
 pub struct BuiltIndexes {
     /// Predicate key → built index.
     pub indexes: HashMap<String, Arc<PredicateIndex>>,
-    /// (attribute, tokenizer-suffix) → global token order.
-    pub orders: HashMap<String, Arc<TokenOrder>>,
+    /// `(A-side attribute index, tokenizer)` → global token order. Keying
+    /// on the pair (not a formatted string) keeps lookups allocation-free.
+    pub orders: HashMap<(usize, Tokenizer), Arc<TokenOrder>>,
+    /// Complete A-side token profile + dictionary, when the optimizer
+    /// prebuilt one; [`BuiltIndexes::build_order`] then counts token
+    /// frequencies from the profile columns instead of re-tokenizing `A`
+    /// with an MR job.
+    profile: Option<(Arc<TokenProfile>, Arc<TokenDict>)>,
 }
 
 impl BuiltIndexes {
     /// Fresh empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install a **complete** A-side profile for token-order fast paths.
+    /// Incomplete (masked) profiles are rejected: frequency counts over a
+    /// partial table would produce a different ordering than the MR scan.
+    pub fn set_profile(&mut self, profile: TokenProfile, dict: TokenDict) {
+        if profile.is_complete() {
+            self.profile = Some((Arc::new(profile), Arc::new(dict)));
+        }
+    }
+
+    /// The installed A-side profile, if any.
+    pub fn profile(&self) -> Option<&(Arc<TokenProfile>, Arc<TokenDict>)> {
+        self.profile.as_ref()
     }
 
     /// Total estimated bytes of a set of predicate keys.
@@ -126,8 +146,13 @@ impl BuiltIndexes {
             .sum()
     }
 
-    /// Build the token order for `(attr, tokenizer)` over table `A` using
-    /// the frequency-count MR job; returns the (simulated) build duration.
+    /// Build the token order for `(attr, tokenizer)` over table `A`;
+    /// returns the (simulated) build duration.
+    ///
+    /// When a complete A-side token profile is installed, frequencies are
+    /// counted from its pre-tokenized column (token sets per tuple are
+    /// identical to the MR scan's, so the resulting order is too);
+    /// otherwise the paper's frequency-count MR job runs.
     pub fn build_order(
         &mut self,
         cluster: &Cluster,
@@ -135,14 +160,32 @@ impl BuiltIndexes {
         attr: &str,
         tokenizer: Tokenizer,
     ) -> Result<Duration, FalconError> {
-        let key = format!("{attr}:{}", tokenizer.suffix());
-        if self.orders.contains_key(&key) {
-            return Ok(Duration::ZERO);
-        }
         let attr_idx = a
             .schema()
             .index_of(attr)
             .ok_or_else(|| IndexError::MissingAttribute { attr: attr.into() })?;
+        let key = (attr_idx, tokenizer);
+        if self.orders.contains_key(&key) {
+            return Ok(Duration::ZERO);
+        }
+        if let Some((profile, dict)) = &self.profile {
+            if let Some(col) = profile.column(key) {
+                let t0 = wall_now();
+                let mut counts: HashMap<u32, usize> = HashMap::new();
+                for ids in col {
+                    for &id in ids {
+                        *counts.entry(id).or_default() += 1;
+                    }
+                }
+                let order = TokenOrder::from_frequencies(
+                    counts
+                        .into_iter()
+                        .filter_map(|(id, n)| dict.resolve(id).map(|s| (s.to_string(), n))),
+                );
+                self.orders.insert(key, Arc::new(order));
+                return Ok(t0.elapsed());
+            }
+        }
         let splits: Vec<Vec<Tuple>> = a
             .splits(cluster.threads() * 2)
             .into_iter()
@@ -191,8 +234,14 @@ impl BuiltIndexes {
                 .tokenizer()
                 .ok_or_else(|| IndexError::NotSetBased { sim: sim.name() })?;
             dur += self.build_order(cluster, a, a_attr, tokenizer)?;
+            let attr_idx =
+                a.schema()
+                    .index_of(a_attr)
+                    .ok_or_else(|| IndexError::MissingAttribute {
+                        attr: a_attr.clone(),
+                    })?;
             self.orders
-                .get(&format!("{a_attr}:{}", tokenizer.suffix()))
+                .get(&(attr_idx, tokenizer))
                 .map(|o| (**o).clone())
         } else {
             None
@@ -326,5 +375,50 @@ mod tests {
             .expect("order");
         assert!(d1 > Duration::ZERO);
         assert_eq!(d2, Duration::ZERO);
+    }
+
+    #[test]
+    fn profile_fast_path_builds_identical_order() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let tok = Tokenizer::Word;
+        let title = a.schema().index_of("title").unwrap();
+
+        // Reference: MR frequency-count job.
+        let mut mr = BuiltIndexes::new();
+        mr.build_order(&cluster(), &a, "title", tok).expect("order");
+
+        // Fast path: count frequencies from a prebuilt complete profile.
+        let mut fast = BuiltIndexes::new();
+        let (a_spec, _) = crate::tokens::requirements(&lib.blocking.features);
+        let mut dict = falcon_textsim::TokenDict::new();
+        let profile = crate::tokens::build_profile_seq(&a, &a_spec, &mut dict);
+        fast.set_profile(profile, dict);
+        fast.build_order(&cluster(), &a, "title", tok)
+            .expect("order");
+
+        let o_mr = &mr.orders[&(title, tok)];
+        let o_fast = &fast.orders[&(title, tok)];
+        for t in a.rows() {
+            for w in tok.tokenize(&t.value(title).render()) {
+                assert_eq!(o_mr.rank(&w), o_fast.rank(&w), "token {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_profile_is_not_installed() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let (a_spec, _) = crate::tokens::requirements(&lib.blocking.features);
+        let mut dict = falcon_textsim::TokenDict::new();
+        let mut mask = vec![false; a.len()];
+        mask[0] = true;
+        let (profile, _) =
+            crate::tokens::build_profile_par(&cluster(), &a, &a_spec, &mut dict, Some(&mask))
+                .expect("profile");
+        let mut built = BuiltIndexes::new();
+        built.set_profile(profile, dict);
+        assert!(built.profile().is_none());
     }
 }

@@ -37,6 +37,7 @@ pub mod plan;
 pub mod rules;
 pub mod snb;
 pub mod timeline;
+pub mod tokens;
 
 pub use analyze::{analyze, PlanAnalysis, PlanAnalysisError};
 pub use driver::{Falcon, FalconConfig, RunReport};
@@ -46,3 +47,4 @@ pub use fv::FvSet;
 pub use optimizer::OptFlags;
 pub use rules::{CnfRule, Predicate, Rule, RuleSequence};
 pub use timeline::Timeline;
+pub use tokens::{PairProfiles, ProfileSpec};

@@ -26,7 +26,6 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Active-learning configuration.
@@ -106,15 +105,16 @@ fn score_disagreement(
     fvs: &FvSet,
     labeled: &HashSet<usize>,
 ) -> Result<(Vec<(usize, f64)>, Duration), FalconError> {
-    let forest = Arc::new(forest.clone());
+    // Splits hold indexes into the FvSet; the scoped dataflow workers
+    // borrow the forest and vectors directly — no per-iteration clones.
     let idxs: Vec<usize> = (0..fvs.len()).filter(|i| !labeled.contains(i)).collect();
     let chunk = idxs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-    let splits: Vec<Vec<(usize, Vec<f64>)>> = idxs
-        .chunks(chunk)
-        .map(|c| c.iter().map(|&i| (i, fvs.fvs[i].clone())).collect())
-        .collect();
-    let out = run_map_only(cluster, splits, move |(i, fv): &(usize, Vec<f64>), out| {
-        out.push((*i, forest.disagreement(fv)));
+    let splits: Vec<Vec<usize>> = idxs.chunks(chunk).map(<[usize]>::to_vec).collect();
+    let out = run_map_only(cluster, splits, |&i: &usize, out| {
+        let Some(fv) = fvs.fvs.get(i) else {
+            return;
+        };
+        out.push((i, forest.disagreement(fv)));
     })?;
     let dur = out.stats.sim_duration(&cluster.config);
     Ok((out.output, dur))

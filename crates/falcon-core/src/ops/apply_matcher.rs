@@ -6,7 +6,6 @@ use crate::fv::FvSet;
 use falcon_dataflow::{run_map_only, Cluster, JobStats};
 use falcon_forest::Forest;
 use falcon_table::IdPair;
-use std::sync::Arc;
 
 /// Output of `apply_matcher`.
 #[derive(Debug)]
@@ -23,23 +22,22 @@ pub fn apply_matcher(
     forest: &Forest,
     fvs: &FvSet,
 ) -> Result<ApplyMatcherOutput, FalconError> {
-    let forest = Arc::new(forest.clone());
+    // Splits hold indexes into the FvSet; the scoped dataflow workers
+    // borrow the forest and vectors directly instead of cloning them.
     let chunk = fvs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-    let splits: Vec<Vec<(IdPair, Vec<f64>)>> = fvs
-        .pairs
+    let splits: Vec<Vec<usize>> = (0..fvs.len())
+        .collect::<Vec<_>>()
         .chunks(chunk)
-        .zip(fvs.fvs.chunks(chunk))
-        .map(|(p, f)| p.iter().copied().zip(f.iter().cloned()).collect())
+        .map(<[usize]>::to_vec)
         .collect();
-    let out = run_map_only(
-        cluster,
-        splits,
-        move |(pair, fv): &(IdPair, Vec<f64>), out| {
-            if forest.predict(fv) {
-                out.push(*pair);
-            }
-        },
-    )?;
+    let out = run_map_only(cluster, splits, |&i: &usize, out| {
+        let (Some(pair), Some(fv)) = (fvs.pairs.get(i), fvs.fvs.get(i)) else {
+            return;
+        };
+        if forest.predict(fv) {
+            out.push(*pair);
+        }
+    })?;
     let mut matches = out.output;
     matches.sort_unstable();
     Ok(ApplyMatcherOutput {

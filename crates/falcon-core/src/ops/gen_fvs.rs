@@ -4,18 +4,47 @@
 use crate::error::FalconError;
 use crate::features::FeatureSet;
 use crate::fv::FvSet;
-use falcon_dataflow::{run_map_only, Cluster, JobStats};
+use crate::tokens::{build_pair_profiles_par, PairProfiles};
+use falcon_dataflow::{run_map_only, Cluster, ClusterConfig, JobStats};
 use falcon_table::{IdPair, Table};
 use falcon_textsim::{SimContext, SimFunction, TfIdfModel};
-use std::sync::Arc;
+use std::time::Duration;
+
+/// How `gen_fvs` evaluates features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FvMode {
+    /// Pre-tokenize the referenced tuples once (one map-only pass per
+    /// table), then score pairs via the sorted-id merge kernels. The
+    /// default; bit-identical to [`FvMode::Legacy`].
+    #[default]
+    TokenProfile,
+    /// Render and tokenize per feature per pair (the original path); kept
+    /// as the verified-equivalent fallback and for benchmarking.
+    Legacy,
+}
 
 /// Output of `gen_fvs`.
 #[derive(Debug)]
 pub struct GenFvsOutput {
     /// Pairs plus vectors, in input order.
     pub fvs: FvSet,
-    /// Job statistics.
+    /// Statistics of the scoring job.
     pub stats: JobStats,
+    /// Statistics of the profile-building map jobs that precede scoring
+    /// (empty in [`FvMode::Legacy`]).
+    pub prep_stats: Vec<JobStats>,
+}
+
+impl GenFvsOutput {
+    /// Simulated cluster duration of the whole operator: the profiling
+    /// jobs (if any) plus the scoring job.
+    pub fn sim_duration(&self, cfg: &ClusterConfig) -> Duration {
+        self.prep_stats
+            .iter()
+            .map(|s| s.sim_duration(cfg))
+            .sum::<Duration>()
+            + self.stats.sim_duration(cfg)
+    }
 }
 
 /// Build the TF/IDF corpus model needed by a feature set, if any of its
@@ -42,7 +71,7 @@ pub fn tfidf_model_for(features: &FeatureSet, a: &Table, b: &Table) -> Option<Tf
     Some(TfIdfModel::build(docs.iter().map(String::as_str)))
 }
 
-/// Run `gen_fvs` over `pairs`.
+/// Run `gen_fvs` over `pairs` in the default [`FvMode::TokenProfile`].
 ///
 /// Every pair id must resolve in its table; a dangling id is an
 /// upstream-operator contract violation and is rejected before the job
@@ -53,6 +82,18 @@ pub fn gen_fvs(
     b: &Table,
     pairs: &[IdPair],
     features: &FeatureSet,
+) -> Result<GenFvsOutput, FalconError> {
+    gen_fvs_with(cluster, a, b, pairs, features, FvMode::default())
+}
+
+/// Run `gen_fvs` over `pairs` in an explicit [`FvMode`].
+pub fn gen_fvs_with(
+    cluster: &Cluster,
+    a: &Table,
+    b: &Table,
+    pairs: &[IdPair],
+    features: &FeatureSet,
+    mode: FvMode,
 ) -> Result<GenFvsOutput, FalconError> {
     for &(aid, bid) in pairs {
         if a.get(aid).is_none() {
@@ -69,17 +110,41 @@ pub fn gen_fvs(
         }
     }
     let tfidf = tfidf_model_for(features, a, b);
-    let a = Arc::new(a.clone());
-    let b = Arc::new(b.clone());
-    let features = Arc::new(features.clone());
+    // Pre-tokenize only the tuples this pair list references: sampled
+    // stages touch a tiny fraction of each table, and profiling the rest
+    // would cost more than the cache saves.
+    let profiles: Option<PairProfiles> = match mode {
+        FvMode::Legacy => None,
+        FvMode::TokenProfile => {
+            let mut a_mask = vec![false; a.len()];
+            let mut b_mask = vec![false; b.len()];
+            for &(aid, bid) in pairs {
+                a_mask[aid as usize] = true;
+                b_mask[bid as usize] = true;
+            }
+            Some(build_pair_profiles_par(
+                cluster,
+                a,
+                b,
+                &features.features,
+                Some(&a_mask),
+                Some(&b_mask),
+            )?)
+        }
+    };
     let n_splits = cluster.threads() * 2;
     let chunk = pairs.len().div_ceil(n_splits.max(1)).max(1);
     let splits: Vec<Vec<IdPair>> = pairs.chunks(chunk).map(<[IdPair]>::to_vec).collect();
-    let out = run_map_only(cluster, splits, move |&(aid, bid): &IdPair, out| {
-        let ctx = match &tfidf {
+    // The scoped dataflow workers borrow the tables, features, and
+    // profiles directly — no per-job Arc clones.
+    let out = run_map_only(cluster, splits, |&(aid, bid): &IdPair, out| {
+        let mut ctx = match &tfidf {
             Some(m) => SimContext::with_tfidf(m),
             None => SimContext::empty(),
         };
+        if let Some(p) = &profiles {
+            ctx = ctx.with_profiles(&p.a, &p.b);
+        }
         // Ids were validated above; skip (rather than crash a worker) if
         // the invariant is somehow violated.
         let (Some(at), Some(bt)) = (a.get(aid), b.get(bid)) else {
@@ -95,6 +160,7 @@ pub fn gen_fvs(
     Ok(GenFvsOutput {
         fvs,
         stats: out.stats,
+        prep_stats: profiles.map(|p| p.stats).unwrap_or_default(),
     })
 }
 
@@ -136,6 +202,62 @@ mod tests {
                 assert!(*v < 1e-9, "{} = {v}", f.name);
             }
         }
+    }
+
+    #[test]
+    fn token_profile_mode_matches_legacy_bit_for_bit() {
+        let schema = Schema::new([("t", AttrType::Str), ("p", AttrType::Num)]);
+        let a = Table::new(
+            "a",
+            schema.clone(),
+            vec![
+                vec![Value::str("quick brown fox"), Value::num(1.0)],
+                vec![Value::str("..."), Value::num(2.0)], // empty token set
+                vec![Value::Null, Value::num(3.0)],       // missing
+                vec![Value::str(" 42 "), Value::Null],
+            ],
+        );
+        let b = Table::new(
+            "b",
+            schema,
+            vec![
+                vec![Value::str("quick brown dog"), Value::num(1.0)],
+                vec![Value::str("!!!"), Value::num(2.5)],
+                vec![Value::str("fox"), Value::Null],
+                vec![Value::num(42.0), Value::num(9.0)],
+            ],
+        );
+        let lib = generate_features(&a, &b);
+        let pairs: Vec<IdPair> = (0..4).flat_map(|i| (0..4).map(move |j| (i, j))).collect();
+        let fast = gen_fvs_with(
+            &cluster(),
+            &a,
+            &b,
+            &pairs,
+            &lib.matching,
+            FvMode::TokenProfile,
+        )
+        .expect("token-profile mode");
+        let slow = gen_fvs_with(&cluster(), &a, &b, &pairs, &lib.matching, FvMode::Legacy)
+            .expect("legacy mode");
+        assert_eq!(fast.fvs.pairs, slow.fvs.pairs);
+        for (pair, (fv_fast, fv_slow)) in fast
+            .fvs
+            .pairs
+            .iter()
+            .zip(fast.fvs.fvs.iter().zip(&slow.fvs.fvs))
+        {
+            for (k, (x, y)) in fv_fast.iter().zip(fv_slow).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "pair {pair:?} feature {} ({x} vs {y})",
+                    lib.matching.get(k).name
+                );
+            }
+        }
+        assert!(!fast.prep_stats.is_empty());
+        assert!(slow.prep_stats.is_empty());
     }
 
     #[test]

@@ -21,10 +21,11 @@ use crate::indexing::{BuiltIndexes, ConjunctSpecs};
 use crate::physical::{self, PhysicalOp};
 use crate::rules::{Rule, RuleSequence};
 use crate::timeline::Timeline;
+use crate::tokens;
 use falcon_dataflow::Cluster;
 use falcon_index::FilterSpec;
 use falcon_table::{IdPair, Table};
-use falcon_textsim::SimFunction;
+use falcon_textsim::{SimFunction, TokenDict};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -61,9 +62,10 @@ impl OptFlags {
 }
 
 /// Masking step 1a: generic prebuild during the blocking-stage
-/// `al_matcher` — token orders for every set-similarity blocking feature
-/// and hash indexes for every exact-match feature (neither depends on the
-/// eventual rule thresholds).
+/// `al_matcher` — the complete A-side token profile, token orders for
+/// every set-similarity blocking feature, and hash indexes for every
+/// exact-match feature (none of which depend on the eventual rule
+/// thresholds).
 pub fn prebuild_generic(
     cluster: &Cluster,
     a: &Table,
@@ -71,19 +73,30 @@ pub fn prebuild_generic(
     built: &mut BuiltIndexes,
     timeline: &mut Timeline,
 ) -> Result<(), FalconError> {
-    let mut seen = std::collections::HashSet::new();
+    // Tokenize A once into a complete profile; `build_order` below then
+    // counts token frequencies from profile columns instead of re-running
+    // the frequency-count MR scan per (attribute, tokenizer).
+    let (a_spec, _) = tokens::requirements(&features.features);
+    if !a_spec.token_columns.is_empty() && built.profile().is_none() {
+        let mut dict = TokenDict::new();
+        let (profile, stats) = tokens::build_profile_par(cluster, a, &a_spec, &mut dict, None)?;
+        timeline.masked_machine("index_build", stats.sim_duration(&cluster.config));
+        built.set_profile(profile, dict);
+    }
+    let mut seen_orders = std::collections::HashSet::new();
+    let mut seen_eq = std::collections::HashSet::new();
     for f in &features.features {
         match f.sim {
             s if s.is_set_based() => {
                 // A set-based sim without a tokenizer cannot occur; skip
                 // (prebuilding is an optimization, never a correctness need).
                 let Some(tok) = s.tokenizer() else { continue };
-                if seen.insert(format!("o:{}:{}", f.a_attr, tok.suffix())) {
+                if seen_orders.insert((f.a_idx, tok)) {
                     let dur = built.build_order(cluster, a, &f.a_attr, tok)?;
                     timeline.masked_machine("index_build", dur);
                 }
             }
-            SimFunction::ExactMatch if seen.insert(format!("e:{}", f.a_attr)) => {
+            SimFunction::ExactMatch if seen_eq.insert(f.a_idx) => {
                 let dur = built.build_spec(
                     cluster,
                     a,

@@ -30,9 +30,10 @@
 //! (the "load balancing at map phase" optimization falls out of the
 //! engine's work-stealing split queue).
 
-use crate::features::{score_values, FeatureSet};
+use crate::features::FeatureSet;
 use crate::indexing::{BuiltIndexes, ConjunctSpecs};
 use crate::rules::RuleSequence;
+use crate::tokens::{build_pair_profiles_seq, PairProfiles};
 use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, DataflowError, Emitter, JobStats};
 use falcon_index::spec::Candidates;
 use falcon_index::PredicateIndex;
@@ -148,18 +149,28 @@ pub struct PairEvaluator {
     seq: RuleSequence,
     needed: Vec<usize>,
     arity: usize,
+    /// Full-table token profiles for the needed features' columns, so the
+    /// per-pair evaluation uses the sorted-id kernels instead of
+    /// re-tokenizing each value for every pair it appears in.
+    profiles: PairProfiles,
 }
 
 impl PairEvaluator {
-    /// Build an evaluator.
+    /// Build an evaluator. Pre-tokenizes both tables for the columns the
+    /// sequence's features need (blocking sequences reference only a
+    /// handful of features, so this is a short full-table pass amortized
+    /// over up to `|A| × |B|` evaluations).
     pub fn new(a: &Table, b: &Table, features: &FeatureSet, seq: &RuleSequence) -> Self {
+        let needed: Vec<usize> = seq.features().into_iter().collect();
+        let profiles = build_pair_profiles_seq(a, b, needed.iter().map(|&i| features.get(i)));
         Self {
             a: a.clone(),
             b: b.clone(),
             features: features.clone(),
             seq: seq.clone(),
-            needed: seq.features().into_iter().collect(),
+            needed,
             arity: features.len(),
+            profiles,
         }
     }
 
@@ -170,11 +181,11 @@ impl PairEvaluator {
         let (Some(at), Some(bt)) = (self.a.get(aid), self.b.get(bid)) else {
             return false;
         };
-        let ctx = SimContext::empty();
+        let ctx = SimContext::empty().with_profiles(&self.profiles.a, &self.profiles.b);
         let mut fv = vec![f64::NAN; self.arity];
         for &i in &self.needed {
             let f = self.features.get(i);
-            fv[i] = score_values(f.sim, at.value(f.a_idx), bt.value(f.b_idx), &ctx);
+            fv[i] = f.compute(at, bt, &ctx);
         }
         self.seq.keeps(&fv)
     }

@@ -1,0 +1,378 @@
+//! Table-level builders for the token-profile cache
+//! ([`falcon_textsim::TokenProfile`]).
+//!
+//! [`requirements`] inspects a feature set and derives, per side, which
+//! attributes need a rendered-value cache and which `(attribute,
+//! tokenizer)` columns need pre-tokenization. [`build_pair_profiles_par`]
+//! then tokenizes each needed column **once per tuple** with a parallel
+//! map-only job (optionally restricted to the tuples a pair list actually
+//! references), interning tokens into one [`TokenDict`] shared by both
+//! tables so equal strings compare as equal `u32` ids across sides.
+//!
+//! Determinism: map output is re-sorted by tuple id and interned
+//! sequentially (A side first, then B), so dictionary ids — and therefore
+//! profile contents — are independent of worker scheduling.
+
+use crate::error::FalconError;
+use crate::features::Feature;
+use falcon_dataflow::{run_map_only, Cluster, JobStats};
+use falcon_table::{Table, Tuple};
+use falcon_textsim::{SimFunction, TokenDict, TokenProfile, Tokenizer};
+
+/// What one side of a table pair must profile to serve a feature set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileSpec {
+    /// Attribute indexes whose rendered value is cached (string-path
+    /// measures read these instead of calling `Value::render` per feature).
+    pub rendered_attrs: Vec<usize>,
+    /// `(attribute index, tokenizer)` columns to pre-tokenize for the
+    /// set-based measures.
+    pub token_columns: Vec<(usize, Tokenizer)>,
+}
+
+impl ProfileSpec {
+    /// True when nothing needs profiling (e.g. an all-numeric feature set).
+    pub fn is_empty(&self) -> bool {
+        self.rendered_attrs.is_empty() && self.token_columns.is_empty()
+    }
+}
+
+fn push_unique<T: PartialEq>(v: &mut Vec<T>, x: T) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Derive the A-side and B-side profile specs for a set of features.
+///
+/// Numeric measures other than `ExactMatch` never render their operands
+/// (`score_values` parses the `Value` directly), so they contribute
+/// nothing; every other measure reads rendered strings, and the set-based
+/// measures additionally get a token-id column for their tokenizer.
+pub fn requirements<'a>(
+    features: impl IntoIterator<Item = &'a Feature>,
+) -> (ProfileSpec, ProfileSpec) {
+    let mut a = ProfileSpec::default();
+    let mut b = ProfileSpec::default();
+    for f in features {
+        if f.sim.is_numeric() && !matches!(f.sim, SimFunction::ExactMatch) {
+            continue;
+        }
+        push_unique(&mut a.rendered_attrs, f.a_idx);
+        push_unique(&mut b.rendered_attrs, f.b_idx);
+        if f.sim.is_set_based() {
+            if let Some(t) = f.sim.tokenizer() {
+                push_unique(&mut a.token_columns, (f.a_idx, t));
+                push_unique(&mut b.token_columns, (f.b_idx, t));
+            }
+        }
+    }
+    (a, b)
+}
+
+/// Per-tuple map task: render the needed attributes and tokenize the
+/// needed columns (token strings stay strings here; interning happens in
+/// the deterministic sequential pass).
+fn profile_tuple(t: &Tuple, spec: &ProfileSpec) -> (u32, Vec<String>, Vec<Vec<String>>) {
+    let rendered: Vec<String> = spec
+        .rendered_attrs
+        .iter()
+        .map(|&attr| t.value(attr).render())
+        .collect();
+    let tokens: Vec<Vec<String>> = spec
+        .token_columns
+        .iter()
+        .map(
+            |&(attr, tok)| match spec.rendered_attrs.iter().position(|&a| a == attr) {
+                Some(i) => tok.tokenize_sorted(&rendered[i]),
+                None => tok.tokenize_sorted(&t.value(attr).render()),
+            },
+        )
+        .collect();
+    (t.id, rendered, tokens)
+}
+
+/// Assemble map output into a [`TokenProfile`], interning tokens in tuple-id
+/// order so dictionary ids are deterministic.
+fn assemble(
+    table_len: usize,
+    spec: &ProfileSpec,
+    mut records: Vec<(u32, Vec<String>, Vec<Vec<String>>)>,
+    dict: &mut TokenDict,
+    complete: bool,
+) -> TokenProfile {
+    records.sort_by_key(|(id, _, _)| *id);
+    let mut rendered_cols: Vec<Vec<String>> = spec
+        .rendered_attrs
+        .iter()
+        .map(|_| vec![String::new(); table_len])
+        .collect();
+    let mut token_cols: Vec<Vec<Vec<u32>>> = spec
+        .token_columns
+        .iter()
+        .map(|_| vec![Vec::new(); table_len])
+        .collect();
+    let mut covered = vec![false; table_len];
+    for (id, rends, toklists) in records {
+        let idx = id as usize;
+        if idx >= table_len {
+            continue;
+        }
+        covered[idx] = true;
+        for (col, r) in rendered_cols.iter_mut().zip(rends) {
+            col[idx] = r;
+        }
+        for (col, toks) in token_cols.iter_mut().zip(toklists) {
+            // Tokens arrive sorted by *string*; after interning, re-sort by
+            // id (id order ≠ string order). Distinct strings intern to
+            // distinct ids, so no dedup is needed.
+            let mut ids: Vec<u32> = toks.into_iter().map(|t| dict.intern_owned(t)).collect();
+            ids.sort_unstable();
+            col[idx] = ids;
+        }
+    }
+    let mut profile = TokenProfile::new(complete);
+    for (&attr, col) in spec.rendered_attrs.iter().zip(rendered_cols) {
+        profile.insert_rendered(attr, col);
+    }
+    for (&key, col) in spec.token_columns.iter().zip(token_cols) {
+        profile.insert_column(key, col);
+    }
+    if !complete {
+        profile.set_coverage(covered);
+    }
+    profile
+}
+
+/// Build one table's profile sequentially (no cluster accounting). Used
+/// where no dataflow context exists, e.g. `PairEvaluator` construction.
+pub fn build_profile_seq(table: &Table, spec: &ProfileSpec, dict: &mut TokenDict) -> TokenProfile {
+    let records: Vec<_> = table
+        .rows()
+        .iter()
+        .map(|t| profile_tuple(t, spec))
+        .collect();
+    assemble(table.len(), spec, records, dict, true)
+}
+
+/// Build one table's profile with a parallel map-only job.
+///
+/// `mask` (indexed by tuple id) restricts profiling to the tuples a pair
+/// list actually references — essential for sampled stages where
+/// tokenizing the whole table would cost more than it saves. A masked
+/// profile records its coverage so lookups on unprofiled tuples fall back
+/// to the string path instead of misreading them as empty.
+pub fn build_profile_par(
+    cluster: &Cluster,
+    table: &Table,
+    spec: &ProfileSpec,
+    dict: &mut TokenDict,
+    mask: Option<&[bool]>,
+) -> Result<(TokenProfile, JobStats), FalconError> {
+    let rows: Vec<&Tuple> = match mask {
+        None => table.rows().iter().collect(),
+        Some(m) => table
+            .rows()
+            .iter()
+            .filter(|t| m.get(t.id as usize).copied().unwrap_or(false))
+            .collect(),
+    };
+    let n_splits = cluster.threads() * 2;
+    let chunk = rows.len().div_ceil(n_splits.max(1)).max(1);
+    let splits: Vec<Vec<&Tuple>> = rows.chunks(chunk).map(<[&Tuple]>::to_vec).collect();
+    let out = run_map_only(cluster, splits, |t: &&Tuple, out| {
+        out.push(profile_tuple(t, spec));
+    })?;
+    let profile = assemble(table.len(), spec, out.output, dict, mask.is_none());
+    Ok((profile, out.stats))
+}
+
+/// Token profiles for both sides of a table pair, sharing one dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct PairProfiles {
+    /// A-side profile.
+    pub a: TokenProfile,
+    /// B-side profile.
+    pub b: TokenProfile,
+    /// The shared interner (A interned first, then B).
+    pub dict: TokenDict,
+    /// Stats of the profiling map jobs (empty for sequential builds).
+    pub stats: Vec<JobStats>,
+}
+
+/// Build both sides' profiles in parallel map-only jobs, restricted by
+/// optional per-side tuple masks, sharing one dictionary.
+pub fn build_pair_profiles_par<'a>(
+    cluster: &Cluster,
+    a: &Table,
+    b: &Table,
+    features: impl IntoIterator<Item = &'a Feature>,
+    a_mask: Option<&[bool]>,
+    b_mask: Option<&[bool]>,
+) -> Result<PairProfiles, FalconError> {
+    let (a_spec, b_spec) = requirements(features);
+    let mut dict = TokenDict::new();
+    let (a_profile, a_stats) = build_profile_par(cluster, a, &a_spec, &mut dict, a_mask)?;
+    let (b_profile, b_stats) = build_profile_par(cluster, b, &b_spec, &mut dict, b_mask)?;
+    Ok(PairProfiles {
+        a: a_profile,
+        b: b_profile,
+        dict,
+        stats: vec![a_stats, b_stats],
+    })
+}
+
+/// Build both sides' full-table profiles sequentially, sharing one
+/// dictionary.
+pub fn build_pair_profiles_seq<'a>(
+    a: &Table,
+    b: &Table,
+    features: impl IntoIterator<Item = &'a Feature>,
+) -> PairProfiles {
+    let (a_spec, b_spec) = requirements(features);
+    let mut dict = TokenDict::new();
+    let a_profile = build_profile_seq(a, &a_spec, &mut dict);
+    let b_profile = build_profile_seq(b, &b_spec, &mut dict);
+    PairProfiles {
+        a: a_profile,
+        b: b_profile,
+        dict,
+        stats: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::generate_features;
+    use falcon_dataflow::ClusterConfig;
+    use falcon_table::{AttrType, Schema, Value};
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new([
+            ("title", AttrType::Str),
+            ("brand", AttrType::Str),
+            ("price", AttrType::Num),
+        ]);
+        let a = Table::new(
+            "a",
+            schema.clone(),
+            (0..12).map(|i| {
+                vec![
+                    Value::str(format!("quick brown product number {i}")),
+                    Value::str("sony"),
+                    Value::num(10.0 + i as f64),
+                ]
+            }),
+        );
+        let b = Table::new(
+            "b",
+            schema,
+            (0..12).map(|i| {
+                vec![
+                    Value::str(format!("quick brown gadget number {i}")),
+                    Value::str("sony"),
+                    Value::num(10.0 + i as f64),
+                ]
+            }),
+        );
+        (a, b)
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::small(2)).with_threads(2)
+    }
+
+    #[test]
+    fn requirements_skip_pure_numeric_measures() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let (sa, sb) = requirements(&lib.matching.features);
+        // Set-based title features produce token columns on both sides.
+        assert!(!sa.token_columns.is_empty());
+        assert!(!sb.token_columns.is_empty());
+        // price carries ExactMatch/Levenshtein (string path), so it still
+        // appears in rendered_attrs, but never as a token column.
+        assert!(sa.rendered_attrs.contains(&2));
+        assert!(!sa.token_columns.iter().any(|&(attr, _)| attr == 2));
+        assert!(!sa.is_empty());
+    }
+
+    #[test]
+    fn par_and_seq_profiles_agree() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let par = build_pair_profiles_par(&cluster(), &a, &b, &lib.matching.features, None, None)
+            .expect("profiles");
+        let seq = build_pair_profiles_seq(&a, &b, &lib.matching.features);
+        assert_eq!(par.dict.len(), seq.dict.len());
+        let (sa, _) = requirements(&lib.matching.features);
+        for t in a.rows() {
+            for &(attr, tok) in &sa.token_columns {
+                assert_eq!(
+                    par.a.tokens(attr, tok, t.id),
+                    seq.a.tokens(attr, tok, t.id),
+                    "tuple {} attr {attr}",
+                    t.id
+                );
+            }
+            for &attr in &sa.rendered_attrs {
+                assert_eq!(par.a.rendered(attr, t.id), seq.a.rendered(attr, t.id));
+                assert_eq!(
+                    par.a.rendered(attr, t.id),
+                    Some(t.value(attr).render().as_str())
+                );
+            }
+        }
+        assert!(par.a.is_complete() && par.b.is_complete());
+        assert_eq!(par.stats.len(), 2);
+    }
+
+    #[test]
+    fn shared_dict_makes_cross_table_tokens_comparable() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let p = build_pair_profiles_seq(&a, &b, &lib.matching.features);
+        // "sony" in both brand columns must intern to the same id.
+        let brand = 1usize;
+        let tok = Tokenizer::QGram(3);
+        let xa = p.a.tokens(brand, tok, 0).expect("a tokens");
+        let xb = p.b.tokens(brand, tok, 0).expect("b tokens");
+        assert_eq!(xa, xb);
+        assert!(!xa.is_empty());
+    }
+
+    #[test]
+    fn masked_build_covers_only_masked_tuples() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let mut mask = vec![false; a.len()];
+        mask[3] = true;
+        mask[7] = true;
+        let (sa, _) = requirements(&lib.matching.features);
+        let mut dict = TokenDict::new();
+        let (p, stats) =
+            build_profile_par(&cluster(), &a, &sa, &mut dict, Some(&mask)).expect("profile");
+        assert!(!p.is_complete());
+        assert_eq!(stats.input_records, 2);
+        let (attr, tok) = sa.token_columns[0];
+        assert!(p.tokens(attr, tok, 3).is_some());
+        assert!(p.tokens(attr, tok, 7).is_some());
+        assert!(p.tokens(attr, tok, 0).is_none());
+        assert!(p.rendered(attr, 0).is_none());
+    }
+
+    #[test]
+    fn interned_ids_are_sorted_per_tuple() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let p = build_pair_profiles_seq(&a, &b, &lib.matching.features);
+        let (sa, _) = requirements(&lib.matching.features);
+        for t in a.rows() {
+            for &(attr, tok) in &sa.token_columns {
+                let ids = p.a.tokens(attr, tok, t.id).expect("tokens");
+                assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted dedup ids");
+            }
+        }
+    }
+}

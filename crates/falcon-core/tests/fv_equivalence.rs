@@ -1,0 +1,146 @@
+//! Property test for the token-profile layer: feature vectors computed via
+//! pre-tokenized profiles (sorted-id kernels + rendered-value cache) must
+//! be **bit-identical** to the legacy render-and-tokenize-per-feature
+//! path, across random tables, every similarity measure, and both
+//! tokenizers — including `Null`s, punctuation-only strings (non-empty
+//! string, empty token set), numeric strings with whitespace, and masked
+//! (partial-coverage) profile builds.
+
+use falcon_core::features::{Feature, FeatureSet};
+use falcon_core::ops::gen_fvs::{gen_fvs_with, tfidf_model_for, FvMode};
+use falcon_core::tokens::build_pair_profiles_seq;
+use falcon_dataflow::{Cluster, ClusterConfig};
+use falcon_table::{AttrType, IdPair, Schema, Table, Value};
+use falcon_textsim::{SimContext, SimFunction, Tokenizer};
+use proptest::prelude::*;
+
+/// Values that exercise every branch of the missing/empty/numeric logic.
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        // Possibly empty, possibly punctuation-only (empty token set).
+        "[a-e.!? ]{0,12}".prop_map(Value::str),
+        proptest::collection::vec("[a-e]{1,4}", 0..6).prop_map(|v| Value::str(v.join(" "))),
+        (-100.0f64..100.0).prop_map(Value::num),
+        "[0-9]{1,3}".prop_map(Value::str),
+        Just(Value::str(" 42 ")),
+    ]
+}
+
+/// Every measure, over both attribute correspondences plus a crossed one.
+fn all_features() -> FeatureSet {
+    use SimFunction::*;
+    let sims = [
+        ExactMatch,
+        Jaccard(Tokenizer::Word),
+        Jaccard(Tokenizer::QGram(3)),
+        Dice(Tokenizer::Word),
+        Dice(Tokenizer::QGram(3)),
+        Overlap(Tokenizer::Word),
+        Overlap(Tokenizer::QGram(3)),
+        Cosine(Tokenizer::Word),
+        Cosine(Tokenizer::QGram(3)),
+        Levenshtein,
+        Jaro,
+        JaroWinkler,
+        MongeElkan,
+        NeedlemanWunsch,
+        SmithWaterman,
+        SmithWatermanGotoh,
+        TfIdf,
+        SoftTfIdf,
+        AbsDiff,
+        RelDiff,
+    ];
+    let mut fs = FeatureSet::default();
+    for (ai, bi) in [(0usize, 0usize), (1, 1), (0, 1)] {
+        for sim in sims {
+            fs.features.push(Feature {
+                name: format!("{}({ai},{bi})", sim.name()),
+                a_attr: "x".into(),
+                b_attr: "y".into(),
+                sim,
+                a_idx: ai,
+                b_idx: bi,
+            });
+        }
+    }
+    fs
+}
+
+fn table(name: &str, rows: Vec<(Value, Value)>) -> Table {
+    let schema = Schema::new([("x", AttrType::Str), ("y", AttrType::Str)]);
+    Table::new(name, schema, rows.into_iter().map(|(x, y)| vec![x, y]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `FeatureSet::vector` with profiles attached equals the string path
+    /// bit for bit (NaNs included, via `to_bits`).
+    #[test]
+    fn vectors_bit_identical_with_profiles(
+        a_rows in proptest::collection::vec((value(), value()), 1..6),
+        b_rows in proptest::collection::vec((value(), value()), 1..6),
+    ) {
+        let a = table("a", a_rows);
+        let b = table("b", b_rows);
+        let fs = all_features();
+        let tfidf = tfidf_model_for(&fs, &a, &b);
+        let base = match &tfidf {
+            Some(m) => SimContext::with_tfidf(m),
+            None => SimContext::empty(),
+        };
+        let profiles = build_pair_profiles_seq(&a, &b, &fs.features);
+        let profiled = base.with_profiles(&profiles.a, &profiles.b);
+        for at in a.rows() {
+            for bt in b.rows() {
+                let legacy_fv = fs.vector(at, bt, &base);
+                let fast_fv = fs.vector(at, bt, &profiled);
+                for (k, (x, y)) in fast_fv.iter().zip(&legacy_fv).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "pair ({},{}) feature {} ({} vs {})",
+                        at.id, bt.id, fs.get(k).name, x, y
+                    );
+                }
+            }
+        }
+    }
+
+    /// `gen_fvs` in TokenProfile mode (masked parallel profile build)
+    /// equals Legacy mode bit for bit on a random subset of pairs.
+    #[test]
+    fn gen_fvs_modes_bit_identical(
+        a_rows in proptest::collection::vec((value(), value()), 1..5),
+        b_rows in proptest::collection::vec((value(), value()), 1..5),
+        salt in 0u32..1000,
+    ) {
+        let a = table("a", a_rows);
+        let b = table("b", b_rows);
+        let fs = all_features();
+        // Sparse pair subset so part of each table stays unprofiled
+        // (exercises the coverage mask).
+        let pairs: Vec<IdPair> = (0..a.len() as u32)
+            .flat_map(|i| (0..b.len() as u32).map(move |j| (i, j)))
+            .filter(|(i, j)| (i * 7 + j * 13 + salt) % 3 != 0)
+            .collect();
+        let cluster = Cluster::new(ClusterConfig::small(2)).with_threads(2);
+        let fast = gen_fvs_with(&cluster, &a, &b, &pairs, &fs, FvMode::TokenProfile)
+            .expect("token-profile mode");
+        let slow = gen_fvs_with(&cluster, &a, &b, &pairs, &fs, FvMode::Legacy)
+            .expect("legacy mode");
+        prop_assert_eq!(&fast.fvs.pairs, &slow.fvs.pairs);
+        for (pair, (fv_fast, fv_slow)) in
+            fast.fvs.pairs.iter().zip(fast.fvs.fvs.iter().zip(&slow.fvs.fvs))
+        {
+            for (k, (x, y)) in fv_fast.iter().zip(fv_slow).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "pair {:?} feature {} ({} vs {})",
+                    pair, fs.get(k).name, x, y
+                );
+            }
+        }
+    }
+}

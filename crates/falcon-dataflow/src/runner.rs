@@ -113,11 +113,19 @@ where
     let map_durations: Vec<Duration> = map_results.iter().map(|(_, _, d)| *d).collect();
 
     // ---- Shuffle ----
-    let mut partitions: Vec<Vec<(K, V)>> = (0..reduce_partitions).map(|_| Vec::new()).collect();
-    let mut shuffled_records = 0usize;
+    // Pre-size each partition to its exact final length so the
+    // single-threaded concatenation never reallocates mid-extend.
+    let mut bucket_sizes = vec![0usize; reduce_partitions];
+    for (_, buckets, _) in &map_results {
+        for (p, bucket) in buckets.iter().enumerate() {
+            bucket_sizes[p] += bucket.len();
+        }
+    }
+    let shuffled_records: usize = bucket_sizes.iter().sum();
+    let mut partitions: Vec<Vec<(K, V)>> =
+        bucket_sizes.into_iter().map(Vec::with_capacity).collect();
     for (_, buckets, _) in map_results {
         for (p, bucket) in buckets.into_iter().enumerate() {
-            shuffled_records += bucket.len();
             partitions[p].extend(bucket);
         }
     }

@@ -46,16 +46,11 @@ impl TokenOrder {
     /// text).
     pub fn order_tokens(&self, tokens: impl IntoIterator<Item = String>) -> Vec<String> {
         let mut toks: Vec<String> = tokens.into_iter().collect();
-        toks.sort_by(|a, b| {
-            let ra = self.rank(a);
-            let rb = self.rank(b);
-            match (ra, rb) {
-                (None, None) => a.cmp(b),
-                (None, Some(_)) => std::cmp::Ordering::Less,
-                (Some(_), None) => std::cmp::Ordering::Greater,
-                (Some(x), Some(y)) => x.cmp(&y).then_with(|| a.cmp(b)),
-            }
-        });
+        // Sort by text first, then stably by rank with one cached lookup
+        // per token (`Option<u32>` orders `None` — unseen — first); ties in
+        // rank keep the text order from the first pass.
+        toks.sort_unstable();
+        toks.sort_by_cached_key(|t| self.rank(t));
         toks
     }
 

@@ -19,12 +19,14 @@ pub mod edit;
 pub mod hybrid;
 pub mod numeric;
 pub mod prefix;
+pub mod profile;
 pub mod sets;
 pub mod tfidf;
 pub mod tokenize;
 
 use serde::{Deserialize, Serialize};
 
+pub use profile::{TokenDict, TokenProfile};
 pub use tfidf::TfIdfModel;
 pub use tokenize::Tokenizer;
 
@@ -219,11 +221,17 @@ fn fmt_num(x: f64) -> String {
 }
 
 /// Shared evaluation context. TF/IDF-style measures need corpus statistics;
-/// everything else ignores the context.
+/// the optional [`TokenProfile`]s let callers hit the pre-tokenized fast
+/// path of set-based measures instead of re-tokenizing per feature; the
+/// rest of the measures ignore the context.
 #[derive(Default, Clone, Copy)]
 pub struct SimContext<'a> {
     /// Corpus model for [`SimFunction::TfIdf`] / [`SimFunction::SoftTfIdf`].
     pub tfidf: Option<&'a TfIdfModel>,
+    /// Pre-tokenized profile of the left (A-side) table, if built.
+    pub a_profile: Option<&'a TokenProfile>,
+    /// Pre-tokenized profile of the right (B-side) table, if built.
+    pub b_profile: Option<&'a TokenProfile>,
 }
 
 impl<'a> SimContext<'a> {
@@ -234,7 +242,18 @@ impl<'a> SimContext<'a> {
 
     /// Context with a TF/IDF corpus model.
     pub fn with_tfidf(model: &'a TfIdfModel) -> Self {
-        Self { tfidf: Some(model) }
+        Self {
+            tfidf: Some(model),
+            ..Self::default()
+        }
+    }
+
+    /// Attach token profiles for the A and B tables, enabling the
+    /// sorted-id fast path in feature computation.
+    pub fn with_profiles(mut self, a: &'a TokenProfile, b: &'a TokenProfile) -> Self {
+        self.a_profile = Some(a);
+        self.b_profile = Some(b);
+        self
     }
 }
 

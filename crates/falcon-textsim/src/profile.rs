@@ -1,0 +1,272 @@
+//! The token-profile cache: pre-tokenized, interned token-id columns plus
+//! a rendered-value cache, shared by every feature evaluated over a pair.
+//!
+//! Feature-vector generation (`gen_fvs`, Section 8) evaluates tens of
+//! `sim(a.x, b.y)` features per candidate pair. Without a cache, each
+//! set-based feature re-renders both attribute values and re-tokenizes
+//! them into fresh `BTreeSet<String>`s — the same title can be tokenized a
+//! dozen times for one pair, and once per pair it participates in. The
+//! profile layer instead tokenizes every needed `(attribute, tokenizer)`
+//! column **once per tuple**, interning tokens to `u32` ids via a
+//! [`TokenDict`] shared across both tables, so per-pair scoring becomes a
+//! zero-allocation sorted-slice merge (see the `*_ids` kernels in
+//! [`crate::sets`]).
+//!
+//! Semantics are identical to the string path by construction and proven
+//! bit-identical by a property test in `falcon-core`:
+//!
+//! * missingness is decided on the **rendered string** (empty ⇒ feature is
+//!   `NaN`), exactly like `SimFunction::score_str`;
+//! * a non-empty string may still tokenize to an *empty* id list
+//!   (punctuation-only text under `Tokenizer::Word`), which scores 0.0 —
+//!   the same empty-set semantics as the `BTreeSet` kernels.
+
+use crate::tokenize::Tokenizer;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// String → `u32` token interner. Equal token strings get equal ids, so
+/// set intersections over ids equal set intersections over strings as long
+/// as both sides of a comparison were interned through the *same* dict.
+#[derive(Debug, Clone, Default)]
+pub struct TokenDict {
+    map: HashMap<String, u32>,
+    toks: Vec<String>,
+}
+
+impl TokenDict {
+    /// Fresh empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a token, assigning the next id on first sight.
+    pub fn intern(&mut self, tok: &str) -> u32 {
+        if let Some(&id) = self.map.get(tok) {
+            return id;
+        }
+        let id = self.toks.len() as u32;
+        self.toks.push(tok.to_string());
+        self.map.insert(tok.to_string(), id);
+        id
+    }
+
+    /// Intern an owned token without re-allocating on the hit path.
+    pub fn intern_owned(&mut self, tok: String) -> u32 {
+        match self.map.entry(tok) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = self.toks.len() as u32;
+                self.toks.push(e.key().clone());
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    /// The token string behind an id.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.toks.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// True iff no token was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+}
+
+/// Key of one pre-tokenized column: `(attribute index, tokenizer)`.
+pub type ColumnKey = (usize, Tokenizer);
+
+/// Pre-tokenized profile of one table.
+///
+/// Columns are stored in small ordered `Vec`s and looked up by linear
+/// scan: a feature library only ever needs a handful of `(attribute,
+/// tokenizer)` combinations, and a scan of ≤ ~10 entries beats hashing in
+/// the per-pair hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct TokenProfile {
+    /// `(attr idx, tokenizer)` → per-tuple sorted, deduped token-id lists
+    /// (indexed by tuple id).
+    columns: Vec<(ColumnKey, Vec<Vec<u32>>)>,
+    /// attr idx → per-tuple rendered values (`""` = missing), indexed by
+    /// tuple id.
+    rendered: Vec<(usize, Vec<String>)>,
+    /// True when every tuple of the table was profiled (no id mask); only
+    /// complete profiles may stand in for full-table scans such as the
+    /// token-frequency job.
+    complete: bool,
+    /// Per-tuple coverage for masked (partial) builds; `None` = all tuples
+    /// covered. Lookups on uncovered tuples return `None` so callers fall
+    /// back to the string path instead of misreading an uncovered tuple as
+    /// "empty value / empty token set".
+    covered: Option<Vec<bool>>,
+}
+
+impl TokenProfile {
+    /// Fresh empty profile; `complete` declares whether every tuple of the
+    /// table will be covered.
+    pub fn new(complete: bool) -> Self {
+        Self {
+            columns: Vec::new(),
+            rendered: Vec::new(),
+            complete,
+            covered: None,
+        }
+    }
+
+    /// True when every tuple of the table was profiled.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Declare which tuple ids were actually profiled (for masked builds).
+    pub fn set_coverage(&mut self, covered: Vec<bool>) {
+        self.covered = Some(covered);
+    }
+
+    fn is_covered(&self, id: u32) -> bool {
+        match &self.covered {
+            None => true,
+            Some(c) => c.get(id as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// Install a token-id column. Later inserts under the same key replace
+    /// the earlier column.
+    pub fn insert_column(&mut self, key: ColumnKey, data: Vec<Vec<u32>>) {
+        if let Some(slot) = self.columns.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = data;
+        } else {
+            self.columns.push((key, data));
+        }
+    }
+
+    /// Install a rendered-value column for one attribute.
+    pub fn insert_rendered(&mut self, attr: usize, values: Vec<String>) {
+        if let Some(slot) = self.rendered.iter_mut().find(|(a, _)| *a == attr) {
+            slot.1 = values;
+        } else {
+            self.rendered.push((attr, values));
+        }
+    }
+
+    /// The full token-id column for a key, if profiled.
+    pub fn column(&self, key: ColumnKey) -> Option<&[Vec<u32>]> {
+        self.columns
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, c)| c.as_slice())
+    }
+
+    /// Sorted token ids of one tuple's attribute under a tokenizer, if that
+    /// column and tuple were profiled.
+    pub fn tokens(&self, attr: usize, tokenizer: Tokenizer, id: u32) -> Option<&[u32]> {
+        if !self.is_covered(id) {
+            return None;
+        }
+        self.column((attr, tokenizer))
+            .and_then(|c| c.get(id as usize))
+            .map(Vec::as_slice)
+    }
+
+    /// Cached rendered value of one tuple's attribute, if that attribute
+    /// and tuple were profiled (`""` = missing value).
+    pub fn rendered(&self, attr: usize, id: u32) -> Option<&str> {
+        if !self.is_covered(id) {
+            return None;
+        }
+        self.rendered
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .and_then(|(_, c)| c.get(id as usize))
+            .map(String::as_str)
+    }
+
+    /// Number of profiled token columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Estimated memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        let cols: usize = self
+            .columns
+            .iter()
+            .map(|(_, c)| c.iter().map(|ids| 24 + ids.len() * 4).sum::<usize>())
+            .sum();
+        let rend: usize = self
+            .rendered
+            .iter()
+            .map(|(_, c)| c.iter().map(|s| 24 + s.len()).sum::<usize>())
+            .sum();
+        cols + rend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_interns_stably() {
+        let mut d = TokenDict::new();
+        let a = d.intern("alpha");
+        let b = d.intern_owned("beta".to_string());
+        assert_ne!(a, b);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.intern_owned("beta".to_string()), b);
+        assert_eq!(d.resolve(a), Some("alpha"));
+        assert_eq!(d.resolve(b), Some("beta"));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.resolve(99), None);
+    }
+
+    #[test]
+    fn profile_lookups() {
+        let mut p = TokenProfile::new(true);
+        assert!(p.is_complete());
+        p.insert_column((0, Tokenizer::Word), vec![vec![1, 3], vec![]]);
+        p.insert_rendered(0, vec!["a b".into(), String::new()]);
+        assert_eq!(p.tokens(0, Tokenizer::Word, 0), Some(&[1u32, 3][..]));
+        assert_eq!(p.tokens(0, Tokenizer::Word, 1), Some(&[][..]));
+        assert_eq!(p.tokens(0, Tokenizer::QGram(3), 0), None);
+        assert_eq!(p.tokens(1, Tokenizer::Word, 0), None);
+        assert_eq!(p.rendered(0, 0), Some("a b"));
+        assert_eq!(p.rendered(0, 1), Some(""));
+        assert_eq!(p.rendered(1, 0), None);
+        assert_eq!(p.column_count(), 1);
+        assert!(p.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn coverage_masks_lookups() {
+        let mut p = TokenProfile::new(false);
+        p.insert_column((0, Tokenizer::Word), vec![vec![1], vec![2]]);
+        p.insert_rendered(0, vec!["a".into(), "b".into()]);
+        p.set_coverage(vec![true, false]);
+        assert_eq!(p.tokens(0, Tokenizer::Word, 0), Some(&[1u32][..]));
+        assert_eq!(p.tokens(0, Tokenizer::Word, 1), None);
+        assert_eq!(p.rendered(0, 0), Some("a"));
+        assert_eq!(p.rendered(0, 1), None);
+        // Out-of-range ids are uncovered, not a panic.
+        assert_eq!(p.tokens(0, Tokenizer::Word, 9), None);
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut p = TokenProfile::new(false);
+        p.insert_column((0, Tokenizer::Word), vec![vec![1]]);
+        p.insert_column((0, Tokenizer::Word), vec![vec![2]]);
+        assert_eq!(p.tokens(0, Tokenizer::Word, 0), Some(&[2u32][..]));
+        assert_eq!(p.column_count(), 1);
+        p.insert_rendered(0, vec!["x".into()]);
+        p.insert_rendered(0, vec!["y".into()]);
+        assert_eq!(p.rendered(0, 0), Some("y"));
+    }
+}

@@ -2,6 +2,21 @@
 //!
 //! These four measures (plus Levenshtein) are the ones the paper's
 //! prefix/position/length filters know how to index (Section 7.4).
+//!
+//! Two kernel families are provided, and they must stay numerically
+//! bit-identical (a property test in `falcon-core` enforces it):
+//!
+//! * the legacy `BTreeSet<String>` kernels, used when values are tokenized
+//!   on the fly, and
+//! * sorted-`u32`-slice kernels (`*_ids`) over interned token ids from a
+//!   [`crate::profile::TokenProfile`] — a single O(|x|+|y|) merge with
+//!   zero allocation per comparison, the hot path of `gen_fvs`.
+//!
+//! Empty-set semantics are shared by both families: the empty set scores
+//! 0.0 against anything, including itself (never `NaN`). A *missing*
+//! value is handled one level up (`SimFunction::score_str` returns `None`
+//! for empty strings); an empty token set can still arise from a
+//! non-empty string, e.g. punctuation-only text under `Tokenizer::Word`.
 
 use std::collections::BTreeSet;
 
@@ -45,6 +60,58 @@ pub fn cosine(x: &BTreeSet<String>, y: &BTreeSet<String>) -> f64 {
         return 0.0;
     }
     intersection_size(x, y) as f64 / ((x.len() * y.len()) as f64).sqrt()
+}
+
+/// `|x ∩ y|` of two sorted, deduplicated id slices by linear merge.
+pub fn intersection_size_ids(x: &[u32], y: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < x.len() && j < y.len() {
+        match x[i].cmp(&y[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard over sorted id slices; same arithmetic as [`jaccard`].
+pub fn jaccard_ids(x: &[u32], y: &[u32]) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    let i = intersection_size_ids(x, y) as f64;
+    i / (x.len() as f64 + y.len() as f64 - i)
+}
+
+/// Dice over sorted id slices; same arithmetic as [`dice`].
+pub fn dice_ids(x: &[u32], y: &[u32]) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size_ids(x, y) as f64 / (x.len() + y.len()) as f64
+}
+
+/// Overlap coefficient over sorted id slices; same arithmetic as
+/// [`overlap_coefficient`].
+pub fn overlap_ids(x: &[u32], y: &[u32]) -> f64 {
+    let m = x.len().min(y.len());
+    if m == 0 {
+        return 0.0;
+    }
+    intersection_size_ids(x, y) as f64 / m as f64
+}
+
+/// Set cosine over sorted id slices; same arithmetic as [`cosine`].
+pub fn cosine_ids(x: &[u32], y: &[u32]) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    intersection_size_ids(x, y) as f64 / ((x.len() * y.len()) as f64).sqrt()
 }
 
 #[cfg(test)]
@@ -96,6 +163,82 @@ mod tests {
         for f in [jaccard, dice, overlap_coefficient, cosine] {
             assert_eq!(f(&e, &e), 0.0);
             assert_eq!(f(&e, &x), 0.0);
+        }
+    }
+
+    #[test]
+    fn id_kernels_match_known_values() {
+        let x = [1u32, 2, 3];
+        let y = [2u32, 3, 4];
+        assert_eq!(intersection_size_ids(&x, &y), 2);
+        assert!((jaccard_ids(&x, &y) - 0.5).abs() < 1e-12);
+        assert!((dice_ids(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((overlap_ids(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cosine_ids(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+        for f in [jaccard_ids, dice_ids, overlap_ids, cosine_ids] {
+            assert!((f(&x, &x) - 1.0).abs() < 1e-12);
+            assert_eq!(f(&x, &[7, 8]), 0.0);
+        }
+    }
+
+    /// Empty-set semantics agree between the legacy `BTreeSet` kernels and
+    /// the id kernels: empty scores 0.0 against anything, never `NaN`.
+    #[test]
+    fn id_kernels_empty_semantics_match_legacy() {
+        let e_ids: [u32; 0] = [];
+        let x_ids = [5u32];
+        let e = set(&[]);
+        let x = set(&["a"]);
+        type Pair = (
+            fn(&BTreeSet<String>, &BTreeSet<String>) -> f64,
+            fn(&[u32], &[u32]) -> f64,
+        );
+        let cases: [Pair; 4] = [
+            (jaccard, jaccard_ids),
+            (dice, dice_ids),
+            (overlap_coefficient, overlap_ids),
+            (cosine, cosine_ids),
+        ];
+        for (legacy, ids) in cases {
+            assert_eq!(legacy(&e, &e).to_bits(), ids(&e_ids, &e_ids).to_bits());
+            assert_eq!(legacy(&e, &x).to_bits(), ids(&e_ids, &x_ids).to_bits());
+            assert_eq!(legacy(&x, &e).to_bits(), ids(&x_ids, &e_ids).to_bits());
+            assert!(!ids(&e_ids, &e_ids).is_nan());
+        }
+    }
+
+    /// Exhaustive-ish cross-check: id kernels equal the legacy kernels for
+    /// every subset pair of a small universe (bit-identical floats).
+    #[test]
+    fn id_kernels_bit_identical_on_subsets() {
+        let universe = ["a", "b", "c", "d"];
+        for xm in 0u32..16 {
+            for ym in 0u32..16 {
+                let xs: Vec<&str> = universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| xm & (1 << i) != 0)
+                    .map(|(_, s)| *s)
+                    .collect();
+                let ys: Vec<&str> = universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| ym & (1 << i) != 0)
+                    .map(|(_, s)| *s)
+                    .collect();
+                let x = set(&xs);
+                let y = set(&ys);
+                // Interned ids: position in the universe (already sorted).
+                let xi: Vec<u32> = (0..4).filter(|i| xm & (1 << i) != 0).collect();
+                let yi: Vec<u32> = (0..4).filter(|i| ym & (1 << i) != 0).collect();
+                assert_eq!(jaccard(&x, &y).to_bits(), jaccard_ids(&xi, &yi).to_bits());
+                assert_eq!(dice(&x, &y).to_bits(), dice_ids(&xi, &yi).to_bits());
+                assert_eq!(
+                    overlap_coefficient(&x, &y).to_bits(),
+                    overlap_ids(&xi, &yi).to_bits()
+                );
+                assert_eq!(cosine(&x, &y).to_bits(), cosine_ids(&xi, &yi).to_bits());
+            }
         }
     }
 }

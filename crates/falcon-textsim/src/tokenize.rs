@@ -36,6 +36,16 @@ impl Tokenizer {
         }
     }
 
+    /// Tokenize into a sorted, deduplicated `Vec<String>` — the same token
+    /// set as [`Tokenizer::tokenize`] but in a flat buffer, for profile
+    /// building where the strings are immediately interned to ids.
+    pub fn tokenize_sorted(self, s: &str) -> Vec<String> {
+        let mut toks = self.tokenize_seq(s);
+        toks.sort_unstable();
+        toks.dedup();
+        toks
+    }
+
     /// Suffix used in feature names (`jaccard_word`, `dice_3gram`, ...).
     pub fn suffix(self) -> String {
         match self {
@@ -103,6 +113,17 @@ mod tests {
         assert_eq!(t.len(), 3);
         let seq = Tokenizer::Word.tokenize_seq("a b a b c");
         assert_eq!(seq.len(), 5);
+    }
+
+    #[test]
+    fn tokenize_sorted_matches_set() {
+        for s in ["a b a b c", "The  Quick, brown fox!", "", "... ,"] {
+            for t in [Tokenizer::Word, Tokenizer::QGram(3)] {
+                let sorted = t.tokenize_sorted(s);
+                let set: Vec<String> = t.tokenize(s).into_iter().collect();
+                assert_eq!(sorted, set, "tokenizer {t:?} on {s:?}");
+            }
+        }
     }
 
     #[test]
