@@ -1,0 +1,182 @@
+//! Forest train/score throughput: the sequential `Node`-walking baseline
+//! (rescan split search, one tree at a time, per-vector prediction) vs the
+//! optimized path (presorted-sweep split search on a worker pool + the
+//! compiled `FlatForest` batch kernels). Emits `BENCH_forest.json` with
+//! train wall-time, predictions/sec, and the combined train+score cycle
+//! speedup; both paths are asserted bit-identical in-bench.
+
+use falcon::forest::{Dataset, Forest, ForestConfig};
+use falcon_bench::{mean, title, Args};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Deterministic pseudo-random stream (splitmix-style LCG keyed by seed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn unit(&mut self) -> f64 {
+        self.next() as f64 / (1u64 << 31) as f64
+    }
+}
+
+/// Synthetic labeled vectors: continuous features (many distinct split
+/// candidates — the rescan path's worst case), sprinkled NaNs, and a noisy
+/// linear decision rule.
+fn synthetic(n: usize, arity: usize, seed: u64) -> Dataset {
+    let mut lcg = Lcg::new(seed);
+    let mut d = Dataset::new();
+    for _ in 0..n {
+        let mut fv = Vec::with_capacity(arity);
+        let mut signal = 0.0;
+        for f in 0..arity {
+            let v = lcg.unit();
+            if lcg.next().is_multiple_of(13) {
+                fv.push(f64::NAN);
+            } else {
+                fv.push(v);
+                signal += v * (f + 1) as f64;
+            }
+        }
+        let noisy = lcg.next().is_multiple_of(20);
+        let label = (signal > 0.55 * (arity * (arity + 1) / 2) as f64) != noisy;
+        d.push(fv, label);
+    }
+    d
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let runs: usize = args.get("runs", 3);
+    let seed: u64 = args.get("seed", 1);
+    let threads: usize = args.get("threads", 8);
+    let train_n: usize = ((args.get("train", 1500) as f64) * scale) as usize;
+    let score_n: usize = ((args.get("score", 40_000) as f64) * scale) as usize;
+    let arity: usize = args.get("arity", 8);
+
+    let cfg = ForestConfig::default();
+    let train_data = synthetic(train_n.max(10), arity, seed);
+    let score_data = synthetic(score_n.max(10), arity, seed ^ 0x5eed);
+    let queries = &score_data.features;
+
+    title(&format!(
+        "forest throughput: {} train x {arity} features, {} score vectors, {} trees, {runs} runs",
+        train_data.len(),
+        queries.len(),
+        cfg.n_trees,
+    ));
+
+    let mut seq_train = Vec::new();
+    let mut seq_score = Vec::new();
+    let mut par_train = Vec::new();
+    let mut par_score = Vec::new();
+    let mut bit_identical = true;
+
+    for run in 0..runs {
+        let run_seed = seed.wrapping_add(run as u64);
+
+        // Baseline: rescan split search, single thread, Node-pointer
+        // prediction one vector at a time (the pre-optimization path).
+        let t0 = Instant::now();
+        let base_forest =
+            Forest::train_reference(&train_data, &cfg, &mut SmallRng::seed_from_u64(run_seed));
+        seq_train.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let base_dis: Vec<f64> = queries
+            .iter()
+            .map(|fv| base_forest.disagreement(fv))
+            .collect();
+        let base_pred: Vec<bool> = queries.iter().map(|fv| base_forest.predict(fv)).collect();
+        seq_score.push(t0.elapsed().as_secs_f64());
+
+        // Optimized: presorted sweep on a worker pool, then the compiled
+        // flat forest's batch kernels (one vote pass feeds both metrics).
+        let t0 = Instant::now();
+        let fast_forest = Forest::train_threads(
+            &train_data,
+            &cfg,
+            &mut SmallRng::seed_from_u64(run_seed),
+            threads,
+        );
+        par_train.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let flat = fast_forest.flatten();
+        let mut votes = Vec::new();
+        flat.count_votes_into(queries.len(), |j| queries[j].as_slice(), &mut votes);
+        let fast_dis: Vec<f64> = votes
+            .iter()
+            .map(|&v| flat.disagreement_from_votes(v))
+            .collect();
+        let fast_pred: Vec<bool> = votes.iter().map(|&v| flat.predict_from_votes(v)).collect();
+        par_score.push(t0.elapsed().as_secs_f64());
+
+        // Equivalence: identical forests, bit-identical scores.
+        assert_eq!(base_forest, fast_forest, "trained forests diverged");
+        assert_eq!(base_pred, fast_pred, "predictions diverged");
+        for (x, y) in base_dis.iter().zip(&fast_dis) {
+            assert_eq!(x.to_bits(), y.to_bits(), "disagreement diverged");
+        }
+        bit_identical &= base_forest == fast_forest;
+    }
+
+    let seq_cycle = mean(&seq_train) + mean(&seq_score);
+    let par_cycle = mean(&par_train) + mean(&par_score);
+    let preds_per_run = (queries.len() * 2) as f64; // disagreement + predict
+    let seq_rate = preds_per_run / mean(&seq_score);
+    let par_rate = preds_per_run / mean(&par_score);
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "path", "train", "score", "preds/sec"
+    );
+    for (label, tr, sc, rate) in [
+        ("sequential+node", &seq_train, &seq_score, seq_rate),
+        ("parallel+flat", &par_train, &par_score, par_rate),
+    ] {
+        println!(
+            "{label:<18} {:>11.3}s {:>11.3}s {:>14.0}",
+            mean(tr),
+            mean(sc),
+            rate
+        );
+    }
+    let train_speedup = mean(&seq_train) / mean(&par_train);
+    let score_speedup = mean(&seq_score) / mean(&par_score);
+    let cycle_speedup = seq_cycle / par_cycle;
+    println!(
+        "speedup: train {train_speedup:.2}x, score {score_speedup:.2}x, cycle {cycle_speedup:.2}x (bit-identical: {bit_identical})"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"forest_throughput\",\n  \"train_examples\": {},\n  \"arity\": {arity},\n  \"score_vectors\": {},\n  \"trees\": {},\n  \"threads\": {threads},\n  \"runs\": {runs},\n  \"sequential\": {{ \"train_secs\": {:.6}, \"score_secs\": {:.6}, \"cycle_secs\": {:.6}, \"preds_per_sec\": {:.1} }},\n  \"parallel_flat\": {{ \"train_secs\": {:.6}, \"score_secs\": {:.6}, \"cycle_secs\": {:.6}, \"preds_per_sec\": {:.1} }},\n  \"speedup\": {{ \"train\": {:.3}, \"score\": {:.3}, \"cycle\": {:.3} }},\n  \"bit_identical\": {bit_identical}\n}}\n",
+        train_data.len(),
+        queries.len(),
+        cfg.n_trees,
+        mean(&seq_train),
+        mean(&seq_score),
+        seq_cycle,
+        seq_rate,
+        mean(&par_train),
+        mean(&par_score),
+        par_cycle,
+        par_rate,
+        train_speedup,
+        score_speedup,
+        cycle_speedup,
+    );
+    std::fs::write("BENCH_forest.json", &json).expect("write BENCH_forest.json");
+    println!("\nwrote BENCH_forest.json");
+}

@@ -75,8 +75,14 @@ pub fn estimate_accuracy<C: Crowd>(
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x41434345);
     let mut positives = Vec::new();
     let mut negatives = Vec::new();
-    for (i, fv) in fvs.fvs.iter().enumerate() {
-        if forest.predict(fv) {
+    // Stratify with one batch pass over the compiled forest.
+    for (i, pred) in forest
+        .flatten()
+        .predict_batch(&fvs.fvs)
+        .into_iter()
+        .enumerate()
+    {
+        if pred {
             positives.push(i);
         } else {
             negatives.push(i);

@@ -105,17 +105,32 @@ fn score_disagreement(
     fvs: &FvSet,
     labeled: &HashSet<usize>,
 ) -> Result<(Vec<(usize, f64)>, Duration), FalconError> {
-    // Splits hold indexes into the FvSet; the scoped dataflow workers
-    // borrow the forest and vectors directly — no per-iteration clones.
+    // Each split carries one whole index chunk as a single record, so the
+    // map task scores the chunk with the compiled forest's batch kernel
+    // instead of pointer-chasing `Node`s one vector at a time. The scoped
+    // dataflow workers borrow the flat forest and vectors directly — no
+    // per-iteration clones.
+    let flat = forest.flatten();
     let idxs: Vec<usize> = (0..fvs.len()).filter(|i| !labeled.contains(i)).collect();
-    let chunk = idxs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-    let splits: Vec<Vec<usize>> = idxs.chunks(chunk).map(<[usize]>::to_vec).collect();
-    let out = run_map_only(cluster, splits, |&i: &usize, out| {
-        let Some(fv) = fvs.fvs.get(i) else {
-            return;
-        };
-        out.push((i, forest.disagreement(fv)));
+    let n_idxs = idxs.len();
+    let chunk = n_idxs.div_ceil((cluster.threads() * 2).max(1)).max(1);
+    let splits: Vec<Vec<Vec<usize>>> = idxs.chunks(chunk).map(|c| vec![c.to_vec()]).collect();
+    let mut out = run_map_only(cluster, splits, |idx_chunk: &Vec<usize>, out| {
+        let gathered: Vec<(usize, &[f64])> = idx_chunk
+            .iter()
+            .filter_map(|&i| fvs.fvs.get(i).map(|fv| (i, fv.as_slice())))
+            .collect();
+        let mut votes = Vec::new();
+        flat.count_votes_into(gathered.len(), |j| gathered[j].1, &mut votes);
+        out.extend(
+            gathered
+                .iter()
+                .zip(&votes)
+                .map(|(&(i, _), &v)| (i, flat.disagreement_from_votes(v))),
+        );
     })?;
+    // Chunk-as-record wrapping counted chunks; restore the true count.
+    out.stats.input_records = n_idxs;
     let dur = out.stats.sim_duration(&cluster.config);
     Ok((out.output, dur))
 }

@@ -22,22 +22,36 @@ pub fn apply_matcher(
     forest: &Forest,
     fvs: &FvSet,
 ) -> Result<ApplyMatcherOutput, FalconError> {
-    // Splits hold indexes into the FvSet; the scoped dataflow workers
-    // borrow the forest and vectors directly instead of cloning them.
-    let chunk = fvs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-    let splits: Vec<Vec<usize>> = (0..fvs.len())
+    // Each split carries one whole index chunk as a single record, so the
+    // map task predicts the chunk with the compiled forest's batch kernel;
+    // the scoped dataflow workers borrow the flat forest and vectors
+    // directly instead of cloning them.
+    let flat = forest.flatten();
+    let n_pairs = fvs.len();
+    let chunk = n_pairs.div_ceil((cluster.threads() * 2).max(1)).max(1);
+    let splits: Vec<Vec<Vec<usize>>> = (0..n_pairs)
         .collect::<Vec<_>>()
         .chunks(chunk)
-        .map(<[usize]>::to_vec)
+        .map(|c| vec![c.to_vec()])
         .collect();
-    let out = run_map_only(cluster, splits, |&i: &usize, out| {
-        let (Some(pair), Some(fv)) = (fvs.pairs.get(i), fvs.fvs.get(i)) else {
-            return;
-        };
-        if forest.predict(fv) {
-            out.push(*pair);
+    let mut out = run_map_only(cluster, splits, |idx_chunk: &Vec<usize>, out| {
+        let gathered: Vec<(&IdPair, &[f64])> = idx_chunk
+            .iter()
+            .filter_map(|&i| match (fvs.pairs.get(i), fvs.fvs.get(i)) {
+                (Some(pair), Some(fv)) => Some((pair, fv.as_slice())),
+                _ => None,
+            })
+            .collect();
+        let mut votes = Vec::new();
+        flat.count_votes_into(gathered.len(), |j| gathered[j].1, &mut votes);
+        for ((pair, _), &v) in gathered.iter().zip(&votes) {
+            if flat.predict_from_votes(v) {
+                out.push(**pair);
+            }
         }
     })?;
+    // Chunk-as-record wrapping counted chunks; restore the true count.
+    out.stats.input_records = n_pairs;
     let mut matches = out.output;
     matches.sort_unstable();
     Ok(ApplyMatcherOutput {

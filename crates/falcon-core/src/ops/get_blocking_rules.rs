@@ -58,18 +58,21 @@ pub fn get_blocking_rules(
             rules.push(rule);
         }
     }
-    // Coverage bitmaps on the sample.
+    // Coverage bitmaps on the sample, batched: iterate sample vectors in
+    // the outer loop so each vector is brought into cache once and tested
+    // against every rule, instead of re-streaming the whole sample per
+    // rule.
+    let mut bitmaps: Vec<Bitmap> = rules.iter().map(|_| Bitmap::zeros(sample.len())).collect();
+    for (i, fv) in sample.fvs.iter().enumerate() {
+        for (rule, bm) in rules.iter().zip(&mut bitmaps) {
+            if rule.fires(fv) {
+                bm.set(i);
+            }
+        }
+    }
     let mut ranked: Vec<(Rule, Bitmap)> = rules
         .into_iter()
-        .map(|rule| {
-            let mut bm = Bitmap::zeros(sample.len());
-            for (i, fv) in sample.fvs.iter().enumerate() {
-                if rule.fires(fv) {
-                    bm.set(i);
-                }
-            }
-            (rule, bm)
-        })
+        .zip(bitmaps)
         .filter(|(_, bm)| bm.count() > 0)
         .collect();
     ranked.sort_by_key(|(_, bm)| std::cmp::Reverse(bm.count()));

@@ -345,13 +345,21 @@ fn run_evaluate(
     evaluator: Arc<PairEvaluator>,
     pairs: Vec<IdPair>,
 ) -> Result<(Vec<IdPair>, JobStats), BlockingError> {
-    let chunk = pairs.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-    let splits: Vec<Vec<IdPair>> = pairs.chunks(chunk).map(<[IdPair]>::to_vec).collect();
-    let out = run_map_only(cluster, splits, move |&(aid, bid): &IdPair, out| {
-        if evaluator.keeps(aid, bid) {
-            out.push((aid, bid));
-        }
+    // Each split carries one whole pair chunk as a single record, so a map
+    // task streams its chunk through the evaluator without per-pair
+    // dispatch through the dataflow record loop.
+    let n_pairs = pairs.len();
+    let chunk = n_pairs.div_ceil((cluster.threads() * 2).max(1)).max(1);
+    let splits: Vec<Vec<Vec<IdPair>>> = pairs.chunks(chunk).map(|c| vec![c.to_vec()]).collect();
+    let mut out = run_map_only(cluster, splits, move |pair_chunk: &Vec<IdPair>, out| {
+        out.extend(
+            pair_chunk
+                .iter()
+                .filter(|&&(aid, bid)| evaluator.keeps(aid, bid)),
+        );
     })?;
+    // Chunk-as-record wrapping counted chunks; restore the true count.
+    out.stats.input_records = n_pairs;
     let mut kept = out.output;
     kept.sort_unstable();
     Ok((kept, out.stats))

@@ -24,6 +24,27 @@ fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
     (h.finish() % partitions as u64) as usize
 }
 
+/// Group `(k, v)` pairs by key, preserving first-seen key order and
+/// per-key value arrival order. Hash-map iteration order is never
+/// observed, so for a fixed input sequence the output is identical on
+/// every run — the reduce and combine phases rely on this to keep job
+/// output deterministic (shuffle already concatenates map buckets in
+/// split order).
+fn group_in_arrival_order<K: Hash + Eq + Clone, V>(pairs: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut slot_of: HashMap<K, usize> = HashMap::new();
+    let mut grouped: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match slot_of.get(&k) {
+            Some(&slot) => grouped[slot].1.push(v),
+            None => {
+                slot_of.insert(k.clone(), grouped.len());
+                grouped.push((k, vec![v]));
+            }
+        }
+    }
+    grouped
+}
+
 /// Run a full map-shuffle-reduce job.
 ///
 /// * `splits` — input splits; each becomes one map task.
@@ -157,12 +178,8 @@ where
                         continue;
                     };
                     let t0 = wall_now();
-                    let mut grouped: HashMap<K, Vec<V>> = HashMap::new();
-                    for (k, v) in pairs {
-                        grouped.entry(k).or_default().push(v);
-                    }
                     let mut out = Vec::new();
-                    for (k, vs) in grouped {
+                    for (k, vs) in group_in_arrival_order(pairs) {
                         reduce_ref(&k, vs, &mut out);
                     }
                     results_ref.lock().push((pid, out, t0.elapsed()));
@@ -443,11 +460,7 @@ where
             for record in records {
                 map_ref(record, &mut local);
             }
-            let mut grouped: HashMap<K, Vec<V>> = HashMap::new();
-            for (k, v) in local.into_pairs() {
-                grouped.entry(k).or_default().push(v);
-            }
-            for (k, vs) in grouped {
+            for (k, vs) in group_in_arrival_order(local.into_pairs()) {
                 let combined = combine_ref(&k, vs);
                 emitter.emit(k, combined);
             }

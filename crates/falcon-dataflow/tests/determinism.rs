@@ -1,0 +1,76 @@
+//! Repeated-run determinism of the reduce and combine phases.
+//!
+//! The reducer below echoes each `(key, values)` group verbatim, so the
+//! job output exposes the engine's internal grouping order directly. With
+//! the pre-fix `HashMap`-iteration grouping (default `RandomState`), the
+//! order varied run-to-run; the engine must now produce byte-identical
+//! output on every run and at every worker thread count.
+
+use falcon_dataflow::{run_map_combine_reduce, run_map_reduce, Cluster, ClusterConfig, Emitter};
+
+/// Word-count-shaped job whose output preserves the engine's group order.
+fn echo_groups(threads: usize) -> Vec<(String, Vec<u64>)> {
+    let cluster = Cluster::new(ClusterConfig::small(4)).with_threads(threads);
+    let splits: Vec<Vec<u64>> = (0..6)
+        .map(|s| (0..200).map(|i| s * 200 + i).collect())
+        .collect();
+    let out = run_map_reduce(
+        &cluster,
+        splits,
+        3,
+        |x: &u64, e: &mut Emitter<String, u64>| {
+            e.emit(format!("k{}", x % 23), *x);
+        },
+        |k: &String, vs: Vec<u64>, out: &mut Vec<(String, Vec<u64>)>| {
+            out.push((k.clone(), vs));
+        },
+    )
+    .expect("job");
+    out.output
+}
+
+fn echo_combined(threads: usize) -> Vec<(String, Vec<u64>)> {
+    let cluster = Cluster::new(ClusterConfig::small(4)).with_threads(threads);
+    let splits: Vec<Vec<u64>> = (0..6)
+        .map(|s| (0..200).map(|i| s * 200 + i).collect())
+        .collect();
+    let out = run_map_combine_reduce(
+        &cluster,
+        splits,
+        3,
+        |x: &u64, e: &mut Emitter<String, u64>| {
+            e.emit(format!("k{}", x % 23), *x);
+        },
+        |_k: &String, vs: Vec<u64>| vs.iter().sum(),
+        |k: &String, vs: Vec<u64>, out: &mut Vec<(String, Vec<u64>)>| {
+            out.push((k.clone(), vs));
+        },
+    )
+    .expect("job");
+    out.output
+}
+
+#[test]
+fn reduce_output_order_is_stable_across_runs() {
+    let first = echo_groups(4);
+    for run in 1..10 {
+        assert_eq!(echo_groups(4), first, "run {run} diverged");
+    }
+}
+
+#[test]
+fn reduce_output_order_is_stable_across_thread_counts() {
+    let first = echo_groups(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(echo_groups(threads), first, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn combiner_output_order_is_stable_across_runs_and_threads() {
+    let first = echo_combined(1);
+    for run in 1..8 {
+        let threads = [1, 2, 4, 8][run % 4];
+        assert_eq!(echo_combined(threads), first, "run {run} diverged");
+    }
+}

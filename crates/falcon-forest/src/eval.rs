@@ -26,6 +26,18 @@ impl Confusion {
         }
     }
 
+    /// Record a batch of parallel (predicted, actual) observations, e.g.
+    /// the output of `FlatForest::predict_batch` against known labels.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn record_batch(&mut self, predicted: &[bool], actual: &[bool]) {
+        assert_eq!(predicted.len(), actual.len());
+        for (p, a) in predicted.iter().zip(actual) {
+            self.record(*p, *a);
+        }
+    }
+
     /// Precision `tp / (tp + fp)`; 0 when undefined.
     pub fn precision(&self) -> f64 {
         if self.tp + self.fp == 0 {
@@ -68,11 +80,8 @@ impl Confusion {
 
 /// Build a confusion matrix from parallel prediction/label slices.
 pub fn confusion(predicted: &[bool], actual: &[bool]) -> Confusion {
-    assert_eq!(predicted.len(), actual.len());
     let mut c = Confusion::default();
-    for (p, a) in predicted.iter().zip(actual) {
-        c.record(*p, *a);
-    }
+    c.record_batch(predicted, actual);
     c
 }
 

@@ -1,10 +1,20 @@
 //! Bagged random forests: majority voting, vote fractions for active
 //! learning, out-of-bag accuracy.
+//!
+//! Training is parallel **and** deterministic: the master RNG is consumed
+//! only to draw one seed per tree, up front, in tree order; each tree then
+//! trains from its own `SmallRng` (bagging indices *and* per-node feature
+//! shuffles), so the trained forest is a pure function of the seed stream
+//! and bit-identical at any thread count. Out-of-bag votes are merged in
+//! tree order after all workers join, for the same reason.
 
-use crate::tree::{Tree, TreeConfig};
+use crate::flat::FlatForest;
+use crate::tree::{SplitSearch, Tree, TreeConfig};
 use crate::Dataset;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Forest training configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,7 +54,7 @@ impl Default for ForestConfig {
 /// // Vote disagreement drives active learning: boundary points score high.
 /// assert!(forest.disagreement(&[0.5]) >= forest.disagreement(&[0.95]));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Forest {
     /// The component trees.
     pub trees: Vec<Tree>,
@@ -55,38 +65,118 @@ pub struct Forest {
     pub oob_accuracy: Option<f64>,
 }
 
+/// One trained tree plus its out-of-bag `(example, vote)` predictions.
+type FittedTree = (Tree, Vec<(u32, bool)>);
+
+/// Default worker count for parallel training: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
 impl Forest {
-    /// Train a forest.
+    /// Train a forest in parallel on all available cores, with the fast
+    /// presorted split search. Output is bit-identical for the same seed
+    /// at any thread count (see module docs).
     ///
     /// # Panics
-    /// Panics if `data` is empty or `cfg.n_trees == 0`.
+    /// Panics if `data` is empty, `cfg.n_trees == 0`, or a training
+    /// worker thread panics.
     pub fn train(data: &Dataset, cfg: &ForestConfig, rng: &mut impl Rng) -> Forest {
+        Self::train_threads(data, cfg, rng, default_threads())
+    }
+
+    /// Train with an explicit worker count (1 = in-place sequential).
+    pub fn train_threads(
+        data: &Dataset,
+        cfg: &ForestConfig,
+        rng: &mut impl Rng,
+        threads: usize,
+    ) -> Forest {
+        Self::train_inner(data, cfg, rng, threads, SplitSearch::Presorted)
+    }
+
+    /// Sequential reference trainer using the rescan split search — the
+    /// original, obviously-correct implementation that benchmarks and
+    /// property tests compare the fast path against. Produces a forest
+    /// identical to [`Forest::train`] for the same seed.
+    pub fn train_reference(data: &Dataset, cfg: &ForestConfig, rng: &mut impl Rng) -> Forest {
+        Self::train_inner(data, cfg, rng, 1, SplitSearch::Rescan)
+    }
+
+    fn train_inner(
+        data: &Dataset,
+        cfg: &ForestConfig,
+        rng: &mut impl Rng,
+        threads: usize,
+        search: SplitSearch,
+    ) -> Forest {
         assert!(!data.is_empty(), "cannot train forest on empty dataset");
         assert!(cfg.n_trees > 0, "need at least one tree");
         let n = data.len();
-        let mut trees = Vec::with_capacity(cfg.n_trees);
-        // votes[i] = (oob positive votes, oob total votes)
-        let mut oob_votes = vec![(0usize, 0usize); n];
-        for _ in 0..cfg.n_trees {
+
+        // One seed per tree, drawn up front in tree order: the only master
+        // RNG consumption, so the result cannot depend on scheduling.
+        let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| rng.next_u64()).collect();
+
+        // Train one tree from its seed; returns the tree plus its
+        // out-of-bag predictions as (example, vote) pairs.
+        let fit_one = |seed: u64| -> FittedTree {
+            let mut trng = SmallRng::seed_from_u64(seed);
             let idx: Vec<usize> = if cfg.bagging {
-                (0..n).map(|_| rng.gen_range(0..n)).collect()
+                (0..n).map(|_| trng.gen_range(0..n)).collect()
             } else {
                 (0..n).collect()
             };
-            let tree = Tree::train_on(data, &idx, &cfg.tree, rng);
+            let tree = Tree::train_on_with(data, &idx, &cfg.tree, &mut trng, search);
+            let mut oob = Vec::new();
             if cfg.bagging {
                 let mut in_bag = vec![false; n];
                 for &i in &idx {
                     in_bag[i] = true;
                 }
-                for i in 0..n {
-                    if !in_bag[i] {
-                        let p = tree.predict(&data.features[i]);
-                        oob_votes[i].1 += 1;
-                        if p {
-                            oob_votes[i].0 += 1;
-                        }
-                    }
+                for (i, _) in in_bag.iter().enumerate().filter(|(_, b)| !**b) {
+                    oob.push((i as u32, tree.predict(&data.features[i])));
+                }
+            }
+            (tree, oob)
+        };
+
+        let workers = threads.clamp(1, cfg.n_trees);
+        let fitted: Vec<FittedTree> = if workers == 1 {
+            seeds.iter().map(|&s| fit_one(s)).collect()
+        } else {
+            // Work-stealing over per-tree slots; slot order (not completion
+            // order) determines merge order below.
+            let slots: Vec<parking_lot::Mutex<Option<FittedTree>>> = seeds
+                .iter()
+                .map(|_| parking_lot::Mutex::new(None))
+                .collect();
+            let next = AtomicUsize::new(0);
+            let scope_ok = crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&seed) = seeds.get(t) else { break };
+                        *slots[t].lock() = Some(fit_one(seed));
+                    });
+                }
+            });
+            assert!(scope_ok.is_ok(), "forest training worker panicked");
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("all tree slots filled"))
+                .collect()
+        };
+
+        // Merge OOB votes deterministically in tree order.
+        // oob_votes[i] = (positive votes, total votes)
+        let mut oob_votes = vec![(0usize, 0usize); n];
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for (tree, oob) in fitted {
+            for (i, vote) in oob {
+                oob_votes[i as usize].1 += 1;
+                if vote {
+                    oob_votes[i as usize].0 += 1;
                 }
             }
             trees.push(tree);
@@ -115,6 +205,11 @@ impl Forest {
             arity: data.arity(),
             oob_accuracy,
         }
+    }
+
+    /// Compile into the flat SoA representation for batch prediction.
+    pub fn flatten(&self) -> FlatForest {
+        FlatForest::compile(self)
     }
 
     /// Fraction of trees voting "match" for this feature vector, in
@@ -224,5 +319,14 @@ mod tests {
         let f = Forest::train(&d, &ForestConfig::default(), &mut rng());
         assert!(f.predict(&[3.0]));
         assert_eq!(f.positive_fraction(&[3.0]), 1.0);
+    }
+
+    #[test]
+    fn reference_trainer_matches_fast_path() {
+        let d = noisy_separable(80);
+        let cfg = ForestConfig::default();
+        let fast = Forest::train_threads(&d, &cfg, &mut SmallRng::seed_from_u64(5), 4);
+        let reference = Forest::train_reference(&d, &cfg, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(fast, reference);
     }
 }

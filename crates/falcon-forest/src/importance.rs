@@ -2,10 +2,16 @@
 //! a reference dataset. In a hands-off system nobody writes the features
 //! into rules by hand, so importances are the main lens a service operator
 //! has into *why* the learned blocking rules look the way they do.
+//!
+//! Counts are routed through the [`FlatForest`] arena: per-node class
+//! counts live in two dense vectors indexed by arena row (no hashing, no
+//! path-id bit-tricks that overflow past depth 63), and the accumulation
+//! pass is a single ascending scan over arena rows — which is preorder per
+//! tree, trees in forest order, i.e. the same float-addition order as the
+//! recursive `Node` walk this replaced.
 
-use crate::tree::{Node, Tree};
+use crate::flat::{FlatForest, FLAT_LEAF};
 use crate::{Dataset, Forest};
-use std::collections::HashMap;
 
 fn gini(pos: f64, neg: f64) -> f64 {
     let n = pos + neg;
@@ -16,82 +22,61 @@ fn gini(pos: f64, neg: f64) -> f64 {
     2.0 * p * (1.0 - p)
 }
 
-/// Per-node (pos, neg) counts of `data` routed through `tree`, keyed by a
-/// node path id.
-fn route_counts(tree: &Tree, data: &Dataset) -> HashMap<u64, (f64, f64)> {
-    let mut counts: HashMap<u64, (f64, f64)> = HashMap::new();
-    for (fv, &label) in data.features.iter().zip(&data.labels) {
-        let mut node = &tree.root;
-        let mut path: u64 = 1;
-        loop {
-            let slot = counts.entry(path).or_insert((0.0, 0.0));
-            if label {
-                slot.0 += 1.0;
-            } else {
-                slot.1 += 1.0;
-            }
-            match node {
-                Node::Leaf { .. } => break,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                    ..
-                } => {
-                    let v = fv.get(*feature).copied().unwrap_or(f64::NAN);
-                    if v > *threshold {
-                        node = right;
-                        path = path * 2 + 1;
-                    } else {
-                        node = left;
-                        path *= 2;
-                    }
-                }
-            }
-        }
-    }
-    counts
-}
-
-fn accumulate(
-    node: &Node,
-    path: u64,
-    counts: &HashMap<u64, (f64, f64)>,
-    total: f64,
-    importances: &mut [f64],
-) {
-    if let Node::Split {
-        feature,
-        left,
-        right,
-        ..
-    } = node
-    {
-        let (p, n) = counts.get(&path).copied().unwrap_or((0.0, 0.0));
-        let (lp, ln) = counts.get(&(path * 2)).copied().unwrap_or((0.0, 0.0));
-        let (rp, rn) = counts.get(&(path * 2 + 1)).copied().unwrap_or((0.0, 0.0));
-        let here = p + n;
-        if here > 0.0 && total > 0.0 {
-            let decrease =
-                gini(p, n) - (lp + ln) / here * gini(lp, ln) - (rp + rn) / here * gini(rp, rn);
-            importances[*feature] += here / total * decrease.max(0.0);
-        }
-        accumulate(left, path * 2, counts, total, importances);
-        accumulate(right, path * 2 + 1, counts, total, importances);
-    }
-}
-
 /// Mean-impurity-decrease importance of every feature, evaluated by
 /// routing `data` through the forest. Normalized to sum to 1 when any
 /// importance is positive.
 pub fn feature_importance(forest: &Forest, data: &Dataset) -> Vec<f64> {
-    let arity = forest.arity.max(data.arity());
+    feature_importance_flat(&forest.flatten(), data)
+}
+
+/// [`feature_importance`] over an already-compiled [`FlatForest`].
+pub fn feature_importance_flat(flat: &FlatForest, data: &Dataset) -> Vec<f64> {
+    let arity = flat.arity.max(data.arity());
     let mut importances = vec![0.0; arity];
     let total = data.len() as f64;
-    for tree in &forest.trees {
-        let counts = route_counts(tree, data);
-        accumulate(&tree.root, 1, &counts, total, &mut importances);
+
+    // Route every example through every tree, counting (pos, neg) arrivals
+    // per arena row. Row ids are unique across trees, so one pair of dense
+    // vectors covers the whole forest.
+    let mut pos = vec![0.0f64; flat.n_nodes()];
+    let mut neg = vec![0.0f64; flat.n_nodes()];
+    for &root in &flat.roots {
+        for (fv, &label) in data.features.iter().zip(&data.labels) {
+            let mut i = root as usize;
+            loop {
+                if label {
+                    pos[i] += 1.0;
+                } else {
+                    neg[i] += 1.0;
+                }
+                let f = flat.feature[i];
+                if f == FLAT_LEAF {
+                    break;
+                }
+                let v = fv.get(f as usize).copied().unwrap_or(f64::NAN);
+                i = if v > flat.threshold[i] {
+                    flat.right[i] as usize
+                } else {
+                    flat.left[i] as usize
+                };
+            }
+        }
+    }
+
+    // Ascending arena order = preorder per tree, trees in forest order.
+    for i in 0..flat.n_nodes() {
+        let f = flat.feature[i];
+        if f == FLAT_LEAF {
+            continue;
+        }
+        let (l, r) = (flat.left[i] as usize, flat.right[i] as usize);
+        let here = pos[i] + neg[i];
+        if here > 0.0 && total > 0.0 {
+            let decrease = gini(pos[i], neg[i])
+                - (pos[l] + neg[l]) / here * gini(pos[l], neg[l])
+                - (pos[r] + neg[r]) / here * gini(pos[r], neg[r]);
+            importances[f as usize] += here / total * decrease.max(0.0);
+        }
     }
     let sum: f64 = importances.iter().sum();
     if sum > 0.0 {
@@ -154,5 +139,13 @@ mod tests {
         );
         let imp = feature_importance(&forest, &data);
         assert!(imp.iter().all(|v| *v == 0.0), "{imp:?}");
+    }
+
+    #[test]
+    fn flat_variant_matches_node_variant() {
+        let (forest, data) = fixture();
+        let via_forest = feature_importance(&forest, &data);
+        let via_flat = feature_importance_flat(&forest.flatten(), &data);
+        assert_eq!(via_forest, via_flat);
     }
 }

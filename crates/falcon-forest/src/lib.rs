@@ -10,7 +10,11 @@
 //!   per-node random feature subsampling,
 //! * [`forest`] — bagged forests with majority voting, positive-vote
 //!   fractions (the active-learning disagreement signal) and out-of-bag
-//!   accuracy,
+//!   accuracy; training is parallel yet bit-identical at any thread count
+//!   (one pre-drawn seed per tree),
+//! * [`flat`] — forests compiled into struct-of-arrays node arenas with
+//!   allocation-free batch prediction/disagreement kernels, bit-identical
+//!   to the `Node`-walking path,
 //! * [`paths`] — extraction of negative paths as conjunctions of threshold
 //!   predicates (the raw material of blocking rules),
 //! * [`eval`] — precision/recall/F1 and confusion counts.
@@ -19,16 +23,18 @@
 //! always take the left (`<=`) branch so predictions are deterministic.
 
 pub mod eval;
+pub mod flat;
 pub mod forest;
 pub mod importance;
 pub mod paths;
 pub mod tree;
 
 pub use eval::{confusion, f1_score, Confusion};
-pub use forest::{Forest, ForestConfig};
-pub use importance::feature_importance;
+pub use flat::{FlatForest, FLAT_LEAF};
+pub use forest::{default_threads, Forest, ForestConfig};
+pub use importance::{feature_importance, feature_importance_flat};
 pub use paths::{NegativePath, PathPredicate, SplitOp};
-pub use tree::{Node, Tree, TreeConfig};
+pub use tree::{Node, SplitSearch, Tree, TreeConfig};
 
 /// A training set: dense feature vectors (NaN = missing) plus boolean
 /// match/no-match labels.

@@ -1,9 +1,24 @@
 //! CART-style binary decision trees with Gini impurity.
+//!
+//! Two split-search strategies produce **bit-identical** trees for the
+//! same RNG stream (property-tested in `tests/flat_equivalence.rs`):
+//!
+//! * [`SplitSearch::Presorted`] (the default) sorts each feature column
+//!   once at the root and keeps columns sorted through splits, so every
+//!   node evaluates all candidate thresholds of a feature in one linear
+//!   sweep with running class counts — `O(n)` per feature per node
+//!   instead of the rescan path's `O(n × distinct values)` — and scratch
+//!   buffers are recycled across nodes to keep deep trees allocation-free.
+//! * [`SplitSearch::Rescan`] re-collects and re-sorts the candidate values
+//!   at every node and re-counts the full partition per threshold: the
+//!   original, obviously-correct reference that benchmarks and property
+//!   tests compare against.
 
 use crate::Dataset;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Training configuration for a single tree.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +40,17 @@ impl Default for TreeConfig {
             features_per_node: None,
         }
     }
+}
+
+/// Split-search strategy; both strategies grow bit-identical trees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitSearch {
+    /// Sorted feature columns maintained through splits, linear sweep per
+    /// node (fast path, default).
+    #[default]
+    Presorted,
+    /// Re-collect and re-sort candidate values at every node (reference).
+    Rescan,
 }
 
 /// A tree node. Missing feature values (`NaN`) take the left branch.
@@ -64,15 +90,42 @@ pub struct Tree {
 
 impl Tree {
     /// Train a tree on (a bootstrap view of) `data`, using the example
-    /// indices in `idx`.
+    /// indices in `idx`, with the default (presorted) split search.
     pub fn train_on(data: &Dataset, idx: &[usize], cfg: &TreeConfig, rng: &mut impl Rng) -> Tree {
+        Self::train_on_with(data, idx, cfg, rng, SplitSearch::Presorted)
+    }
+
+    /// Train with an explicit split-search strategy. Both strategies
+    /// consume the RNG identically and grow identical trees.
+    pub fn train_on_with(
+        data: &Dataset,
+        idx: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+        search: SplitSearch,
+    ) -> Tree {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let arity = data.arity();
         let k = cfg
             .features_per_node
             .unwrap_or_else(|| (arity as f64).sqrt().ceil() as usize)
             .clamp(1, arity.max(1));
-        let root = build(data, idx, cfg, k, 0, rng);
+        let root = match search {
+            SplitSearch::Rescan => build_rescan(data, idx, cfg, k, 0, rng),
+            SplitSearch::Presorted => {
+                let idx32: Vec<u32> = idx.iter().map(|&i| i as u32).collect();
+                let cols = (0..arity)
+                    .map(|f| {
+                        let mut col = idx32.clone();
+                        sort_col(data, f, &mut col);
+                        col
+                    })
+                    .collect();
+                let mut scratch = Scratch::default();
+                let set = NodeCols { idx: idx32, cols };
+                build_presorted(data, set, cfg, k, 0, rng, &mut scratch)
+            }
+        };
         Tree { root, arity }
     }
 
@@ -133,7 +186,246 @@ fn leaf(data: &Dataset, idx: &[usize]) -> Node {
     }
 }
 
-fn build(
+// ---------------------------------------------------------------------------
+// Presorted split search
+// ---------------------------------------------------------------------------
+
+/// A node's example multiset: `idx` in original (bootstrap) order plus one
+/// copy per feature sorted by that feature's value, NaN-first, ties in
+/// multiset order. Splits partition every column stably, so children
+/// inherit sortedness without re-sorting.
+struct NodeCols {
+    idx: Vec<u32>,
+    cols: Vec<Vec<u32>>,
+}
+
+/// Buffers recycled across nodes of one tree: spent column vectors return
+/// to `pool` instead of being dropped, and the per-feature group run
+/// buffer is reused by every sweep.
+#[derive(Default)]
+struct Scratch {
+    pool: Vec<Vec<u32>>,
+    groups: Vec<(f64, usize, usize)>,
+}
+
+impl Scratch {
+    fn take(&mut self) -> Vec<u32> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut buf: Vec<u32>) {
+        buf.clear();
+        self.pool.push(buf);
+    }
+
+    fn recycle_set(&mut self, set: NodeCols) {
+        self.recycle(set.idx);
+        for col in set.cols {
+            self.recycle(col);
+        }
+    }
+}
+
+/// Stable sort of a column by feature `f`'s value, NaN first (missing
+/// values route left, like prediction).
+fn sort_col(data: &Dataset, f: usize, col: &mut [u32]) {
+    col.sort_by(|&a, &b| {
+        let va = data.features[a as usize][f];
+        let vb = data.features[b as usize][f];
+        match (va.is_nan(), vb.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => va.partial_cmp(&vb).unwrap_or(Ordering::Equal),
+        }
+    });
+}
+
+/// One linear sweep over the sorted column of feature `f`: evaluates every
+/// candidate threshold (midpoints of adjacent distinct values) with
+/// running class counts. Count arithmetic matches the rescan path
+/// integer-for-integer, so gains are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn sweep_feature(
+    data: &Dataset,
+    col: &[u32],
+    f: usize,
+    pos: usize,
+    neg: usize,
+    parent_gini: f64,
+    groups: &mut Vec<(f64, usize, usize)>,
+    best: &mut Option<(f64, usize, f64)>,
+) {
+    // NaN prefix: missing values sit at the front of the sorted column and
+    // always count toward the left side.
+    let mut i = 0;
+    let (mut nan_pos, mut nan_neg) = (0usize, 0usize);
+    while i < col.len() {
+        let e = col[i] as usize;
+        if !data.features[e][f].is_nan() {
+            break;
+        }
+        if data.labels[e] {
+            nan_pos += 1;
+        } else {
+            nan_neg += 1;
+        }
+        i += 1;
+    }
+    // Runs of equal value with their class counts.
+    groups.clear();
+    while i < col.len() {
+        let v = data.features[col[i] as usize][f];
+        let (mut gp, mut gn) = (0usize, 0usize);
+        while i < col.len() {
+            let e = col[i] as usize;
+            if data.features[e][f] != v {
+                break;
+            }
+            if data.labels[e] {
+                gp += 1;
+            } else {
+                gn += 1;
+            }
+            i += 1;
+        }
+        groups.push((v, gp, gn));
+    }
+    if groups.len() < 2 {
+        return;
+    }
+    let n = col.len() as f64;
+    let (mut lp, mut ln) = (nan_pos, nan_neg);
+    for g in 0..groups.len() - 1 {
+        let (v0, gp, gn) = groups[g];
+        lp += gp;
+        ln += gn;
+        let (v1, np, nn) = groups[g + 1];
+        let t = (v0 + v1) / 2.0;
+        // The midpoint of two adjacent floats can round up onto the upper
+        // value, in which case `v1 > t` is false and v1's whole run routes
+        // left — mirror the rescan path's per-threshold recount exactly.
+        let (clp, cln) = if t >= v1 {
+            (lp + np, ln + nn)
+        } else {
+            (lp, ln)
+        };
+        let (rp, rn) = (pos - clp, neg - cln);
+        if clp + cln == 0 || rp + rn == 0 {
+            continue;
+        }
+        let child = (clp + cln) as f64 / n * gini(clp, cln) + (rp + rn) as f64 / n * gini(rp, rn);
+        let gain = parent_gini - child;
+        if gain > 1e-12 && best.is_none_or(|(g_, _, _)| gain > g_) {
+            *best = Some((gain, f, t));
+        }
+    }
+}
+
+fn build_presorted(
+    data: &Dataset,
+    set: NodeCols,
+    cfg: &TreeConfig,
+    k: usize,
+    depth: usize,
+    rng: &mut impl Rng,
+    scratch: &mut Scratch,
+) -> Node {
+    let pos = set.idx.iter().filter(|&&i| data.labels[i as usize]).count();
+    let neg = set.idx.len() - pos;
+    if depth >= cfg.max_depth || set.idx.len() < cfg.min_split || pos == 0 || neg == 0 {
+        scratch.recycle_set(set);
+        return Node::Leaf {
+            label: pos > neg,
+            pos,
+            neg,
+        };
+    }
+
+    // Random feature subset for this node (same RNG consumption as the
+    // rescan path: shuffle happens only once a split is attempted).
+    let mut feats: Vec<usize> = (0..data.arity()).collect();
+    feats.shuffle(rng);
+    feats.truncate(k);
+
+    let parent_gini = gini(pos, neg);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut groups = std::mem::take(&mut scratch.groups);
+    for &f in &feats {
+        sweep_feature(
+            data,
+            &set.cols[f],
+            f,
+            pos,
+            neg,
+            parent_gini,
+            &mut groups,
+            &mut best,
+        );
+    }
+    scratch.groups = groups;
+
+    let Some((_, feature, threshold)) = best else {
+        scratch.recycle_set(set);
+        return Node::Leaf {
+            label: pos > neg,
+            pos,
+            neg,
+        };
+    };
+
+    // Stable-partition every column by the split predicate: children keep
+    // both the multiset order of `idx` and the sortedness of each feature
+    // column, so no re-sorting ever happens below the root.
+    let goes_left = |e: u32| {
+        let v = data.features[e as usize][feature];
+        v <= threshold || v.is_nan() // missing (NaN) values route left
+    };
+    let mut left = NodeCols {
+        idx: scratch.take(),
+        cols: Vec::with_capacity(set.cols.len()),
+    };
+    let mut right = NodeCols {
+        idx: scratch.take(),
+        cols: Vec::with_capacity(set.cols.len()),
+    };
+    for &e in &set.idx {
+        if goes_left(e) {
+            left.idx.push(e);
+        } else {
+            right.idx.push(e);
+        }
+    }
+    for col in &set.cols {
+        let mut lcol = scratch.take();
+        let mut rcol = scratch.take();
+        for &e in col {
+            if goes_left(e) {
+                lcol.push(e);
+            } else {
+                rcol.push(e);
+            }
+        }
+        left.cols.push(lcol);
+        right.cols.push(rcol);
+    }
+    scratch.recycle_set(set);
+
+    let left_node = build_presorted(data, left, cfg, k, depth + 1, rng, scratch);
+    let right_node = build_presorted(data, right, cfg, k, depth + 1, rng, scratch);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(left_node),
+        right: Box::new(right_node),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rescan split search (reference)
+// ---------------------------------------------------------------------------
+
+fn build_rescan(
     data: &Dataset,
     idx: &[usize],
     cfg: &TreeConfig,
@@ -206,8 +498,8 @@ fn build(
     Node::Split {
         feature,
         threshold,
-        left: Box::new(build(data, &left_idx, cfg, k, depth + 1, rng)),
-        right: Box::new(build(data, &right_idx, cfg, k, depth + 1, rng)),
+        left: Box::new(build_rescan(data, &left_idx, cfg, k, depth + 1, rng)),
+        right: Box::new(build_rescan(data, &right_idx, cfg, k, depth + 1, rng)),
     }
 }
 
@@ -304,5 +596,42 @@ mod tests {
         assert_eq!(gini(0, 0), 0.0);
         assert_eq!(gini(5, 0), 0.0);
         assert!((gini(5, 5) - 0.5).abs() < 1e-12);
+    }
+
+    /// The presorted sweep and the rescan reference must grow identical
+    /// trees from the same RNG stream, including with missing values and
+    /// duplicated (bootstrap-style) indices.
+    #[test]
+    fn presorted_matches_rescan() {
+        let mut d = Dataset::new();
+        for i in 0..60 {
+            let x = if i % 7 == 0 {
+                f64::NAN
+            } else {
+                i as f64 / 60.0
+            };
+            let y = ((i * 13) % 17) as f64 / 17.0;
+            let z = if i % 5 == 0 { 0.5 } else { y * x.max(0.0) };
+            d.push(vec![x, y, z], (i * 3) % 60 >= 29);
+        }
+        let idx: Vec<usize> = (0..d.len()).map(|i| (i * 31) % d.len()).collect();
+        for seed in 0..8 {
+            let cfg = TreeConfig::default();
+            let a = Tree::train_on_with(
+                &d,
+                &idx,
+                &cfg,
+                &mut SmallRng::seed_from_u64(seed),
+                SplitSearch::Rescan,
+            );
+            let b = Tree::train_on_with(
+                &d,
+                &idx,
+                &cfg,
+                &mut SmallRng::seed_from_u64(seed),
+                SplitSearch::Presorted,
+            );
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 }
