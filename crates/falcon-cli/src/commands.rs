@@ -26,11 +26,16 @@ MATCH / PLAN CHECK OPTIONS:
     --budget <pairs>     enumeration guard for the baselines (default 50000000)
     --workflow <k>       run k iterative Matcher/Estimator rounds (default 1)
     --nodes <n>          simulated cluster size (plan check; default 10)
+    --resume <journal>   checkpoint crowd labels to <journal> and resume a
+                         crashed run from it without re-asking questions
 
 DEMO OPTIONS:
     --scale <f>          dataset scale multiplier (default laptop-sized)
     --error <p>          simulated crowd error rate (default 0.05)
     --seed <n>           RNG seed (default 1)
+    --fault-rate <p>     inject task failures at rate p (deterministic, seeded)
+    --straggler-rate <p> make a fraction p of tasks stragglers (speculation on)
+    --resume <journal>   checkpoint / resume, as in `falcon match`
 ";
 
 fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -74,6 +79,16 @@ fn print_report(report: &falcon::core::driver::RunReport) {
         report.crowd_time(),
         report.total_time()
     );
+    let f = &report.faults;
+    if f.attempts > 0 {
+        println!(
+            "faults         : {} attempts / {} retries / {} node-loss / {} speculative ({} won), {:?} lost",
+            f.attempts, f.retries, f.node_loss_failures, f.speculative, f.speculative_wins, f.time_lost
+        );
+    }
+    if let Some(e) = &report.journal_error {
+        println!("journal        : FAILED mid-run ({e}); this run cannot be resumed");
+    }
 }
 
 /// `falcon match a.csv b.csv [...]`.
@@ -126,8 +141,17 @@ pub fn cmd_match(args: &[String]) -> Result<(), String> {
         BufReader::new(std::io::stdin()),
         std::io::stdout(),
     );
+    let falcon = Falcon::new(config);
+    let resume = flag_value(args, "--resume");
     let report = if workflow > 1 {
-        let (report, estimates) = Falcon::new(config).run_workflow(&a, &b, crowd, workflow);
+        let (report, estimates) = match resume {
+            Some(journal) => falcon
+                .try_run_workflow_resumable(&a, &b, crowd, workflow, journal)
+                .map_err(|e| e.to_string())?,
+            None => falcon
+                .try_run_workflow(&a, &b, crowd, workflow)
+                .map_err(|e| e.to_string())?,
+        };
         for (i, est) in estimates.iter().enumerate() {
             println!(
                 "round {}: est P {:.1}% ±{:.1}, est R {:.1}% ±{:.1}",
@@ -140,7 +164,12 @@ pub fn cmd_match(args: &[String]) -> Result<(), String> {
         }
         report
     } else {
-        Falcon::new(config).run(&a, &b, crowd)
+        match resume {
+            Some(journal) => falcon
+                .try_run_resumable(&a, &b, crowd, journal)
+                .map_err(|e| e.to_string())?,
+            None => falcon.try_run(&a, &b, crowd).map_err(|e| e.to_string())?,
+        }
     };
     print_report(&report);
 
@@ -277,6 +306,14 @@ pub fn cmd_demo(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--seed expects a number"))
         .transpose()?
         .unwrap_or(1);
+    let fault_rate: f64 = flag_value(args, "--fault-rate")
+        .map(|v| v.parse().map_err(|_| "--fault-rate expects a number"))
+        .transpose()?
+        .unwrap_or(0.0);
+    let straggler_rate: f64 = flag_value(args, "--straggler-rate")
+        .map(|v| v.parse().map_err(|_| "--straggler-rate expects a number"))
+        .transpose()?
+        .unwrap_or(0.0);
 
     let d = falcon::datagen::generate(name, scale, seed);
     println!(
@@ -288,12 +325,26 @@ pub fn cmd_demo(args: &[String]) -> Result<(), String> {
     );
     let truth = GroundTruth::new(d.truth.iter().copied());
     let crowd = RandomWorkerCrowd::new(truth, error, seed);
+    let fault = (fault_rate > 0.0 || straggler_rate > 0.0).then(|| {
+        FaultPlan::seeded(seed)
+            .with_failure_rate(fault_rate)
+            .with_straggler_rate(straggler_rate)
+    });
     let config = FalconConfig {
         sample_size: 8_000,
         sample_fanout: 20,
+        fault,
         ..FalconConfig::default()
     };
-    let report = Falcon::new(config).run(&d.a, &d.b, crowd);
+    let falcon = Falcon::new(config);
+    let report = match flag_value(args, "--resume") {
+        Some(journal) => falcon
+            .try_run_resumable(&d.a, &d.b, crowd, journal)
+            .map_err(|e| e.to_string())?,
+        None => falcon
+            .try_run(&d.a, &d.b, crowd)
+            .map_err(|e| e.to_string())?,
+    };
     print_report(&report);
     let q = report.quality(&d.truth);
     println!(

@@ -20,11 +20,12 @@ use crate::physical::{self, estimate_table_bytes, PhysicalOp};
 use crate::plan::{choose_plan, PlanKind};
 use crate::rules::RuleSequence;
 use crate::timeline::Timeline;
-use falcon_crowd::{Crowd, CrowdSession, Ledger};
-use falcon_dataflow::{run_map_only, wall_now, Cluster, ClusterConfig};
+use falcon_crowd::{Crowd, CrowdJournal, CrowdSession, Ledger};
+use falcon_dataflow::{run_map_only, wall_now, Cluster, ClusterConfig, FaultPlan, FaultStats};
 use falcon_table::{IdPair, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,6 +61,9 @@ pub struct FalconConfig {
     pub force_physical: Option<PhysicalOp>,
     /// Force a plan template.
     pub force_plan: Option<PlanKind>,
+    /// Deterministic fault plan for the simulated cluster: injected task
+    /// failures, stragglers and node loss (`None` = fault-free run).
+    pub fault: Option<FaultPlan>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -80,6 +84,7 @@ impl Default for FalconConfig {
             mask_selection_threshold: 500_000,
             force_plan: None,
             force_physical: None,
+            fault: None,
             seed: 42,
         }
     }
@@ -110,6 +115,12 @@ pub struct RunReport {
     pub ledger: Ledger,
     /// Feature counts (blocking / matching), as in Table 1's commentary.
     pub feature_counts: (usize, usize),
+    /// Fault-injection totals across every job of the run (all zero when
+    /// no [`FalconConfig::fault`] plan was configured).
+    pub faults: FaultStats,
+    /// Set when a checkpoint journal was attached but failed mid-run; the
+    /// run completed unjournaled and cannot be resumed from that journal.
+    pub journal_error: Option<String>,
 }
 
 impl RunReport {
@@ -156,6 +167,16 @@ impl Falcon {
         Self { config }
     }
 
+    /// The simulated cluster for one run, with the configured fault plan
+    /// (if any) attached.
+    fn build_cluster(&self) -> Cluster {
+        let cluster = Cluster::new(self.config.cluster.clone());
+        match &self.config.fault {
+            Some(plan) => cluster.with_faults(plan.clone()),
+            None => cluster,
+        }
+    }
+
     /// Hands-off crowdsourced EM over `A × B` using `crowd`.
     ///
     /// Panicking convenience wrapper around [`Falcon::try_run`] for tests
@@ -177,13 +198,47 @@ impl Falcon {
         b: &Table,
         crowd: C,
     ) -> Result<RunReport, FalconError> {
+        self.try_run_with_journal(a, b, crowd, None)
+    }
+
+    /// [`Falcon::try_run`] with a crash-recovery journal at `journal_path`.
+    ///
+    /// Every labeled batch is checkpointed to the journal before its
+    /// labels are used. Starting a run against a journal left behind by a
+    /// crashed run *resumes* it: journaled batches are replayed from disk
+    /// (recorded labels, recorded cost/latency, **zero** live crowd
+    /// questions) and the run goes live exactly where the crash happened.
+    /// With a seeded simulated crowd the resumed run's output is
+    /// bit-identical to an uninterrupted one. A completed run's journal
+    /// should be deleted before reusing the path for a different input.
+    pub fn try_run_resumable<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        journal_path: impl AsRef<Path>,
+    ) -> Result<RunReport, FalconError> {
+        let journal = CrowdJournal::open(journal_path)?;
+        self.try_run_with_journal(a, b, crowd, Some(journal))
+    }
+
+    fn try_run_with_journal<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        journal: Option<CrowdJournal>,
+    ) -> Result<RunReport, FalconError> {
         let analysis = analyze::analyze(a, b, &self.config);
         if !analysis.is_ok() {
             return Err(FalconError::Plan(analysis.errors));
         }
         let cfg = &self.config;
-        let cluster = Cluster::new(cfg.cluster.clone());
+        let cluster = self.build_cluster();
         let mut session = CrowdSession::new(crowd);
+        if let Some(j) = journal {
+            session = session.with_journal(j);
+        }
         let mut timeline = Timeline::new();
 
         // Feature generation (fast table scans).
@@ -220,6 +275,7 @@ impl Falcon {
         timeline: &mut Timeline,
     ) -> Result<RunReport, FalconError> {
         let cfg = &self.config;
+        session.mark_op("match_only_stage");
         // Cartesian product of ids.
         let pairs: Vec<IdPair> = (0..a.len() as u32)
             .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
@@ -260,6 +316,8 @@ impl Falcon {
             timeline: std::mem::take(timeline),
             ledger: session.ledger(),
             feature_counts: (lib.blocking.len(), lib.matching.len()),
+            faults: cluster.fault_stats().unwrap_or_default(),
+            journal_error: session.journal_error().map(ToString::to_string),
         })
     }
 
@@ -274,6 +332,7 @@ impl Falcon {
         timeline: &mut Timeline,
     ) -> Result<BlockingOutcome, FalconError> {
         let cfg = &self.config;
+        session.mark_op("blocking_stage");
         let mut built = BuiltIndexes::new();
 
         // ---- sample_pairs ----
@@ -503,6 +562,7 @@ impl Falcon {
         seed_salt: u64,
     ) -> Result<MatchStageOutcome, FalconError> {
         let cfg = &self.config;
+        session.mark_op("matching_stage");
         let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching)?;
         timeline.machine("gen_fvs_m", c_fvs.sim_duration(&cfg.cluster));
         if c_fvs.fvs.is_empty() {
@@ -583,6 +643,8 @@ impl Falcon {
             timeline: std::mem::take(timeline),
             ledger: session.ledger(),
             feature_counts: (lib.blocking.len(), lib.matching.len()),
+            faults: cluster.fault_stats().unwrap_or_default(),
+            journal_error: session.journal_error().map(ToString::to_string),
         })
     }
 
@@ -615,13 +677,44 @@ impl Falcon {
         crowd: C,
         max_outer: usize,
     ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
+        self.try_run_workflow_with_journal(a, b, crowd, max_outer, None)
+    }
+
+    /// [`Falcon::try_run_workflow`] with a crash-recovery journal at
+    /// `journal_path` — the workflow analogue of
+    /// [`Falcon::try_run_resumable`]: labeled batches checkpoint to the
+    /// journal, and a journal left by a crashed run replays its batches
+    /// without re-asking the crowd before going live at the crash point.
+    pub fn try_run_workflow_resumable<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        max_outer: usize,
+        journal_path: impl AsRef<Path>,
+    ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
+        let journal = CrowdJournal::open(journal_path)?;
+        self.try_run_workflow_with_journal(a, b, crowd, max_outer, Some(journal))
+    }
+
+    fn try_run_workflow_with_journal<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        max_outer: usize,
+        journal: Option<CrowdJournal>,
+    ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
         let analysis = analyze::analyze(a, b, &self.config);
         if !analysis.is_ok() {
             return Err(FalconError::Plan(analysis.errors));
         }
         let cfg = &self.config;
-        let cluster = Cluster::new(cfg.cluster.clone());
+        let cluster = self.build_cluster();
         let mut session = CrowdSession::new(crowd);
+        if let Some(j) = journal {
+            session = session.with_journal(j);
+        }
         let mut timeline = Timeline::new();
         let t0 = wall_now();
         let lib = generate_features(a, b);
@@ -654,6 +747,7 @@ impl Falcon {
                 best = Some((0.0, outcome));
                 break;
             };
+            session.mark_op("accuracy_estimator");
             let est = estimate_accuracy(
                 &mut session,
                 &mut timeline,
@@ -695,6 +789,8 @@ impl Falcon {
             timeline,
             ledger: session.ledger(),
             feature_counts: (lib.blocking.len(), lib.matching.len()),
+            faults: cluster.fault_stats().unwrap_or_default(),
+            journal_error: session.journal_error().map(ToString::to_string),
         };
         Ok((report, estimates))
     }

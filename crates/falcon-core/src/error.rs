@@ -2,6 +2,7 @@
 
 use crate::analyze::PlanAnalysisError;
 use crate::physical::BlockingError;
+use falcon_crowd::JournalError;
 use falcon_dataflow::DataflowError;
 use falcon_index::IndexError;
 use falcon_table::TupleId;
@@ -36,6 +37,13 @@ pub enum FalconError {
         /// What was empty (e.g. `"feature vectors"`).
         what: &'static str,
     },
+    /// The checkpoint journal of a resumable run could not be opened,
+    /// replayed or written.
+    Journal {
+        /// The underlying [`JournalError`], rendered (kept as text so
+        /// `FalconError` stays `Clone + PartialEq`).
+        message: String,
+    },
 }
 
 impl fmt::Display for FalconError {
@@ -58,6 +66,7 @@ impl fmt::Display for FalconError {
                 write!(f, "pair references id {id} absent from table {table}")
             }
             Self::EmptyInput { what } => write!(f, "operator input {what:?} is empty"),
+            Self::Journal { message } => write!(f, "checkpoint journal failure: {message}"),
         }
     }
 }
@@ -79,5 +88,13 @@ impl From<BlockingError> for FalconError {
 impl From<IndexError> for FalconError {
     fn from(e: IndexError) -> Self {
         Self::Index(e)
+    }
+}
+
+impl From<JournalError> for FalconError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal {
+            message: e.to_string(),
+        }
     }
 }

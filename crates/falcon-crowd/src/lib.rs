@@ -21,6 +21,7 @@
 //! cost/latency ledger on top of any [`Crowd`].
 
 pub mod interactive;
+pub mod journal;
 pub mod session;
 pub mod sim;
 pub mod vote;
@@ -28,7 +29,8 @@ pub mod vote;
 use falcon_table::IdPair;
 use std::time::Duration;
 
-pub use session::{CrowdSession, Ledger, SessionConfig};
+pub use journal::{CrowdJournal, JournalError};
+pub use session::{CrowdSession, Ledger, RepostPolicy, SessionConfig};
 
 /// A source of (possibly noisy) match/no-match answers about tuple pairs.
 ///
@@ -39,6 +41,28 @@ pub use session::{CrowdSession, Ledger, SessionConfig};
 pub trait Crowd: Send + Sync {
     /// One worker's answer for one pair (`true` = match).
     fn answer(&self, pair: IdPair) -> bool;
+
+    /// One worker's answer, allowing for failure: `None` models a HIT
+    /// that expired or was abandoned before the worker answered (the
+    /// dominant failure mode on real MTurk). The default implementation
+    /// never fails; [`sim::UnreliableCrowd`] loses answers at a seeded
+    /// rate. Voting re-posts lost questions — see
+    /// [`vote::majority_with_policy`].
+    fn try_answer(&self, pair: IdPair) -> Option<bool> {
+        Some(self.answer(pair))
+    }
+
+    /// Advance the crowd's internal state as if `draws` calls to
+    /// [`Self::try_answer`] had happened, without producing answers.
+    ///
+    /// Used when resuming from a [`journal::CrowdJournal`]: replayed
+    /// batches skip the crowd, so a seeded simulated crowd must fast
+    /// forward its RNG to the state an uninterrupted run would be in —
+    /// that is what makes a resumed run bit-identical to an
+    /// uninterrupted one. Stateless crowds need not override.
+    fn fast_forward(&self, draws: usize) {
+        let _ = draws;
+    }
 
     /// Virtual latency of one HIT round (posting a batch of HITs and
     /// waiting for all answers). MTurk ≈ 1.5 min per 10-question HIT in the
@@ -56,6 +80,12 @@ impl<C: Crowd + ?Sized> Crowd for &C {
     fn answer(&self, pair: IdPair) -> bool {
         (**self).answer(pair)
     }
+    fn try_answer(&self, pair: IdPair) -> Option<bool> {
+        (**self).try_answer(pair)
+    }
+    fn fast_forward(&self, draws: usize) {
+        (**self).fast_forward(draws);
+    }
     fn latency_per_round(&self) -> Duration {
         (**self).latency_per_round()
     }
@@ -70,6 +100,12 @@ impl<C: Crowd + ?Sized> Crowd for &C {
 impl<C: Crowd + ?Sized> Crowd for std::sync::Arc<C> {
     fn answer(&self, pair: IdPair) -> bool {
         (**self).answer(pair)
+    }
+    fn try_answer(&self, pair: IdPair) -> Option<bool> {
+        (**self).try_answer(pair)
+    }
+    fn fast_forward(&self, draws: usize) {
+        (**self).fast_forward(draws);
     }
     fn latency_per_round(&self) -> Duration {
         (**self).latency_per_round()

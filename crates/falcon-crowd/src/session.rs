@@ -5,13 +5,42 @@
 //! answer costs `c = $0.02`, `al_matcher` takes a majority of `v_m = 3`
 //! answers per question, and `eval_rules` uses a strong-majority scheme
 //! with up to `v_e = 7` answers. One iteration's HITs are posted
-//! concurrently, so an iteration consumes one round of crowd latency.
+//! concurrently, so an iteration consumes one round of crowd latency —
+//! plus one extra round per re-post wave when workers abandon questions.
+//!
+//! With a [`CrowdJournal`] attached, every labeled batch is checkpointed
+//! to disk before its labels are returned, and a resumed session replays
+//! journaled batches — recorded labels, recorded cost and latency, zero
+//! live crowd questions — before going live where the crashed run
+//! stopped.
 
-use crate::vote::{majority, strong_majority};
+use crate::journal::{BatchRecord, CrowdJournal, JournalError, QuestionRecord};
+use crate::vote::{majority_with_policy, strong_majority_with_policy, Vote};
 use crate::Crowd;
 use falcon_table::IdPair;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Recovery policy for lost crowd answers (expired / abandoned HITs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepostPolicy {
+    /// Re-posts allowed per question before voting gives up on further
+    /// answers (MTurk HITs are re-posted when they expire unanswered).
+    pub max_reposts: usize,
+    /// Extra votes from fresh workers when the base votes end without
+    /// consensus (a tie — only reachable when answers were lost or the
+    /// vote count is even).
+    pub escalation_votes: usize,
+}
+
+impl Default for RepostPolicy {
+    fn default() -> Self {
+        Self {
+            max_reposts: 25,
+            escalation_votes: 3,
+        }
+    }
+}
 
 /// Crowdsourcing shape parameters (paper defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,6 +51,8 @@ pub struct SessionConfig {
     pub majority_votes: usize,
     /// Maximum answers for rule-evaluation questions (`v_e`).
     pub strong_majority_max: usize,
+    /// Recovery policy for lost answers and no-consensus outcomes.
+    pub repost: RepostPolicy,
 }
 
 impl Default for SessionConfig {
@@ -30,6 +61,7 @@ impl Default for SessionConfig {
             questions_per_hit: 10,
             majority_votes: 3,
             strong_majority_max: 7,
+            repost: RepostPolicy::default(),
         }
     }
 }
@@ -41,14 +73,36 @@ pub struct Ledger {
     pub questions: usize,
     /// Individual answers collected.
     pub answers: usize,
+    /// Answers lost to worker timeouts/abandonment (re-posted).
+    pub lost_answers: usize,
+    /// Questions whose vote needed escalation to reach consensus.
+    pub escalations: usize,
     /// HITs posted.
     pub hits: usize,
-    /// Labeling rounds (each consumes one round of latency).
+    /// Labeling rounds (each consumes one round of latency; re-post
+    /// waves count as extra rounds).
     pub rounds: usize,
-    /// Total dollars spent.
+    /// Total dollars spent (delivered answers only — expired HITs are
+    /// not paid).
     pub cost: f64,
     /// Total virtual crowd latency.
     pub crowd_time: Duration,
+}
+
+/// Which voting scheme a batch used (also the journal's scheme tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scheme {
+    Majority,
+    Strong,
+}
+
+impl Scheme {
+    fn tag(self) -> &'static str {
+        match self {
+            Self::Majority => "maj",
+            Self::Strong => "strong",
+        }
+    }
 }
 
 /// A crowdsourcing session: a crowd plus batching/voting configuration and
@@ -70,6 +124,8 @@ pub struct CrowdSession<C: Crowd> {
     /// Shape parameters.
     pub config: SessionConfig,
     ledger: Ledger,
+    journal: Option<CrowdJournal>,
+    journal_error: Option<JournalError>,
 }
 
 impl<C: Crowd> CrowdSession<C> {
@@ -79,6 +135,8 @@ impl<C: Crowd> CrowdSession<C> {
             crowd,
             config: SessionConfig::default(),
             ledger: Ledger::default(),
+            journal: None,
+            journal_error: None,
         }
     }
 
@@ -88,7 +146,28 @@ impl<C: Crowd> CrowdSession<C> {
             crowd,
             config,
             ledger: Ledger::default(),
+            journal: None,
+            journal_error: None,
         }
+    }
+
+    /// Attach a checkpoint journal: labeled batches are recorded to it,
+    /// and batches it already holds are replayed instead of asked.
+    pub fn with_journal(mut self, journal: CrowdJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&CrowdJournal> {
+        self.journal.as_ref()
+    }
+
+    /// A journal write failure, if one occurred. Checkpointing failure
+    /// does not abort labeling — the session degrades to unjournaled
+    /// operation and stashes the error here for the driver to surface.
+    pub fn journal_error(&self) -> Option<&JournalError> {
+        self.journal_error.as_ref()
     }
 
     /// The underlying crowd.
@@ -107,44 +186,140 @@ impl<C: Crowd> CrowdSession<C> {
         self.crowd.latency_per_round()
     }
 
-    fn account_round(&mut self, questions: usize, answers: usize) -> Duration {
-        let hits = questions.div_ceil(self.config.questions_per_hit.max(1));
-        self.ledger.questions += questions;
-        self.ledger.answers += answers;
-        self.ledger.hits += hits;
-        self.ledger.rounds += 1;
-        self.ledger.cost += answers as f64 * self.crowd.cost_per_answer();
-        let latency = self.crowd.latency_per_round();
-        self.ledger.crowd_time += latency;
-        latency
+    /// Record an operator boundary in the journal (or replay past the
+    /// marker when resuming).
+    pub fn mark_op(&mut self, label: &str) {
+        if let Some(j) = self.journal.as_mut() {
+            if let Err(e) = j.mark_op(label) {
+                self.journal_error = Some(e);
+                self.journal = None;
+            }
+        }
     }
 
     /// Label one iteration's batch with majority-of-`v_m` voting (the
     /// `al_matcher` scheme). Returns the labels plus the round's latency.
     pub fn label_batch(&mut self, pairs: &[IdPair]) -> (Vec<(IdPair, bool)>, Duration) {
-        let mut labels = Vec::with_capacity(pairs.len());
-        let mut answers = 0;
-        for &p in pairs {
-            let v = majority(&self.crowd, p, self.config.majority_votes);
-            answers += v.answers;
-            labels.push((p, v.label));
-        }
-        let latency = self.account_round(pairs.len(), answers);
-        (labels, latency)
+        self.label_batch_impl(pairs, Scheme::Majority)
     }
 
     /// Label one iteration's batch with the strong-majority scheme (the
     /// `eval_rules` scheme).
     pub fn label_batch_strong(&mut self, pairs: &[IdPair]) -> (Vec<(IdPair, bool)>, Duration) {
-        let mut labels = Vec::with_capacity(pairs.len());
-        let mut answers = 0;
-        for &p in pairs {
-            let v = strong_majority(&self.crowd, p, self.config.strong_majority_max);
-            answers += v.answers;
-            labels.push((p, v.label));
+        self.label_batch_impl(pairs, Scheme::Strong)
+    }
+
+    fn label_batch_impl(
+        &mut self,
+        pairs: &[IdPair],
+        scheme: Scheme,
+    ) -> (Vec<(IdPair, bool)>, Duration) {
+        if let Some(batch) = self.try_replay(scheme, pairs) {
+            return self.apply_replayed(&batch);
         }
-        let latency = self.account_round(pairs.len(), answers);
+        let mut labels = Vec::with_capacity(pairs.len());
+        let mut questions = Vec::with_capacity(pairs.len());
+        let mut answers = 0usize;
+        let mut lost = 0usize;
+        let mut escalations = 0usize;
+        let mut worst_lost = 0usize;
+        for &p in pairs {
+            let v: Vote = match scheme {
+                Scheme::Majority => majority_with_policy(
+                    &self.crowd,
+                    p,
+                    self.config.majority_votes,
+                    &self.config.repost,
+                ),
+                Scheme::Strong => strong_majority_with_policy(
+                    &self.crowd,
+                    p,
+                    self.config.strong_majority_max,
+                    &self.config.repost,
+                ),
+            };
+            answers += v.answers;
+            lost += v.lost;
+            escalations += usize::from(v.escalated);
+            worst_lost = worst_lost.max(v.lost);
+            labels.push((p, v.label));
+            questions.push(QuestionRecord {
+                pair: p,
+                label: v.label,
+                answers: v.answers,
+                lost: v.lost,
+            });
+        }
+        // HITs are posted concurrently, so the batch costs one latency
+        // round plus one per re-post wave of its worst question.
+        let rounds = 1 + worst_lost;
+        let latency = self.crowd.latency_per_round() * rounds as u32;
+        self.account(pairs.len(), answers, lost, escalations, rounds, latency);
+        let record = BatchRecord {
+            scheme: scheme.tag().to_string(),
+            questions,
+            rounds,
+            escalations,
+            latency,
+        };
+        if let Some(j) = self.journal.as_mut() {
+            if let Err(e) = j.record_batch(&record) {
+                self.journal_error = Some(e);
+                self.journal = None;
+            }
+        }
         (labels, latency)
+    }
+
+    fn try_replay(&mut self, scheme: Scheme, pairs: &[IdPair]) -> Option<BatchRecord> {
+        let j = self.journal.as_mut()?;
+        match j.try_replay_batch(scheme.tag(), pairs) {
+            Ok(batch) => batch,
+            Err(e) => {
+                self.journal_error = Some(e);
+                self.journal = None;
+                None
+            }
+        }
+    }
+
+    /// Charge a replayed batch to the ledger from its recorded numbers,
+    /// fast-forward the crowd past the draws the live batch consumed,
+    /// and return the recorded labels — zero crowd questions spent.
+    fn apply_replayed(&mut self, batch: &BatchRecord) -> (Vec<(IdPair, bool)>, Duration) {
+        let answers = batch.answers();
+        let lost = batch.lost();
+        self.account(
+            batch.questions.len(),
+            answers,
+            lost,
+            batch.escalations,
+            batch.rounds,
+            batch.latency,
+        );
+        self.crowd.fast_forward(batch.draws());
+        let labels = batch.questions.iter().map(|q| (q.pair, q.label)).collect();
+        (labels, batch.latency)
+    }
+
+    fn account(
+        &mut self,
+        questions: usize,
+        answers: usize,
+        lost: usize,
+        escalations: usize,
+        rounds: usize,
+        latency: Duration,
+    ) {
+        let hits = questions.div_ceil(self.config.questions_per_hit.max(1));
+        self.ledger.questions += questions;
+        self.ledger.answers += answers;
+        self.ledger.lost_answers += lost;
+        self.ledger.escalations += escalations;
+        self.ledger.hits += hits;
+        self.ledger.rounds += rounds;
+        self.ledger.cost += answers as f64 * self.crowd.cost_per_answer();
+        self.ledger.crowd_time += latency;
     }
 }
 
@@ -183,7 +358,7 @@ pub fn crowd_time_bound(t_a: Duration, k: usize, q1: usize, n: usize, q2: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd};
+    use crate::sim::{GroundTruth, OracleCrowd, RandomWorkerCrowd, UnreliableCrowd};
 
     fn truth() -> GroundTruth {
         GroundTruth::new([(0, 0), (1, 1)])
@@ -201,6 +376,7 @@ mod tests {
         let l = s.ledger();
         assert_eq!(l.questions, 20);
         assert_eq!(l.answers, 60); // 3 votes each
+        assert_eq!(l.lost_answers, 0);
         assert_eq!(l.hits, 2); // 20 questions / 10 per HIT
         assert_eq!(l.rounds, 1);
         assert!((l.cost - 60.0 * 0.02).abs() < 1e-9);
@@ -241,5 +417,67 @@ mod tests {
         s.label_batch(&[(1, 1)]);
         assert_eq!(s.ledger().crowd_time, lat * 2);
         assert_eq!(s.ledger().rounds, 2);
+    }
+
+    #[test]
+    fn abandonment_costs_latency_but_not_money_and_labels_converge() {
+        let reliable = {
+            let mut s = CrowdSession::new(OracleCrowd::new(truth()));
+            s.label_batch(&[(0, 0), (0, 1), (1, 1)]).0
+        };
+        let mut s = CrowdSession::new(UnreliableCrowd::new(OracleCrowd::new(truth()), 0.4, 17));
+        let (labels, latency) = s.label_batch(&[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(labels, reliable, "re-posting converges to the same labels");
+        let l = s.ledger();
+        assert!(l.lost_answers > 0, "{l:?}");
+        assert!(l.rounds > 1, "re-post waves cost extra rounds: {l:?}");
+        assert_eq!(latency, s.round_latency() * l.rounds as u32);
+        assert_eq!(l.cost, 0.0, "lost answers are never paid (oracle is free)");
+        assert_eq!(l.answers, 9, "3 delivered votes per question");
+    }
+
+    #[test]
+    fn journaled_batches_replay_without_crowd_questions() {
+        let path = std::env::temp_dir().join(format!(
+            "falcon-session-replay-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let pairs: Vec<IdPair> = vec![(0, 0), (0, 1), (1, 1)];
+        // Uninterrupted baseline: two batches, then a live tail question.
+        let make_crowd = || RandomWorkerCrowd::new(truth(), 0.2, 77);
+        let (baseline_labels, baseline_tail, baseline_ledger) = {
+            let mut s = CrowdSession::new(make_crowd());
+            let a = s.label_batch(&pairs).0;
+            let b = s.label_batch_strong(&pairs).0;
+            let tail = s.label_batch(&[(1, 0)]).0;
+            (vec![a, b], tail, s.ledger())
+        };
+        // Journaled run: label two batches, "crash".
+        {
+            let journal = CrowdJournal::open(&path).expect("open");
+            let mut s = CrowdSession::new(make_crowd()).with_journal(journal);
+            s.label_batch(&pairs);
+            s.label_batch_strong(&pairs);
+        }
+        // Resumed run: the two batches replay (fast-forwarding the seeded
+        // crowd), then the tail question goes live — and everything is
+        // bit-identical to the uninterrupted run.
+        let journal = CrowdJournal::open(&path).expect("reopen");
+        assert_eq!(journal.pending_batches(), 2);
+        let mut s = CrowdSession::new(make_crowd()).with_journal(journal);
+        let a = s.label_batch(&pairs).0;
+        let b = s.label_batch_strong(&pairs).0;
+        assert_eq!(
+            s.journal().map(CrowdJournal::replayed_batches),
+            Some(2),
+            "both batches must come from the journal"
+        );
+        let tail = s.label_batch(&[(1, 0)]).0;
+        assert_eq!(vec![a, b], baseline_labels);
+        assert_eq!(tail, baseline_tail);
+        assert_eq!(s.ledger(), baseline_ledger);
+        assert!(s.journal_error().is_none());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,6 +1,9 @@
 //! Simulated cluster description and the execution handle.
 
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Static description of the simulated Hadoop cluster.
@@ -67,11 +70,17 @@ impl ClusterConfig {
 
 /// An execution handle: the simulated configuration plus the real thread
 /// budget used to run tasks locally.
+///
+/// Clones share the job counter and fault injector, so every handle
+/// derived from the same `Cluster` sees one consistent job numbering —
+/// the coordinate [`FaultPlan`] node-loss events are keyed on.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     /// Simulated cluster description.
     pub config: ClusterConfig,
     threads: usize,
+    job_counter: Arc<AtomicU64>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Cluster {
@@ -81,12 +90,26 @@ impl Cluster {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        Self { config, threads }
+        Self {
+            config,
+            threads,
+            job_counter: Arc::new(AtomicU64::new(0)),
+            faults: None,
+        }
     }
 
     /// Override the number of local worker threads (mainly for tests).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attach a deterministic fault plan; every job run on this handle
+    /// (or a clone of it) is subject to the plan's injected failures,
+    /// stragglers and node loss.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        let nodes = self.config.nodes;
+        self.faults = Some(Arc::new(FaultInjector::new(plan, nodes)));
         self
     }
 
@@ -98,6 +121,27 @@ impl Cluster {
     /// Per-mapper memory budget of the simulated cluster.
     pub fn mapper_memory(&self) -> usize {
         self.config.mapper_memory_bytes
+    }
+
+    /// The fault injector, when a plan is attached.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
+    }
+
+    /// Run-wide fault totals across every job executed so far, when a
+    /// plan is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.totals())
+    }
+
+    /// Number of jobs submitted to this cluster (shared across clones).
+    pub fn jobs_run(&self) -> u64 {
+        self.job_counter.load(Ordering::Relaxed)
+    }
+
+    /// Claim the next cluster-wide job number.
+    pub(crate) fn next_job_id(&self) -> u64 {
+        self.job_counter.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -128,5 +172,17 @@ mod tests {
         let c = Cluster::default();
         assert!(c.threads() >= 1);
         assert_eq!(c.clone().with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn clones_share_job_numbering_and_faults() {
+        let a = Cluster::new(ClusterConfig::small(2)).with_faults(FaultPlan::seeded(1));
+        let b = a.clone();
+        assert_eq!(a.next_job_id(), 0);
+        assert_eq!(b.next_job_id(), 1);
+        assert_eq!(a.jobs_run(), 2);
+        assert!(b.fault_injector().is_some());
+        assert_eq!(a.fault_stats(), Some(FaultStats::default()));
+        assert_eq!(Cluster::default().fault_stats(), None);
     }
 }

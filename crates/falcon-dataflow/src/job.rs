@@ -2,6 +2,7 @@
 //! output produced by a job run.
 
 use crate::cluster::ClusterConfig;
+use crate::fault::FaultStats;
 use crate::sim_time::makespan;
 use std::time::Duration;
 
@@ -49,12 +50,17 @@ pub struct JobStats {
     pub shuffled_records: usize,
     /// Records produced by reducers (or mappers for map-only jobs).
     pub output_records: usize,
-    /// Measured wall durations of each map task on the local host.
+    /// Simulated slot durations of each map task: measured local wall
+    /// time, inflated by any injected retries, backoff waits and
+    /// straggler slowdown, so fault time flows into [`Self::sim_duration`].
     pub map_durations: Vec<Duration>,
-    /// Measured wall durations of each reduce task on the local host.
+    /// Simulated slot durations of each reduce task (see `map_durations`).
     pub reduce_durations: Vec<Duration>,
     /// Total local wall-clock duration of the job.
     pub wall: Duration,
+    /// Fault accounting summed over every task of the job (all zeros
+    /// when the cluster has no fault plan).
+    pub faults: FaultStats,
 }
 
 impl JobStats {

@@ -18,12 +18,14 @@
 
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod job;
 pub mod runner;
 pub mod sim_time;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use error::DataflowError;
+pub use error::{DataflowError, Phase};
+pub use fault::{DetRng, FaultInjector, FaultPlan, FaultStats, NodeLoss, TaskFaultOutcome};
 pub use job::{Emitter, JobOutput, JobStats};
 pub use runner::{run_map_combine_reduce, run_map_only, run_map_reduce};
 pub use sim_time::{makespan, wall_now, SimDuration};

@@ -1,25 +1,56 @@
 //! Threaded execution of MapReduce jobs over in-memory splits.
 
 use crate::cluster::Cluster;
-use crate::error::DataflowError;
+use crate::error::{DataflowError, Phase};
+use crate::fault::{self, FaultStats};
 use crate::job::{Emitter, JobOutput, JobStats};
 use crate::sim_time::wall_now;
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// One map task's result: split index, per-reduce-partition buckets of
-/// intermediate pairs, and the task's simulated duration.
-type MapTaskResult<K, V> = (usize, Vec<Vec<(K, V)>>, Duration);
+/// intermediate pairs, the task's simulated slot duration and its fault
+/// accounting.
+type MapTaskResult<K, V> = (usize, Vec<Vec<(K, V)>>, Duration, FaultStats);
 
 /// A reduce partition handed off to exactly one worker, which `take`s it.
 type PartitionSlot<K, V> = Mutex<Option<Vec<(K, V)>>>;
 
+/// One completed task: (task index, output records, measured duration,
+/// per-attempt fault accounting).
+type TaskResult<O> = (usize, Vec<O>, Duration, FaultStats);
+
+/// FNV-1a with the standard 64-bit offset basis and prime. Unlike
+/// `std::collections::hash_map::DefaultHasher`, whose keys are explicitly
+/// unstable across Rust releases, this hasher produces the same value on
+/// every toolchain — shuffle partitioning (and therefore per-partition
+/// sim timings and reduce output order) must be reproducible everywhere.
+struct StableHasher(u64);
+
+impl StableHasher {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
 fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     key.hash(&mut h);
     (h.finish() % partitions as u64) as usize
 }
@@ -45,6 +76,35 @@ fn group_in_arrival_order<K: Hash + Eq + Clone, V>(pairs: Vec<(K, V)>) -> Vec<(K
     grouped
 }
 
+/// Record a task-level failure, keeping the error with the smallest task
+/// index, and raise the short-circuit flag so workers stop claiming
+/// tasks for a job that is already doomed.
+fn record_task_error(slot: &Mutex<Option<DataflowError>>, failed: &AtomicBool, err: DataflowError) {
+    failed.store(true, Ordering::Relaxed);
+    let mut guard = slot.lock();
+    let replace = match (&*guard, err.task_index()) {
+        (None, _) => true,
+        (Some(prev), Some(task)) => prev.task_index().is_some_and(|pt| task < pt),
+        _ => false,
+    };
+    if replace {
+        *guard = Some(err);
+    }
+}
+
+/// A panic escaped the per-task containment (it happened outside task
+/// execution, e.g. while a worker pushed its result) — report it with
+/// the job coordinates we still know.
+fn scope_panic_error(job: u64, phase: Phase) -> DataflowError {
+    DataflowError::WorkerPanicked {
+        job,
+        phase,
+        task: 0,
+        attempts: 0,
+        message: "worker thread died outside task execution".to_string(),
+    }
+}
+
 /// Run a full map-shuffle-reduce job.
 ///
 /// * `splits` — input splits; each becomes one map task.
@@ -54,9 +114,19 @@ fn group_in_arrival_order<K: Hash + Eq + Clone, V>(pairs: Vec<(K, V)>) -> Vec<(K
 ///
 /// Map tasks run concurrently on the cluster's local worker threads; so do
 /// reduce partitions. Output records are concatenated in partition order;
-/// callers needing a total order should sort the output. A panic on any
-/// worker thread aborts the job and surfaces as
-/// [`DataflowError::WorkerPanicked`].
+/// callers needing a total order should sort the output.
+///
+/// When the cluster carries a [`FaultPlan`](crate::fault::FaultPlan),
+/// injected task failures are re-executed Hadoop-style (their time plus
+/// exponential backoff is charged to the task's simulated slot duration),
+/// stragglers run slowed or speculatively rescued, and a panicking map
+/// task is retried until the attempt budget runs out. Job *output* is
+/// unaffected by injected faults — map/reduce closures are deterministic,
+/// so only the simulated timeline and [`JobStats::faults`] change. A task
+/// that fails every attempt surfaces as
+/// [`DataflowError::AttemptsExhausted`]; an uncontained panic as
+/// [`DataflowError::WorkerPanicked`], both carrying job/phase/task/attempt
+/// context.
 ///
 /// ```
 /// use falcon_dataflow::{run_map_reduce, Cluster, ClusterConfig, Emitter};
@@ -93,51 +163,74 @@ where
     R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
 {
     let start = wall_now();
+    let job = cluster.next_job_id();
+    let injector = cluster.fault_injector();
     let reduce_partitions = reduce_partitions.max(1);
     let n_splits = splits.len();
     let input_records: usize = splits.iter().map(|s| s.len()).sum();
 
     // ---- Map phase ----
     let map_results: Mutex<Vec<MapTaskResult<K, V>>> = Mutex::new(Vec::with_capacity(n_splits));
+    let first_err: Mutex<Option<DataflowError>> = Mutex::new(None);
+    let failed = AtomicBool::new(false);
     {
         let next = AtomicUsize::new(0);
         let splits_ref = &splits;
         let map_ref = &map_fn;
         let results_ref = &map_results;
+        let err_ref = &first_err;
+        let failed_ref = &failed;
         let n_threads = cluster.threads().min(n_splits.max(1));
         crossbeam::thread::scope(|scope| {
             for _ in 0..n_threads {
                 scope.spawn(|_| loop {
+                    if failed_ref.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= n_splits {
                         break;
                     }
-                    let t0 = wall_now();
-                    let mut emitter = Emitter::new();
-                    for record in &splits_ref[idx] {
-                        map_ref(record, &mut emitter);
+                    let attempt = fault::run_attempts(injector, job, Phase::Map, idx, true, || {
+                        let mut emitter = Emitter::new();
+                        for record in &splits_ref[idx] {
+                            map_ref(record, &mut emitter);
+                        }
+                        let mut buckets: Vec<Vec<(K, V)>> =
+                            (0..reduce_partitions).map(|_| Vec::new()).collect();
+                        for (k, v) in emitter.into_pairs() {
+                            let p = partition_of(&k, reduce_partitions);
+                            buckets[p].push((k, v));
+                        }
+                        buckets
+                    });
+                    match attempt {
+                        Ok((buckets, slot, stats)) => {
+                            results_ref.lock().push((idx, buckets, slot, stats));
+                        }
+                        Err(e) => record_task_error(err_ref, failed_ref, e),
                     }
-                    let mut buckets: Vec<Vec<(K, V)>> =
-                        (0..reduce_partitions).map(|_| Vec::new()).collect();
-                    for (k, v) in emitter.into_pairs() {
-                        let p = partition_of(&k, reduce_partitions);
-                        buckets[p].push((k, v));
-                    }
-                    results_ref.lock().push((idx, buckets, t0.elapsed()));
                 });
             }
         })
-        .map_err(|_| DataflowError::WorkerPanicked { phase: "map" })?;
+        .map_err(|_| scope_panic_error(job, Phase::Map))?;
+    }
+    if let Some(e) = first_err.lock().take() {
+        return Err(e);
     }
     let mut map_results = map_results.into_inner();
-    map_results.sort_by_key(|(idx, _, _)| *idx);
-    let map_durations: Vec<Duration> = map_results.iter().map(|(_, _, d)| *d).collect();
+    map_results.sort_by_key(|(idx, _, _, _)| *idx);
+    let map_durations: Vec<Duration> = map_results.iter().map(|(_, _, d, _)| *d).collect();
+    let mut fault_totals = FaultStats::default();
+    for (_, _, _, stats) in &map_results {
+        fault_totals.absorb(stats);
+    }
 
     // ---- Shuffle ----
     // Pre-size each partition to its exact final length so the
     // single-threaded concatenation never reallocates mid-extend.
     let mut bucket_sizes = vec![0usize; reduce_partitions];
-    for (_, buckets, _) in &map_results {
+    for (_, buckets, _, _) in &map_results {
         for (p, bucket) in buckets.iter().enumerate() {
             bucket_sizes[p] += bucket.len();
         }
@@ -145,7 +238,7 @@ where
     let shuffled_records: usize = bucket_sizes.iter().sum();
     let mut partitions: Vec<Vec<(K, V)>> =
         bucket_sizes.into_iter().map(Vec::with_capacity).collect();
-    for (_, buckets, _) in map_results {
+    for (_, buckets, _, _) in map_results {
         for (p, bucket) in buckets.into_iter().enumerate() {
             partitions[p].extend(bucket);
         }
@@ -157,17 +250,22 @@ where
         .into_iter()
         .map(|p| Mutex::new(Some(p)))
         .collect();
-    let reduce_results: Mutex<Vec<(usize, Vec<O>, Duration)>> =
+    let reduce_results: Mutex<Vec<TaskResult<O>>> =
         Mutex::new(Vec::with_capacity(reduce_partitions));
     {
         let next = AtomicUsize::new(0);
         let reduce_ref = &reduce_fn;
         let inputs_ref = &reduce_inputs;
         let results_ref = &reduce_results;
+        let err_ref = &first_err;
+        let failed_ref = &failed;
         let n_threads = cluster.threads().min(reduce_partitions);
         crossbeam::thread::scope(|scope| {
             for _ in 0..n_threads {
                 scope.spawn(|_| loop {
+                    if failed_ref.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let pid = next.fetch_add(1, Ordering::Relaxed);
                     if pid >= inputs_ref.len() {
                         break;
@@ -177,28 +275,48 @@ where
                     let Some(pairs) = inputs_ref[pid].lock().take() else {
                         continue;
                     };
-                    let t0 = wall_now();
-                    let mut out = Vec::new();
-                    for (k, vs) in group_in_arrival_order(pairs) {
-                        reduce_ref(&k, vs, &mut out);
+                    // The reduce body consumes its partition, so a panicked
+                    // attempt cannot be re-executed (`retry_panics: false`);
+                    // injected failures never run the body and are charged
+                    // to sim time only, so they retry fine.
+                    let mut pairs = Some(pairs);
+                    let attempt =
+                        fault::run_attempts(injector, job, Phase::Reduce, pid, false, || {
+                            let mut out = Vec::new();
+                            for (k, vs) in group_in_arrival_order(pairs.take().unwrap_or_default())
+                            {
+                                reduce_ref(&k, vs, &mut out);
+                            }
+                            out
+                        });
+                    match attempt {
+                        Ok((out, slot, stats)) => {
+                            results_ref.lock().push((pid, out, slot, stats));
+                        }
+                        Err(e) => record_task_error(err_ref, failed_ref, e),
                     }
-                    results_ref.lock().push((pid, out, t0.elapsed()));
                 });
             }
         })
-        .map_err(|_| DataflowError::WorkerPanicked { phase: "reduce" })?;
+        .map_err(|_| scope_panic_error(job, Phase::Reduce))?;
+    }
+    if let Some(e) = first_err.lock().take() {
+        return Err(e);
     }
     let mut reduce_results = reduce_results.into_inner();
-    reduce_results.sort_by_key(|(pid, _, _)| *pid);
+    reduce_results.sort_by_key(|(pid, _, _, _)| *pid);
     if reduce_results.len() != reduce_partitions {
         let partition = (0..reduce_partitions)
-            .find(|p| !reduce_results.iter().any(|(pid, _, _)| pid == p))
+            .find(|p| !reduce_results.iter().any(|(pid, _, _, _)| pid == p))
             .unwrap_or(0);
         return Err(DataflowError::PartitionMissing { partition });
     }
-    let reduce_durations: Vec<Duration> = reduce_results.iter().map(|(_, _, d)| *d).collect();
+    let reduce_durations: Vec<Duration> = reduce_results.iter().map(|(_, _, d, _)| *d).collect();
+    for (_, _, _, stats) in &reduce_results {
+        fault_totals.absorb(stats);
+    }
     let mut output = Vec::new();
-    for (_, mut out, _) in reduce_results {
+    for (_, mut out, _, _) in reduce_results {
         output.append(&mut out);
     }
 
@@ -211,13 +329,15 @@ where
         map_durations,
         reduce_durations,
         wall: start.elapsed(),
+        faults: fault_totals,
     };
     Ok(JobOutput { output, stats })
 }
 
 /// Run a map-only job: each record maps to zero or more output records, no
 /// shuffle or reduce (the implementation of `gen_fvs` and `apply_matcher`
-/// in the paper, Sections 8 and 9).
+/// in the paper, Sections 8 and 9). Fault injection and panic retry work
+/// as in [`run_map_reduce`].
 pub fn run_map_only<I, O, M>(
     cluster: &Cluster,
     splits: Vec<Vec<I>>,
@@ -229,38 +349,62 @@ where
     M: Fn(&I, &mut Vec<O>) + Sync,
 {
     let start = wall_now();
+    let job = cluster.next_job_id();
+    let injector = cluster.fault_injector();
     let n_splits = splits.len();
     let input_records: usize = splits.iter().map(|s| s.len()).sum();
-    let results: Mutex<Vec<(usize, Vec<O>, Duration)>> = Mutex::new(Vec::with_capacity(n_splits));
+    let results: Mutex<Vec<TaskResult<O>>> = Mutex::new(Vec::with_capacity(n_splits));
+    let first_err: Mutex<Option<DataflowError>> = Mutex::new(None);
+    let failed = AtomicBool::new(false);
     {
         let next = AtomicUsize::new(0);
         let splits_ref = &splits;
         let map_ref = &map_fn;
         let results_ref = &results;
+        let err_ref = &first_err;
+        let failed_ref = &failed;
         let n_threads = cluster.threads().min(n_splits.max(1));
         crossbeam::thread::scope(|scope| {
             for _ in 0..n_threads {
                 scope.spawn(|_| loop {
+                    if failed_ref.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= n_splits {
                         break;
                     }
-                    let t0 = wall_now();
-                    let mut out = Vec::new();
-                    for record in &splits_ref[idx] {
-                        map_ref(record, &mut out);
+                    let attempt =
+                        fault::run_attempts(injector, job, Phase::MapOnly, idx, true, || {
+                            let mut out = Vec::new();
+                            for record in &splits_ref[idx] {
+                                map_ref(record, &mut out);
+                            }
+                            out
+                        });
+                    match attempt {
+                        Ok((out, slot, stats)) => {
+                            results_ref.lock().push((idx, out, slot, stats));
+                        }
+                        Err(e) => record_task_error(err_ref, failed_ref, e),
                     }
-                    results_ref.lock().push((idx, out, t0.elapsed()));
                 });
             }
         })
-        .map_err(|_| DataflowError::WorkerPanicked { phase: "map-only" })?;
+        .map_err(|_| scope_panic_error(job, Phase::MapOnly))?;
+    }
+    if let Some(e) = first_err.lock().take() {
+        return Err(e);
     }
     let mut results = results.into_inner();
-    results.sort_by_key(|(idx, _, _)| *idx);
-    let map_durations: Vec<Duration> = results.iter().map(|(_, _, d)| *d).collect();
+    results.sort_by_key(|(idx, _, _, _)| *idx);
+    let map_durations: Vec<Duration> = results.iter().map(|(_, _, d, _)| *d).collect();
+    let mut fault_totals = FaultStats::default();
+    for (_, _, _, stats) in &results {
+        fault_totals.absorb(stats);
+    }
     let mut output = Vec::new();
-    for (_, mut out, _) in results {
+    for (_, mut out, _, _) in results {
         output.append(&mut out);
     }
     let stats = JobStats {
@@ -272,6 +416,7 @@ where
         map_durations,
         reduce_durations: Vec::new(),
         wall: start.elapsed(),
+        faults: fault_totals,
     };
     Ok(JobOutput { output, stats })
 }
@@ -280,6 +425,7 @@ where
 mod tests {
     use super::*;
     use crate::cluster::ClusterConfig;
+    use crate::fault::FaultPlan;
 
     fn cluster() -> Cluster {
         Cluster::new(ClusterConfig::small(2)).with_threads(4)
@@ -316,6 +462,31 @@ mod tests {
         assert_eq!(out.stats.input_records, 4);
         assert_eq!(out.stats.shuffled_records, 9);
         assert_eq!(out.stats.output_records, 3);
+        assert_eq!(out.stats.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn stable_hasher_matches_fnv1a_test_vectors() {
+        // Published FNV-1a 64-bit vectors: the partitioner must be
+        // identical on every toolchain, unlike DefaultHasher.
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_covers_all_partitions() {
+        let assignments: Vec<usize> = (0..64u64).map(|k| partition_of(&k, 4)).collect();
+        assert_eq!(
+            assignments,
+            (0..64u64).map(|k| partition_of(&k, 4)).collect::<Vec<_>>()
+        );
+        for p in 0..4 {
+            assert!(assignments.contains(&p), "partition {p} never used");
+        }
     }
 
     #[test]
@@ -357,7 +528,19 @@ mod tests {
             },
         )
         .expect_err("worker panic must surface");
-        assert_eq!(err, DataflowError::WorkerPanicked { phase: "map-only" });
+        match err {
+            DataflowError::WorkerPanicked {
+                job,
+                phase,
+                task,
+                attempts,
+                message,
+            } => {
+                assert_eq!((job, phase, task, attempts), (0, Phase::MapOnly, 1, 1));
+                assert!(message.contains("poisoned record"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -372,7 +555,38 @@ mod tests {
             },
         )
         .expect_err("reducer panic must surface");
-        assert_eq!(err, DataflowError::WorkerPanicked { phase: "reduce" });
+        match err {
+            DataflowError::WorkerPanicked {
+                phase, attempts, ..
+            } => {
+                assert_eq!(phase, Phase::Reduce);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flaky_map_task_is_retried_under_a_fault_plan() {
+        // A map body that panics on its first execution of split 1 but
+        // succeeds when retried: with a fault plan the job must recover.
+        use std::sync::atomic::AtomicUsize;
+        let cluster = cluster().with_faults(FaultPlan::seeded(3));
+        let crashes = AtomicUsize::new(0);
+        let out = run_map_only(
+            &cluster,
+            vec![vec![1u32], vec![2]],
+            |x: &u32, out: &mut Vec<u32>| {
+                if *x == 2 && crashes.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("transient");
+                }
+                out.push(*x * 10);
+            },
+        )
+        .expect("job must recover via retry");
+        assert_eq!(out.output, vec![10, 20]);
+        assert_eq!(out.stats.faults.retries, 1);
+        assert!(out.stats.faults.time_lost > Duration::ZERO);
     }
 
     #[test]
@@ -427,7 +641,8 @@ mod tests {
 /// combiner runs on each map task's output before the shuffle, collapsing
 /// each key's local values into one (Hadoop's classic network-traffic
 /// optimization — the token-frequency job of the paper's Section 7.5 is
-/// the textbook use).
+/// the textbook use). Fault injection applies through the underlying
+/// map-reduce execution.
 pub fn run_map_combine_reduce<I, K, V, O, M, CB, R>(
     cluster: &Cluster,
     splits: Vec<Vec<I>>,

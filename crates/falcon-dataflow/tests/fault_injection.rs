@@ -1,0 +1,204 @@
+//! The load-bearing fault-tolerance invariant, at the engine level: for a
+//! fixed seed, a fault-injected job's *output* is bit-identical to the
+//! fault-free job at every fault rate and thread count — injected
+//! failures, stragglers and node loss may only change the simulated
+//! timeline and the fault counters.
+
+use falcon_dataflow::{
+    run_map_combine_reduce, run_map_only, run_map_reduce, Cluster, ClusterConfig, DataflowError,
+    Emitter, FaultPlan, FaultStats, Phase,
+};
+use std::time::Duration;
+
+fn splits() -> Vec<Vec<u64>> {
+    let data: Vec<u64> = (0..600u64).map(|i| i.wrapping_mul(0x9e37) % 257).collect();
+    data.chunks(37).map(|c| c.to_vec()).collect()
+}
+
+/// The canonical job used across the matrix: group by residue, sum.
+fn grouped_sums(cluster: &Cluster) -> (Vec<(u64, u64)>, FaultStats) {
+    let out = run_map_reduce(
+        cluster,
+        splits(),
+        5,
+        |x: &u64, e: &mut Emitter<u64, u64>| e.emit(x % 13, *x),
+        |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum())),
+    )
+    .expect("job");
+    (out.output, out.stats.faults)
+}
+
+fn mapped(cluster: &Cluster) -> Vec<u64> {
+    run_map_only(cluster, splits(), |x: &u64, out: &mut Vec<u64>| {
+        out.push(x * 3 + 1);
+    })
+    .expect("job")
+    .output
+}
+
+#[test]
+fn fault_injected_output_is_bit_identical_across_rates_seeds_threads() {
+    let baseline_cluster = Cluster::new(ClusterConfig::small(4)).with_threads(4);
+    let baseline_mr = grouped_sums(&baseline_cluster).0;
+    let baseline_mo = mapped(&baseline_cluster);
+
+    for &rate in &[0.0, 0.05, 0.3] {
+        for seed in [1u64, 42, 1_000_003] {
+            for threads in [1usize, 2, 8] {
+                // max_attempts 8 keeps P(task exhausts all attempts)
+                // negligible even at rate 0.3.
+                let plan = FaultPlan::seeded(seed)
+                    .with_failure_rate(rate)
+                    .with_straggler_rate(0.2)
+                    .with_max_attempts(8);
+                let cluster = Cluster::new(ClusterConfig::small(4))
+                    .with_threads(threads)
+                    .with_faults(plan);
+                let (out, faults) = grouped_sums(&cluster);
+                assert_eq!(
+                    out, baseline_mr,
+                    "map-reduce output diverged at rate={rate} seed={seed} threads={threads}"
+                );
+                let out = mapped(&cluster);
+                assert_eq!(
+                    out, baseline_mo,
+                    "map-only output diverged at rate={rate} seed={seed} threads={threads}"
+                );
+                if rate == 0.0 {
+                    assert_eq!(faults.retries, 0, "no retries without failures");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_decisions_are_independent_of_thread_count() {
+    // Not just the output: the *fault accounting* itself must be a pure
+    // function of the seed, so timelines are reproducible.
+    let plan = FaultPlan::seeded(7)
+        .with_failure_rate(0.3)
+        .with_straggler_rate(0.25)
+        .with_max_attempts(8);
+    let collect = |threads: usize| {
+        let cluster = Cluster::new(ClusterConfig::small(4))
+            .with_threads(threads)
+            .with_faults(plan.clone());
+        let (_, faults) = grouped_sums(&cluster);
+        (
+            faults.attempts,
+            faults.retries,
+            faults.speculative,
+            faults.speculative_wins,
+            faults.node_loss_failures,
+        )
+    };
+    let single = collect(1);
+    assert_eq!(collect(4), single);
+    assert_eq!(collect(8), single);
+    // At rate 0.3 over ~22 tasks, retries are all but certain.
+    assert!(single.1 > 0, "expected retries at rate 0.3: {single:?}");
+}
+
+#[test]
+fn stragglers_trigger_speculation_and_inflate_sim_time() {
+    let run = |plan: Option<FaultPlan>| {
+        let mut cluster = Cluster::new(ClusterConfig::small(4)).with_threads(4);
+        if let Some(p) = plan {
+            cluster = cluster.with_faults(p);
+        }
+        let out = run_map_only(
+            &cluster,
+            (0..8).map(|s| vec![s]).collect::<Vec<Vec<u64>>>(),
+            |x: &u64, out: &mut Vec<u64>| {
+                std::thread::sleep(Duration::from_millis(2));
+                out.push(*x);
+            },
+        )
+        .expect("job");
+        (out.stats.sim_duration(&cluster.config), out.stats.faults)
+    };
+    let (clean_sim, clean_faults) = run(None);
+    assert_eq!(clean_faults, FaultStats::default());
+    let (faulty_sim, faults) = run(Some(
+        FaultPlan::seeded(5)
+            .with_failure_rate(0.4)
+            .with_straggler_rate(0.5)
+            .with_max_attempts(8),
+    ));
+    assert!(faults.retries > 0 || faults.speculative > 0, "{faults:?}");
+    assert!(faults.time_lost > Duration::ZERO);
+    assert!(
+        faulty_sim > clean_sim,
+        "fault time must reach the sim clock: {faulty_sim:?} vs {clean_sim:?}"
+    );
+}
+
+#[test]
+fn node_loss_reexecutes_that_nodes_tasks_with_identical_output() {
+    let baseline = {
+        let cluster = Cluster::new(ClusterConfig::small(4)).with_threads(4);
+        grouped_sums(&cluster).0
+    };
+    // Node 2 dies during job 0 (the only job this cluster runs).
+    let cluster = Cluster::new(ClusterConfig::small(4))
+        .with_threads(4)
+        .with_faults(FaultPlan::seeded(9).with_node_loss(0, 2));
+    let (out, faults) = grouped_sums(&cluster);
+    assert_eq!(out, baseline);
+    // splits() yields 17 map tasks ({2, 6, 10, 14} sat on node 2) and 5
+    // reduce partitions (partition 2 sat on node 2): 5 lost attempts.
+    assert_eq!(faults.node_loss_failures, 5, "{faults:?}");
+    assert!(faults.retries >= 5);
+}
+
+#[test]
+fn combine_jobs_inherit_fault_tolerance() {
+    let word_count = |cluster: &Cluster| {
+        run_map_combine_reduce(
+            cluster,
+            splits(),
+            3,
+            |x: &u64, e: &mut Emitter<u64, u64>| e.emit(x % 7, 1),
+            |_k: &u64, vs: Vec<u64>| vs.iter().sum(),
+            |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| out.push((*k, vs.iter().sum())),
+        )
+        .expect("job")
+    };
+    let clean = word_count(&Cluster::new(ClusterConfig::small(4)).with_threads(4));
+    let faulty_cluster = Cluster::new(ClusterConfig::small(4))
+        .with_threads(4)
+        .with_faults(
+            FaultPlan::seeded(3)
+                .with_failure_rate(0.3)
+                .with_max_attempts(8),
+        );
+    let faulty = word_count(&faulty_cluster);
+    assert_eq!(clean.output, faulty.output);
+    assert!(faulty.stats.faults.retries > 0);
+}
+
+#[test]
+fn exhausted_attempts_fail_the_job_with_full_context() {
+    let cluster = Cluster::new(ClusterConfig::small(2))
+        .with_threads(2)
+        .with_faults(
+            FaultPlan::seeded(1)
+                .with_failure_rate(1.0)
+                .with_max_attempts(3),
+        );
+    let err = run_map_only(&cluster, vec![vec![1u64]], |x: &u64, out: &mut Vec<u64>| {
+        out.push(*x);
+    })
+    .expect_err("rate 1.0 must exhaust every attempt");
+    assert_eq!(
+        err,
+        DataflowError::AttemptsExhausted {
+            job: 0,
+            phase: Phase::MapOnly,
+            task: 0,
+            attempts: 3,
+        }
+    );
+    assert!(err.to_string().contains("map-only task 0"), "{err}");
+}

@@ -20,6 +20,12 @@
 //!   `falcon-dataflow/src/sim_time.rs` (the sanctioned [`wall_now`]
 //!   funnel) and the `falcon-bench` harness. Everything else accounts time
 //!   against the simulated cluster.
+//! * **`wall-clock-retry`** — no `Instant::now` / `SystemTime::now` in
+//!   `falcon-dataflow` or `falcon-crowd` library code (`sim_time.rs`
+//!   excepted). Retry backoff, speculation and crowd re-post latency must
+//!   be charged to the *simulated* clock; a wall-clock read in those
+//!   paths silently breaks the fixed-seed ⇒ bit-identical-output
+//!   invariant of fault-injected and resumed runs.
 //!
 //! A violation can be waived with a `// falcon-lint: allow(<rule>)`
 //! comment on the same line, or on its own line immediately above the
@@ -42,6 +48,9 @@ pub enum Rule {
     NoNondeterminism,
     /// `Instant::now` only in `sim_time.rs` and the bench harness.
     SimTime,
+    /// No wall-clock reads in the fault-tolerant retry/re-post paths
+    /// (`falcon-dataflow`, `falcon-crowd`).
+    WallClockRetry,
 }
 
 impl Rule {
@@ -51,6 +60,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::NoNondeterminism => "no-nondeterminism",
             Rule::SimTime => "sim-time",
+            Rule::WallClockRetry => "wall-clock-retry",
         }
     }
 
@@ -66,6 +76,7 @@ impl Rule {
             ],
             Rule::NoNondeterminism => &["thread_rng", "from_entropy", "SystemTime", "RandomState"],
             Rule::SimTime => &["Instant::now"],
+            Rule::WallClockRetry => &["Instant::now", "SystemTime::now"],
         }
     }
 }
@@ -124,6 +135,9 @@ pub fn rules_for(path: &Path) -> Vec<Rule> {
         p.ends_with("falcon-dataflow/src/sim_time.rs") || p.contains("falcon-bench/");
     if !sim_time_exempt {
         rules.push(Rule::SimTime);
+    }
+    if !sim_time_exempt && (p.contains("falcon-dataflow/src/") || p.contains("falcon-crowd/src/")) {
+        rules.push(Rule::WallClockRetry);
     }
     rules
 }
@@ -253,7 +267,12 @@ fn lex(source: &str) -> Vec<Line> {
             // Directives live in comments, so parse them from the raw line.
             if let Some(pos) = raw.find("falcon-lint:") {
                 let tail = &raw[pos + "falcon-lint:".len()..];
-                for rule in [Rule::NoPanic, Rule::NoNondeterminism, Rule::SimTime] {
+                for rule in [
+                    Rule::NoPanic,
+                    Rule::NoNondeterminism,
+                    Rule::SimTime,
+                    Rule::WallClockRetry,
+                ] {
                     if tail.contains(&format!("allow({})", rule.name())) {
                         allows.push(rule);
                     }
@@ -501,6 +520,27 @@ mod tests {
         let v = scan_source(&elsewhere, src, &rules_for(&elsewhere));
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::SimTime);
+    }
+
+    #[test]
+    fn wall_clock_reads_in_retry_paths_are_flagged_and_waivable() {
+        let src = "pub fn deadline() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+        let crowd = PathBuf::from("crates/falcon-crowd/src/vote.rs");
+        let v = scan_source(&crowd, src, &rules_for(&crowd));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::WallClockRetry);
+        let waived = "pub fn deadline() -> std::time::SystemTime { std::time::SystemTime::now() } // falcon-lint: allow(wall-clock-retry)\n";
+        assert!(scan_source(&crowd, waived, &rules_for(&crowd)).is_empty());
+        // The sanctioned wall-clock funnel stays exempt (checked with
+        // `Instant::now`; `SystemTime` anywhere in falcon-dataflow is
+        // already no-nondeterminism territory).
+        let funnel = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+        let sanctioned = PathBuf::from("crates/falcon-dataflow/src/sim_time.rs");
+        assert!(scan_source(&sanctioned, funnel, &rules_for(&sanctioned)).is_empty());
+        // Outside the retry paths the rule does not apply (sim-time and
+        // no-nondeterminism still govern those files).
+        let core = PathBuf::from("crates/falcon-core/src/driver.rs");
+        assert!(!rules_for(&core).contains(&Rule::WallClockRetry));
     }
 
     #[test]

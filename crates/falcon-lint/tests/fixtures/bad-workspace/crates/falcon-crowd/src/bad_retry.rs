@@ -1,0 +1,10 @@
+//! Seeded-violation fixture: a crowd re-post path that reads the wall
+//! clock. Scanned only by falcon-lint's own tests — not compiled.
+
+pub fn repost_deadline() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn waived_deadline() -> std::time::SystemTime {
+    std::time::SystemTime::now() // falcon-lint: allow(wall-clock-retry)
+}

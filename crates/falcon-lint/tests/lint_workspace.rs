@@ -34,11 +34,21 @@ fn seeded_fixture_trips_every_rule() {
     // bad_op.rs: Instant::now + thread_rng + unwrap; the waived unwrap and
     // the #[cfg(test)] module must NOT be reported.
     // bad_runner.rs: RandomState + expect.
+    // bad_retry.rs: SystemTime::now (the waived twin must NOT be reported).
     let count = |rule: Rule| violations.iter().filter(|v| v.rule == rule).count();
     assert_eq!(count(Rule::NoPanic), 2, "{violations:?}");
     assert_eq!(count(Rule::NoNondeterminism), 2, "{violations:?}");
     assert_eq!(count(Rule::SimTime), 1, "{violations:?}");
-    assert_eq!(violations.len(), 5, "{violations:?}");
+    assert_eq!(count(Rule::WallClockRetry), 1, "{violations:?}");
+    assert_eq!(violations.len(), 6, "{violations:?}");
+    let retry_v = violations
+        .iter()
+        .find(|v| v.rule == Rule::WallClockRetry)
+        .expect("wall-clock-retry violation");
+    assert!(retry_v
+        .file
+        .ends_with("crates/falcon-crowd/src/bad_retry.rs"));
+    assert_eq!(retry_v.token, "SystemTime::now");
     // Locations are reported precisely.
     let unwrap_v = violations
         .iter()

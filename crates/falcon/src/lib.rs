@@ -56,8 +56,8 @@ pub mod prelude {
     pub use falcon_core::physical::PhysicalOp;
     pub use falcon_core::plan::PlanKind;
     pub use falcon_crowd::sim::{ExpertCrowd, GroundTruth, OracleCrowd, RandomWorkerCrowd};
-    pub use falcon_crowd::{Crowd, CrowdSession};
-    pub use falcon_dataflow::{Cluster, ClusterConfig};
+    pub use falcon_crowd::{Crowd, CrowdJournal, CrowdSession};
+    pub use falcon_dataflow::{Cluster, ClusterConfig, FaultPlan, FaultStats};
     pub use falcon_datagen::EmDataset;
     pub use falcon_table::{Table, Value};
 }
