@@ -26,6 +26,12 @@ MATCH / PLAN CHECK OPTIONS:
     --budget <pairs>     enumeration guard for the baselines (default 50000000)
     --workflow <k>       run k iterative Matcher/Estimator rounds (default 1)
     --nodes <n>          simulated cluster size (plan check; default 10)
+    --explain            plan check: list blocking features and print the
+                         rationale behind every verifier diagnostic
+    --force-filter <i:t> plan check: override blocking feature i's index
+                         filter with threshold/width t (repeatable); the
+                         static verifier proves the override recall-safe
+                         or rejects the plan
     --resume <journal>   checkpoint crowd labels to <journal> and resume a
                          crashed run from it without re-asking questions
 
@@ -215,6 +221,39 @@ pub fn cmd_plan(args: &[String]) -> Result<(), String> {
     if let Some(nodes) = flag_value(args, "--nodes") {
         config.cluster.nodes = nodes.parse().map_err(|_| "--nodes expects a number")?;
     }
+    let explain = has_flag(args, "--explain");
+
+    // `--force-filter IDX:THRESHOLD` (repeatable): override the index
+    // filter of blocking feature IDX. Deliberately constructed without
+    // domain guards so recall-unsafe values are *rejected by the
+    // verifier*, with a diagnostic, rather than silently dropped.
+    let blocking = generate_features(&a, &b).blocking;
+    let mut i = 0;
+    while let Some(pos) = args[i..].iter().position(|s| s == "--force-filter") {
+        let at = i + pos;
+        let value = args
+            .get(at + 1)
+            .ok_or("--force-filter expects IDX:THRESHOLD")?;
+        let (idx, threshold) = value
+            .split_once(':')
+            .ok_or("--force-filter expects IDX:THRESHOLD")?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| "--force-filter IDX must be a feature index")?;
+        let threshold: f64 = threshold
+            .parse()
+            .map_err(|_| "--force-filter THRESHOLD must be a number")?;
+        let ff = falcon::core::ForcedFilter::for_feature(&blocking, idx, threshold).ok_or_else(
+            || {
+                format!(
+                    "--force-filter references feature {idx} but only {} blocking features exist",
+                    blocking.len()
+                )
+            },
+        )?;
+        config.force_filters.push(ff);
+        i = at + 2;
+    }
 
     let analysis = falcon::core::analyze(&a, &b, &config);
     println!(
@@ -226,12 +265,34 @@ pub fn cmd_plan(args: &[String]) -> Result<(), String> {
         analysis.pairs
     );
     println!("plan           : {:?}", analysis.plan);
-    println!(
-        "features       : {} blocking / {} matching",
-        analysis.blocking_features, analysis.matching_features
-    );
+    if explain {
+        if let Some(op) = config.force_physical {
+            println!("physical op    : {} — {}", op.name(), op.describe());
+        }
+        println!(
+            "features       : {} blocking / {} matching",
+            analysis.blocking_features, analysis.matching_features
+        );
+        for (i, f) in blocking.features.iter().enumerate() {
+            println!("  blocking[{i:>2}] : {}", f.name);
+        }
+    } else {
+        println!(
+            "features       : {} blocking / {} matching",
+            analysis.blocking_features, analysis.matching_features
+        );
+    }
+    for d in &analysis.diagnostics {
+        println!("{d}");
+        if explain {
+            println!("  explain      : {}", d.explain);
+        }
+    }
     if analysis.is_ok() {
-        println!("plan check     : ok");
+        println!(
+            "plan check     : ok ({} warning(s))",
+            analysis.warnings().count()
+        );
         Ok(())
     } else {
         for e in &analysis.errors {
@@ -436,5 +497,44 @@ mod tests {
     #[test]
     fn plan_check_requires_the_check_subcommand() {
         assert!(cmd_plan(&s(&["frobnicate", "a.csv", "b.csv"])).is_err());
+    }
+
+    #[test]
+    fn plan_check_rejects_a_recall_unsafe_forced_filter() {
+        let (pa, pb) = plan_fixture("unsafe_filter");
+        // Threshold 0 on any similarity filter violates ThresholdPositive.
+        let err = cmd_plan(&s(&[
+            "check",
+            &pa,
+            &pb,
+            "--explain",
+            "--force-filter",
+            "0:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("plan check failed"), "{err}");
+    }
+
+    #[test]
+    fn plan_check_accepts_a_safe_forced_filter_with_explain() {
+        let (pa, pb) = plan_fixture("safe_filter");
+        assert!(cmd_plan(&s(&[
+            "check",
+            &pa,
+            &pb,
+            "--explain",
+            "--force-filter",
+            "0:0.2",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn plan_check_force_filter_validates_its_syntax() {
+        let (pa, pb) = plan_fixture("filter_syntax");
+        let err = cmd_plan(&s(&["check", &pa, &pb, "--force-filter", "nope"])).unwrap_err();
+        assert!(err.contains("IDX:THRESHOLD"), "{err}");
+        let err = cmd_plan(&s(&["check", &pa, &pb, "--force-filter", "999:0.5"])).unwrap_err();
+        assert!(err.contains("blocking features exist"), "{err}");
     }
 }

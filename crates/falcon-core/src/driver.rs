@@ -3,7 +3,7 @@
 
 use crate::analyze;
 use crate::error::FalconError;
-use crate::features::{generate_features, FeatureLibrary};
+use crate::features::{generate_features, FeatureLibrary, FeatureSet};
 use crate::indexing::{BuiltIndexes, ConjunctSpecs};
 use crate::metrics::em_quality;
 use crate::ops::accuracy_estimator::{estimate_accuracy, AccuracyEstimate, EstimatorConfig};
@@ -22,12 +22,70 @@ use crate::rules::RuleSequence;
 use crate::timeline::Timeline;
 use falcon_crowd::{Crowd, CrowdJournal, CrowdSession, Ledger};
 use falcon_dataflow::{run_map_only, wall_now, Cluster, ClusterConfig, FaultPlan, FaultStats};
+use falcon_index::FilterSpec;
 use falcon_table::{IdPair, Table};
+use falcon_textsim::SimFunction;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A user-forced index-filter override for one blocking feature.
+///
+/// During `apply_blocking_rules`, the filter derived from a rule
+/// predicate on `feature` is replaced by `spec` — but only when the
+/// substitution is provably recall-safe (a weaker threshold / wider
+/// range, i.e. a superset of candidates; see
+/// [`ConjunctSpecs::derive_with`]). Ill-formed specs are rejected by the
+/// static verifier ([`crate::analyze::analyze`]) before any MapReduce job
+/// or crowd question is issued.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForcedFilter {
+    /// Blocking-feature index the override attaches to.
+    pub feature: usize,
+    /// The replacement filter spec.
+    pub spec: FilterSpec,
+}
+
+impl ForcedFilter {
+    /// Build an override for blocking feature `feature` with the given
+    /// threshold (set/edit similarity) or width (ranges), mapping the
+    /// feature's similarity function to its filter kind *directly* —
+    /// deliberately without [`FilterSpec::from_predicate`]'s domain
+    /// guards, so out-of-domain configurations reach the static verifier
+    /// (and are rejected with a typed diagnostic) instead of being
+    /// silently dropped. Returns `None` only when `feature` is out of
+    /// range.
+    pub fn for_feature(
+        features: &FeatureSet,
+        feature: usize,
+        threshold: f64,
+    ) -> Option<ForcedFilter> {
+        let f = features.features.get(feature)?;
+        let a_attr = f.a_attr.clone();
+        let spec = match f.sim {
+            SimFunction::ExactMatch => FilterSpec::Equals { a_attr },
+            SimFunction::AbsDiff => FilterSpec::Range {
+                a_attr,
+                width: threshold,
+                relative: false,
+            },
+            SimFunction::RelDiff => FilterSpec::Range {
+                a_attr,
+                width: threshold,
+                relative: true,
+            },
+            SimFunction::Levenshtein => FilterSpec::EditSim { a_attr, threshold },
+            sim => FilterSpec::SetSim {
+                a_attr,
+                sim,
+                threshold,
+            },
+        };
+        Some(ForcedFilter { feature, spec })
+    }
+}
 
 /// Full Falcon configuration (paper defaults, scaled where noted).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,6 +119,9 @@ pub struct FalconConfig {
     pub force_physical: Option<PhysicalOp>,
     /// Force a plan template.
     pub force_plan: Option<PlanKind>,
+    /// Per-feature index-filter overrides, verified recall-safe
+    /// statically before any job runs.
+    pub force_filters: Vec<ForcedFilter>,
     /// Deterministic fault plan for the simulated cluster: injected task
     /// failures, stragglers and node loss (`None` = fault-free run).
     pub fault: Option<FaultPlan>,
@@ -84,6 +145,7 @@ impl Default for FalconConfig {
             mask_selection_threshold: 500_000,
             force_plan: None,
             force_physical: None,
+            force_filters: Vec::new(),
             fault: None,
             seed: 42,
         }
@@ -442,15 +504,19 @@ impl Falcon {
         let seq_out = select_opt_seq(&ranked, &retained, &s_fvs.fvs, &cfg.seq);
         timeline.machine("sel_opt_seq", t0.elapsed());
 
-        // Contract check: the optimizer's sequence must be well-formed
-        // against the blocking arity before anything is built from it.
-        let seq_errors = analyze::check_rule_sequence(&seq_out.seq, lib.blocking.len());
+        // Static verification: the optimizer's sequence must be
+        // well-formed against the blocking arity AND every filter derived
+        // from it must discharge its recall-safety obligations before
+        // anything is built from it (warnings — dead predicates,
+        // unreachable rules — do not block the run).
+        let (seq_errors, _seq_warnings) =
+            analyze::verify_rule_sequence(&seq_out.seq, &lib.blocking);
         if !seq_errors.is_empty() {
             return Err(FalconError::Plan(seq_errors));
         }
 
         // ---- apply_blocking_rules ----
-        let conjuncts = ConjunctSpecs::derive(&seq_out.seq, &lib.blocking);
+        let conjuncts = ConjunctSpecs::derive_with(&seq_out.seq, &lib.blocking, &cfg.force_filters);
         // Build whatever indexes are still missing (unmasked).
         for spec in conjuncts.all_specs() {
             let dur = built.build_spec(cluster, a, &spec)?;

@@ -9,6 +9,7 @@
 //! prebuild them during crowd rounds (Section 10.2, Solution 1) and
 //! `apply_blocking_rules` can reuse them for free.
 
+use crate::driver::ForcedFilter;
 use crate::error::FalconError;
 use crate::features::FeatureSet;
 use crate::rules::RuleSequence;
@@ -55,6 +56,24 @@ impl ConjunctSpecs {
     /// (Section 7.3, step 2: "analyze CNF rule to infer index-based
     /// filters").
     pub fn derive(seq: &RuleSequence, features: &FeatureSet) -> ConjunctSpecs {
+        Self::derive_with(seq, features, &[])
+    }
+
+    /// [`ConjunctSpecs::derive`] with per-feature filter overrides.
+    ///
+    /// A forced spec replaces the derived spec for a predicate only when
+    /// the substitution is provably recall-safe — it must describe a
+    /// *superset* of the derived filter's candidates on the same indexed
+    /// attribute (a smaller similarity threshold, or a wider range of the
+    /// same kind) and discharge its own proof obligations. Anything else
+    /// keeps the derived spec: an override may weaken pruning, never
+    /// strengthen it, so blocking stays lossless. Unfilterable predicates
+    /// stay unfiltered (no bound exists to relax).
+    pub fn derive_with(
+        seq: &RuleSequence,
+        features: &FeatureSet,
+        forced: &[ForcedFilter],
+    ) -> ConjunctSpecs {
         let specs = seq
             .rules
             .iter()
@@ -70,7 +89,14 @@ impl ConjunctSpecs {
                             q.op == SplitOp::Gt,
                             q.threshold,
                         )
-                        .map(|spec| (spec, f.b_idx))
+                        .map(|derived| {
+                            let spec = forced
+                                .iter()
+                                .find(|ff| ff.feature == q.feature)
+                                .filter(|ff| safe_substitution(&ff.spec, &derived))
+                                .map_or(derived, |ff| ff.spec.clone());
+                            (spec, f.b_idx)
+                        })
                     })
                     .collect()
             })
@@ -100,6 +126,52 @@ impl ConjunctSpecs {
             }
         }
         out
+    }
+}
+
+/// True when probing `forced` can only return a superset of the
+/// candidates probing `derived` returns (and `forced` discharges its own
+/// recall-safety obligations) — the condition under which substituting it
+/// keeps blocking lossless.
+fn safe_substitution(forced: &FilterSpec, derived: &FilterSpec) -> bool {
+    if forced.a_attr() != derived.a_attr() || forced.verify().is_err() {
+        return false;
+    }
+    match (forced, derived) {
+        // A smaller similarity threshold admits every pair the larger one
+        // admits (sim > t is monotone in t).
+        (
+            FilterSpec::SetSim {
+                sim: fs,
+                threshold: ft,
+                ..
+            },
+            FilterSpec::SetSim {
+                sim: ds,
+                threshold: dt,
+                ..
+            },
+        ) => fs == ds && ft <= dt,
+        (FilterSpec::EditSim { threshold: ft, .. }, FilterSpec::EditSim { threshold: dt, .. }) => {
+            ft <= dt
+        }
+        // A wider window of the same kind admits every pair the narrower
+        // one admits (dist <= w is monotone in w).
+        (
+            FilterSpec::Range {
+                width: fw,
+                relative: fr,
+                ..
+            },
+            FilterSpec::Range {
+                width: dw,
+                relative: dr,
+                ..
+            },
+        ) => fr == dr && fw >= dw,
+        // Equality filtering has no parameter to relax; anything else is
+        // a kind mismatch.
+        _ => false,
     }
 }
 
@@ -343,6 +415,57 @@ mod tests {
         let cs = ConjunctSpecs::derive(&seq, &lib.blocking);
         assert_eq!(cs.filterable(), vec![0]);
         assert_eq!(cs.all_specs().len(), 1);
+    }
+
+    #[test]
+    fn derive_with_substitutes_only_recall_safe_overrides() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let jac = lib
+            .blocking
+            .features
+            .iter()
+            .position(|f| f.sim == SimFunction::Jaccard(Tokenizer::Word))
+            .unwrap();
+        let seq = RuleSequence::new(vec![Rule {
+            predicates: vec![Predicate {
+                feature: jac,
+                op: SplitOp::Le,
+                threshold: 0.6,
+                nan_is_high: true,
+            }],
+        }]);
+        let forced_spec = |threshold: f64| ForcedFilter {
+            feature: jac,
+            spec: FilterSpec::SetSim {
+                a_attr: lib.blocking.get(jac).a_attr.clone(),
+                sim: SimFunction::Jaccard(Tokenizer::Word),
+                threshold,
+            },
+        };
+        let spec_threshold = |cs: &ConjunctSpecs| match &cs.specs[0][0] {
+            Some((FilterSpec::SetSim { threshold, .. }, _)) => *threshold,
+            other => panic!("unexpected spec {other:?}"),
+        };
+        // Weaker threshold: a superset of candidates, substituted.
+        let cs = ConjunctSpecs::derive_with(&seq, &lib.blocking, &[forced_spec(0.3)]);
+        assert_eq!(spec_threshold(&cs), 0.3);
+        // Stronger threshold would prune satisfying pairs: kept derived.
+        let cs = ConjunctSpecs::derive_with(&seq, &lib.blocking, &[forced_spec(0.9)]);
+        assert_eq!(spec_threshold(&cs), 0.6);
+        // An override failing its own obligations is never substituted.
+        let cs = ConjunctSpecs::derive_with(&seq, &lib.blocking, &[forced_spec(0.0)]);
+        assert_eq!(spec_threshold(&cs), 0.6);
+        // A kind mismatch (EditSim onto a jaccard predicate) is inert.
+        let mismatch = ForcedFilter {
+            feature: jac,
+            spec: FilterSpec::EditSim {
+                a_attr: lib.blocking.get(jac).a_attr.clone(),
+                threshold: 0.3,
+            },
+        };
+        let cs = ConjunctSpecs::derive_with(&seq, &lib.blocking, &[mismatch]);
+        assert_eq!(spec_threshold(&cs), 0.6);
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod snb;
 pub mod timeline;
 pub mod tokens;
 
-pub use analyze::{analyze, PlanAnalysis, PlanAnalysisError};
-pub use driver::{Falcon, FalconConfig, RunReport};
+pub use analyze::{analyze, Diagnostic, PlanAnalysis, PlanAnalysisError, PlanSpan, Severity};
+pub use driver::{Falcon, FalconConfig, ForcedFilter, RunReport};
 pub use error::FalconError;
 pub use features::{Feature, FeatureLibrary, FeatureSet};
 pub use fv::FvSet;

@@ -73,6 +73,34 @@ impl PhysicalOp {
             PhysicalOp::ReduceSplit => "reduce-split",
         }
     }
+
+    /// One-line description of what the operator does and what it costs,
+    /// for `falcon plan check --explain`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            PhysicalOp::ApplyAll => {
+                "probe every filterable conjunct's indexes in each mapper; \
+                 needs all indexes to fit mapper memory"
+            }
+            PhysicalOp::ApplyGreedy => {
+                "probe only the most selective conjunct's indexes, then \
+                 evaluate the rest of the sequence on the survivors"
+            }
+            PhysicalOp::ApplyConjunct => {
+                "one probing wave per conjunct; bounds mapper memory at one \
+                 conjunct's indexes per wave"
+            }
+            PhysicalOp::ApplyPredicate => {
+                "one probing wave per predicate; smallest memory footprint, \
+                 most waves"
+            }
+            PhysicalOp::MapSide => {
+                "prior-work baseline: broadcast table A into every mapper \
+                 and enumerate A x B"
+            }
+            PhysicalOp::ReduceSplit => "prior-work baseline: shuffle all of A x B to reducers",
+        }
+    }
 }
 
 /// Errors from blocking execution.

@@ -3,8 +3,9 @@
 //! MapReduce job or crowd question.
 
 use falcon_core::analyze::PlanAnalysisError;
-use falcon_core::driver::{Falcon, FalconConfig};
+use falcon_core::driver::{Falcon, FalconConfig, ForcedFilter};
 use falcon_core::error::FalconError;
+use falcon_core::features::generate_features;
 use falcon_core::plan::PlanKind;
 use falcon_crowd::sim::{GroundTruth, OracleCrowd};
 use falcon_crowd::Crowd;
@@ -87,6 +88,64 @@ fn zero_cluster_is_rejected_by_the_workflow_entry_point_too() {
         .expect_err("zero-node cluster must be rejected");
     assert!(matches!(err, FalconError::Plan(ref errors)
         if errors.contains(&PlanAnalysisError::InvalidClusterConfig { field: "nodes" })));
+}
+
+#[test]
+fn recall_unsafe_forced_filter_is_rejected_before_the_crowd() {
+    // The exact configuration falcon-index/tests/lossless.rs would catch
+    // dynamically (a set-similarity filter with a non-positive threshold
+    // prunes zero-overlap pairs that still satisfy `sim > t`) — here it
+    // must be refused statically, before any job or crowd question.
+    let d = products::generate(0.05, 3);
+    let blocking = generate_features(&d.a, &d.b).blocking;
+    let jac = blocking
+        .features
+        .iter()
+        .position(|f| matches!(f.sim, falcon_textsim::SimFunction::Jaccard(_)))
+        .expect("jaccard blocking feature");
+    let cfg = FalconConfig {
+        force_filters: vec![ForcedFilter::for_feature(&blocking, jac, -0.5).expect("in range")],
+        ..small_config()
+    };
+    let err = Falcon::new(cfg)
+        .try_run(&d.a, &d.b, UnreachableCrowd)
+        .expect_err("recall-unsafe forced filter must be rejected");
+    let FalconError::Plan(errors) = err else {
+        panic!("expected FalconError::Plan, got {err:?}");
+    };
+    assert!(
+        errors.iter().any(
+            |e| matches!(e, PlanAnalysisError::UnsafeFilter { feature, .. } if *feature == jac)
+        ),
+        "{errors:?}"
+    );
+    // The rendered error names the failed obligation.
+    assert!(
+        errors.iter().any(|e| e.to_string().contains("obligation")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn recall_safe_forced_filter_passes_the_gate_and_stays_lossless() {
+    // A weaker-threshold override is a provably safe substitution: the
+    // run must complete and still find matches.
+    let d = products::generate(0.05, 3);
+    let blocking = generate_features(&d.a, &d.b).blocking;
+    let jac = blocking
+        .features
+        .iter()
+        .position(|f| matches!(f.sim, falcon_textsim::SimFunction::Jaccard(_)))
+        .expect("jaccard blocking feature");
+    let cfg = FalconConfig {
+        force_filters: vec![ForcedFilter::for_feature(&blocking, jac, 0.05).expect("in range")],
+        ..small_config()
+    };
+    let truth = GroundTruth::new(d.truth.iter().copied());
+    let report = Falcon::new(cfg)
+        .try_run(&d.a, &d.b, OracleCrowd::new(truth))
+        .expect("safe forced filter must pass the gate and run");
+    assert!(!report.matches.is_empty());
 }
 
 #[test]

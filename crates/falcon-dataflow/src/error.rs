@@ -64,6 +64,10 @@ pub enum DataflowError {
     /// A reduce partition disappeared before its worker could claim it —
     /// an engine invariant violation, never expected in practice.
     PartitionMissing {
+        /// Cluster-wide job number (submission order).
+        job: u64,
+        /// Which phase lost the partition (always [`Phase::Reduce`]).
+        phase: Phase,
         /// Index of the missing partition.
         partition: usize,
     },
@@ -105,8 +109,15 @@ impl fmt::Display for DataflowError {
                     "job {job}: {phase} task {task} failed all {attempts} attempt(s)"
                 )
             }
-            Self::PartitionMissing { partition } => {
-                write!(f, "reduce partition {partition} was already taken")
+            Self::PartitionMissing {
+                job,
+                phase,
+                partition,
+            } => {
+                write!(
+                    f,
+                    "job {job}: {phase} partition {partition} was already taken"
+                )
             }
         }
     }

@@ -309,7 +309,11 @@ where
         let partition = (0..reduce_partitions)
             .find(|p| !reduce_results.iter().any(|(pid, _, _, _)| pid == p))
             .unwrap_or(0);
-        return Err(DataflowError::PartitionMissing { partition });
+        return Err(DataflowError::PartitionMissing {
+            job,
+            phase: Phase::Reduce,
+            partition,
+        });
     }
     let reduce_durations: Vec<Duration> = reduce_results.iter().map(|(_, _, d, _)| *d).collect();
     for (_, _, _, stats) in &reduce_results {

@@ -24,4 +24,4 @@ pub mod spec;
 
 pub use inverted::{PrefixIndex, TokenOrder};
 pub use scalar::{HashIndex, LengthIndex, RangeIndex};
-pub use spec::{FilterSpec, IndexError, PredicateIndex};
+pub use spec::{FilterSpec, IndexError, Obligation, PredicateIndex};

@@ -109,6 +109,104 @@ impl FilterSpec {
             | FilterSpec::EditSim { a_attr, .. } => a_attr,
         }
     }
+
+    /// The recall-safety proof obligations this spec must discharge, each
+    /// paired with whether it holds. The obligations are exactly the
+    /// monotonicity conditions `falcon-index/tests/lossless.rs` exercises
+    /// dynamically: a spec that discharges all of them prunes only pairs
+    /// that provably fail its predicate, so blocking stays lossless.
+    pub fn obligations(&self) -> Vec<(Obligation, bool)> {
+        match self {
+            // Hash-equality pruning never drops a satisfying pair:
+            // `exact_match = 1` implies identical rendered values.
+            FilterSpec::Equals { .. } => Vec::new(),
+            FilterSpec::Range {
+                width, relative, ..
+            } => {
+                let mut obs = vec![
+                    (Obligation::WidthFinite, width.is_finite()),
+                    (Obligation::WidthNonNegative, *width >= 0.0),
+                ];
+                if *relative {
+                    // rel_diff ranges over [0, 2]; the sorted-index window
+                    // `|a-b| <= w·max(|a|,|b|)` is only invertible to a
+                    // probe range when w < 1.
+                    obs.push((Obligation::RelativeWidthBelowOne, *width < 1.0));
+                }
+                obs
+            }
+            FilterSpec::SetSim { sim, threshold, .. } => vec![
+                // Prefix/position/length filtering is derived from token
+                // *set* overlap bounds; a non-set measure (even one that
+                // happens to carry a tokenizer, like MongeElkan) admits no
+                // such bound.
+                (Obligation::SetBasedSim, sim.is_set_based()),
+                (Obligation::ThresholdFinite, threshold.is_finite()),
+                // t <= 0 would make the prefix filter prune zero-overlap
+                // pairs that still satisfy `sim > t` — false negatives.
+                (Obligation::ThresholdPositive, *threshold > 0.0),
+            ],
+            FilterSpec::EditSim { threshold, .. } => vec![
+                (Obligation::ThresholdFinite, threshold.is_finite()),
+                (Obligation::ThresholdPositive, *threshold > 0.0),
+            ],
+        }
+    }
+
+    /// Check every obligation, returning the first that fails.
+    pub fn verify(&self) -> Result<(), Obligation> {
+        match self.obligations().into_iter().find(|(_, holds)| !holds) {
+            None => Ok(()),
+            Some((ob, _)) => Err(ob),
+        }
+    }
+}
+
+/// One recall-safety proof obligation on a [`FilterSpec`]: a condition
+/// under which the index's pruning is provably lossless (prunes only
+/// pairs that fail the predicate). See [`FilterSpec::obligations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Obligation {
+    /// A similarity threshold must be finite (NaN/∞ break the prefix and
+    /// length bound arithmetic).
+    ThresholdFinite,
+    /// A similarity threshold must be strictly positive: at `t <= 0` even
+    /// zero-overlap pairs satisfy `sim > t`, but the prefix filter would
+    /// prune them.
+    ThresholdPositive,
+    /// A set-similarity spec's measure must actually be set-based
+    /// (prefix/position/length bounds exist only for set-overlap
+    /// measures).
+    SetBasedSim,
+    /// A range width must be finite.
+    WidthFinite,
+    /// A range width must be non-negative (a negative width matches
+    /// nothing numerically, yet missing-value pairs still satisfy the
+    /// predicate).
+    WidthNonNegative,
+    /// A relative range width must be below one for the probe window to
+    /// be invertible (`rel_diff` ranges over [0, 2]).
+    RelativeWidthBelowOne,
+}
+
+impl Obligation {
+    /// Human-readable statement of the condition.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Obligation::ThresholdFinite => "similarity threshold is finite",
+            Obligation::ThresholdPositive => "similarity threshold is strictly positive",
+            Obligation::SetBasedSim => "similarity function is set-based",
+            Obligation::WidthFinite => "range width is finite",
+            Obligation::WidthNonNegative => "range width is non-negative",
+            Obligation::RelativeWidthBelowOne => "relative range width is below one",
+        }
+    }
+}
+
+impl std::fmt::Display for Obligation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe())
+    }
 }
 
 /// Candidate set returned by a probe.
@@ -216,6 +314,15 @@ pub enum IndexError {
         /// Debug rendering of the offending similarity function.
         sim: String,
     },
+    /// The spec fails one of its recall-safety proof obligations
+    /// ([`FilterSpec::obligations`]): building this index could prune
+    /// pairs that satisfy the predicate, i.e. introduce false negatives.
+    RecallUnsafe {
+        /// The obligation that does not hold.
+        obligation: Obligation,
+        /// Debug rendering of the offending spec.
+        spec: String,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -226,6 +333,12 @@ impl std::fmt::Display for IndexError {
             }
             Self::NotSetBased { sim } => {
                 write!(f, "similarity function {sim} is not set-based")
+            }
+            Self::RecallUnsafe { obligation, spec } => {
+                write!(
+                    f,
+                    "recall-unsafe filter {spec}: obligation not met: {obligation}"
+                )
             }
         }
     }
@@ -251,6 +364,11 @@ impl PredicateIndex {
         spec: &FilterSpec,
         order: Option<TokenOrder>,
     ) -> Result<PredicateIndex, IndexError> {
+        spec.verify()
+            .map_err(|obligation| IndexError::RecallUnsafe {
+                obligation,
+                spec: format!("{spec:?}"),
+            })?;
         let attr_idx =
             a.schema()
                 .index_of(spec.a_attr())

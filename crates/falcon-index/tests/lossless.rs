@@ -135,3 +135,101 @@ proptest! {
         );
     }
 }
+
+/// The static twin of the properties above: a spec whose configuration
+/// *would* let the dynamic checks fail is refused at build time with the
+/// violated proof obligation, so a lossy index can never exist.
+mod static_rejection {
+    use falcon_index::{FilterSpec, IndexError, Obligation, PredicateIndex};
+    use falcon_table::{AttrType, Schema, Table, Value};
+    use falcon_textsim::{SimFunction, Tokenizer};
+
+    fn table() -> Table {
+        let schema = Schema::new([("x", AttrType::Str)]);
+        Table::new(
+            "A",
+            schema,
+            vec![vec![Value::str("a b c")], vec![Value::Null]],
+        )
+    }
+
+    fn rejected(spec: FilterSpec) -> Obligation {
+        match PredicateIndex::try_build(&table(), &spec, None) {
+            Err(IndexError::RecallUnsafe { obligation, .. }) => obligation,
+            other => panic!("expected RecallUnsafe for {spec:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_set_based_measure_is_rejected() {
+        // MongeElkan carries a tokenizer but admits no prefix/length
+        // bound; building a SetSim index over it would prune arbitrarily.
+        let ob = rejected(FilterSpec::SetSim {
+            a_attr: "x".into(),
+            sim: SimFunction::MongeElkan,
+            threshold: 0.5,
+        });
+        assert_eq!(ob, Obligation::SetBasedSim);
+    }
+
+    #[test]
+    fn nonpositive_and_nonfinite_thresholds_are_rejected() {
+        let jac = |threshold: f64| FilterSpec::SetSim {
+            a_attr: "x".into(),
+            sim: SimFunction::Jaccard(Tokenizer::Word),
+            threshold,
+        };
+        assert_eq!(rejected(jac(0.0)), Obligation::ThresholdPositive);
+        assert_eq!(rejected(jac(-1.0)), Obligation::ThresholdPositive);
+        assert_eq!(rejected(jac(f64::NAN)), Obligation::ThresholdFinite);
+        assert_eq!(rejected(jac(f64::INFINITY)), Obligation::ThresholdFinite);
+        let edit = FilterSpec::EditSim {
+            a_attr: "x".into(),
+            threshold: 0.0,
+        };
+        assert_eq!(rejected(edit), Obligation::ThresholdPositive);
+    }
+
+    #[test]
+    fn degenerate_range_widths_are_rejected() {
+        let range = |width: f64, relative: bool| FilterSpec::Range {
+            a_attr: "x".into(),
+            width,
+            relative,
+        };
+        assert_eq!(rejected(range(-1.0, false)), Obligation::WidthNonNegative);
+        assert_eq!(rejected(range(f64::NAN, false)), Obligation::WidthFinite);
+        // rel_diff ranges over [0, 2]: width >= 1 makes the probe window
+        // non-invertible.
+        assert_eq!(
+            rejected(range(1.5, true)),
+            Obligation::RelativeWidthBelowOne
+        );
+    }
+
+    #[test]
+    fn safe_specs_still_build() {
+        for spec in [
+            FilterSpec::Equals { a_attr: "x".into() },
+            FilterSpec::SetSim {
+                a_attr: "x".into(),
+                sim: SimFunction::Jaccard(Tokenizer::Word),
+                threshold: 0.4,
+            },
+            FilterSpec::EditSim {
+                a_attr: "x".into(),
+                threshold: 0.4,
+            },
+            FilterSpec::Range {
+                a_attr: "x".into(),
+                width: 2.0,
+                relative: false,
+            },
+        ] {
+            assert!(
+                PredicateIndex::try_build(&table(), &spec, None).is_ok(),
+                "{spec:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded-violation fixture: the sim-time funnel broken through two
+//! levels of indirection. Scanned only by falcon-lint's own tests — not
+//! compiled.
+
+pub fn hidden_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn measure() -> std::time::Instant {
+    hidden_clock()
+}
+
+pub fn report() -> std::time::Instant {
+    measure()
+}

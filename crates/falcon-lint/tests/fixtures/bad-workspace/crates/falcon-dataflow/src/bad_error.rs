@@ -1,0 +1,18 @@
+//! Seeded-violation fixture: a dataflow error constructed without its
+//! job/phase coordinates. Scanned only by falcon-lint's own tests — not
+//! compiled.
+
+pub fn fail_task(message: String) -> DataflowError {
+    DataflowError::WorkerPanicked {
+        task: 0,
+        attempts: 1,
+        message,
+    }
+}
+
+pub fn task_of(e: &DataflowError) -> Option<usize> {
+    match e {
+        DataflowError::WorkerPanicked { task, .. } => Some(*task),
+        _ => None,
+    }
+}

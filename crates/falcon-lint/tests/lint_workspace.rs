@@ -35,12 +35,21 @@ fn seeded_fixture_trips_every_rule() {
     // the #[cfg(test)] module must NOT be reported.
     // bad_runner.rs: RandomState + expect.
     // bad_retry.rs: SystemTime::now (the waived twin must NOT be reported).
+    // bad_iter.rs: unordered hash iteration + float sum over one (the
+    // blessed count and collect-then-sort shapes must NOT be reported).
+    // bad_error.rs: DataflowError construction without job/phase (the
+    // match pattern must NOT be reported).
+    // bad_indirect.rs: Instant::now behind two levels of calls.
     let count = |rule: Rule| violations.iter().filter(|v| v.rule == rule).count();
     assert_eq!(count(Rule::NoPanic), 2, "{violations:?}");
     assert_eq!(count(Rule::NoNondeterminism), 2, "{violations:?}");
-    assert_eq!(count(Rule::SimTime), 1, "{violations:?}");
+    assert_eq!(count(Rule::SimTime), 2, "{violations:?}");
     assert_eq!(count(Rule::WallClockRetry), 1, "{violations:?}");
-    assert_eq!(violations.len(), 6, "{violations:?}");
+    assert_eq!(count(Rule::HashmapIterOrder), 1, "{violations:?}");
+    assert_eq!(count(Rule::FloatReduceOrder), 1, "{violations:?}");
+    assert_eq!(count(Rule::ErrorContext), 1, "{violations:?}");
+    assert_eq!(count(Rule::SimTimeTransitive), 2, "{violations:?}");
+    assert_eq!(violations.len(), 12, "{violations:?}");
     let retry_v = violations
         .iter()
         .find(|v| v.rule == Rule::WallClockRetry)
@@ -58,4 +67,43 @@ fn seeded_fixture_trips_every_rule() {
         .file
         .ends_with("crates/falcon-core/src/ops/bad_op.rs"));
     assert_eq!(unwrap_v.line, 8);
+    // The transitive pass names the function the taint flows through.
+    let transitive: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::SimTimeTransitive)
+        .collect();
+    assert!(transitive
+        .iter()
+        .all(|v| v.file.ends_with("crates/falcon-core/src/bad_indirect.rs")));
+    assert!(transitive.iter().any(|v| v.token.contains("hidden_clock")));
+    assert!(transitive.iter().any(|v| v.token.contains("measure")));
+}
+
+#[test]
+fn seeded_fixture_matches_the_ci_expectation_file() {
+    // The same contract CI's `--expect` self-test enforces, kept in-tree
+    // so `cargo test` alone catches drift between fixture and manifest.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let fixture = manifest.join("tests/fixtures/bad-workspace");
+    let expected_file = manifest.join("tests/fixtures/bad-workspace-expected.txt");
+    let expected: std::collections::BTreeSet<String> = std::fs::read_to_string(&expected_file)
+        .expect("expectation file")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    let actual: std::collections::BTreeSet<String> = scan_workspace(&fixture)
+        .expect("scan")
+        .iter()
+        .map(|v| {
+            format!(
+                "{}:{}:{}",
+                v.file.display().to_string().replace('\\', "/"),
+                v.line,
+                v.rule.name()
+            )
+        })
+        .collect();
+    assert_eq!(expected, actual);
 }
