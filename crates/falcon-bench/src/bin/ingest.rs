@@ -1,0 +1,192 @@
+//! CSV ingest throughput: the streaming columnar reader vs the original
+//! line-at-a-time row reader (replicated here as the baseline). Emits
+//! `BENCH_ingest.json` with rows/sec, MB/sec and peak allocation bytes
+//! for both paths, plus the speedup and peak-memory ratio.
+//!
+//! Peak memory is tracked with a counting wrapper around the system
+//! allocator: `peak - live_before` over an ingest run is the transient
+//! high-water mark that run added (table + reader scratch).
+#![allow(unsafe_code)] // the GlobalAlloc wrapper below is the one sanctioned use
+
+use falcon::table::csv::{self, parse_record};
+use falcon::table::{AttrType, Schema, Table, TableRepr, Value};
+use falcon_bench::{dataset, mean, title, Args};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{self, BufRead};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Counting allocator: tracks live bytes and the high-water mark.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(grew: usize) {
+    let live = LIVE.fetch_add(grew, Ordering::Relaxed) + grew;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Reset the high-water mark to the current live size and return the
+/// baseline to subtract from later readings.
+fn reset_peak() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+/// Replica of the pre-columnar reader: `BufRead::lines()`, one
+/// `parse_record` per line, one `Value` per cell, row-major storage.
+fn read_table_rowwise<R: BufRead>(name: &str, reader: R) -> io::Result<Table> {
+    let mut header: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line);
+        match &header {
+            None => header = Some(fields),
+            Some(h) => {
+                if fields.len() != h.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("row arity {} != header {}", fields.len(), h.len()),
+                    ));
+                }
+                rows.push(fields.iter().map(|f| Value::parse(f)).collect());
+            }
+        }
+    }
+    let names = header.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))?;
+    let schema = Schema::new(names.into_iter().map(|n| (n, AttrType::Str)));
+    Table::try_new_with(name, schema, rows, TableRepr::Legacy)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+struct ModeStats {
+    wall: Vec<f64>,
+    peak: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 1.0);
+    let runs: usize = args.get("runs", 3);
+    let seed: u64 = args.get("seed", 1);
+    let name: String = args.get("dataset", "songs".to_string());
+
+    let d = dataset(&name, scale, seed);
+    let mut a_csv = Vec::new();
+    csv::write_table(&d.a, &mut a_csv).expect("write A");
+    let mut b_csv = Vec::new();
+    csv::write_table(&d.b, &mut b_csv).expect("write B");
+    let total_rows = d.a.len() + d.b.len();
+    let total_bytes = a_csv.len() + b_csv.len();
+    drop(d);
+
+    title(&format!(
+        "csv ingest: {name} {total_rows} rows, {:.2} MB, {runs} runs",
+        total_bytes as f64 / 1e6,
+    ));
+
+    let mut stats = Vec::new();
+    let mut first_rows: Vec<Table> = Vec::new();
+    for columnar in [false, true] {
+        let mut wall = Vec::new();
+        let mut peak = 0usize;
+        for r in 0..runs {
+            let baseline = reset_peak();
+            let t0 = Instant::now();
+            let (a, b) = if columnar {
+                (
+                    csv::read_table_with("a", a_csv.as_slice(), TableRepr::Columnar)
+                        .expect("read A"),
+                    csv::read_table_with("b", b_csv.as_slice(), TableRepr::Columnar)
+                        .expect("read B"),
+                )
+            } else {
+                (
+                    read_table_rowwise("a", a_csv.as_slice()).expect("read A"),
+                    read_table_rowwise("b", b_csv.as_slice()).expect("read B"),
+                )
+            };
+            wall.push(t0.elapsed().as_secs_f64());
+            peak = peak.max(PEAK.load(Ordering::Relaxed).saturating_sub(baseline));
+            if r == 0 {
+                first_rows.push(a);
+                let _ = b;
+            }
+        }
+        stats.push(ModeStats { wall, peak });
+    }
+
+    // Sanity: both paths parse the same rows.
+    assert_eq!(
+        first_rows[0].rows(),
+        first_rows[1].rows(),
+        "row and columnar ingest diverged"
+    );
+
+    let report = |s: &ModeStats| {
+        (
+            mean(&s.wall),
+            total_rows as f64 / mean(&s.wall),
+            total_bytes as f64 / 1e6 / mean(&s.wall),
+        )
+    };
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "mode", "mean wall", "rows/sec", "MB/sec", "peak alloc"
+    );
+    for (label, s) in [("legacy", &stats[0]), ("columnar", &stats[1])] {
+        let (w, rps, mbps) = report(s);
+        println!(
+            "{label:<10} {w:>11.3}s {rps:>12.0} {mbps:>12.1} {:>13.2}MB",
+            s.peak as f64 / 1e6
+        );
+    }
+    let (lw, lr, lm) = report(&stats[0]);
+    let (cw, cr, cm) = report(&stats[1]);
+    let speedup = lw / cw;
+    let mem_ratio = stats[1].peak as f64 / stats[0].peak.max(1) as f64;
+    println!("speedup: {speedup:.2}x, columnar peak memory: {mem_ratio:.2}x of legacy");
+
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"dataset\": \"{name}\",\n  \"scale\": {scale},\n  \"runs\": {runs},\n  \"rows\": {total_rows},\n  \"input_bytes\": {total_bytes},\n  \"legacy\": {{ \"mean_wall_secs\": {lw:.6}, \"rows_per_sec\": {lr:.1}, \"mb_per_sec\": {lm:.2}, \"peak_alloc_bytes\": {} }},\n  \"columnar\": {{ \"mean_wall_secs\": {cw:.6}, \"rows_per_sec\": {cr:.1}, \"mb_per_sec\": {cm:.2}, \"peak_alloc_bytes\": {} }},\n  \"speedup\": {speedup:.3},\n  \"peak_mem_ratio\": {mem_ratio:.3},\n  \"rows_identical\": true\n}}\n",
+        stats[0].peak, stats[1].peak,
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("\nwrote BENCH_ingest.json");
+}

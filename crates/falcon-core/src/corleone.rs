@@ -39,10 +39,10 @@ pub fn corleone_blocking(
     let evaluator = PairEvaluator::new(a, b, features, seq);
     let t0 = wall_now();
     let mut candidates = Vec::new();
-    for at in a.rows() {
-        for bt in b.rows() {
-            if evaluator.keeps(at.id, bt.id) {
-                candidates.push((at.id, bt.id));
+    for aid in 0..a.len() as u32 {
+        for bid in 0..b.len() as u32 {
+            if evaluator.keeps(aid, bid) {
+                candidates.push((aid, bid));
             }
         }
     }

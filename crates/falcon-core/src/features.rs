@@ -7,7 +7,7 @@
 //! the two characteristics. Measures marked `*` in Figure 5 are excluded
 //! from the blocking feature set (too slow / unfilterable for blocking).
 
-use falcon_table::{AttrCharacteristic, Table, TableProfile, Tuple, Value};
+use falcon_table::{AttrCharacteristic, Table, TableProfile, Tuple, TupleId, Value, ValueRef};
 use falcon_textsim::{sets, SimContext, SimFunction, Tokenizer};
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +38,7 @@ impl Feature {
     /// fly. Both paths are bit-identical (enforced by the
     /// `fv_equivalence` property test).
     pub fn compute(&self, a: &Tuple, b: &Tuple, ctx: &SimContext<'_>) -> f64 {
-        if let Some(v) = self.compute_profiled(a, b, ctx) {
+        if let Some(v) = self.compute_profiled(a.id, b.id, ctx) {
             return v;
         }
         let av = a.value(self.a_idx);
@@ -46,17 +46,38 @@ impl Feature {
         score_values(self.sim, av, bv, ctx)
     }
 
+    /// Compute the feature value for a pair of tuple ids, pulling cells
+    /// straight from the tables; `NaN` means missing. Identical scoring
+    /// to [`Feature::compute`] (the profiled fast path only needs ids;
+    /// the fallback reads per-attribute cells via [`Table::value_ref`],
+    /// so a columnar table never materializes rows).
+    pub fn compute_at(
+        &self,
+        a: &Table,
+        b: &Table,
+        aid: TupleId,
+        bid: TupleId,
+        ctx: &SimContext<'_>,
+    ) -> f64 {
+        if let Some(v) = self.compute_profiled(aid, bid, ctx) {
+            return v;
+        }
+        let av = a.value_ref(aid, self.a_idx).unwrap_or(ValueRef::Null);
+        let bv = b.value_ref(bid, self.b_idx).unwrap_or(ValueRef::Null);
+        score_value_refs(self.sim, av, bv, ctx)
+    }
+
     /// Fast path over the token profiles. Returns `None` — meaning "use
     /// the string path" — when profiles are absent or do not cover this
     /// feature's columns or tuples; numeric measures (other than
     /// `ExactMatch`) never render, so they always use the direct path.
-    fn compute_profiled(&self, a: &Tuple, b: &Tuple, ctx: &SimContext<'_>) -> Option<f64> {
+    fn compute_profiled(&self, a_id: TupleId, b_id: TupleId, ctx: &SimContext<'_>) -> Option<f64> {
         let (ap, bp) = (ctx.a_profile?, ctx.b_profile?);
         if self.sim.is_numeric() && !matches!(self.sim, SimFunction::ExactMatch) {
             return None;
         }
-        let ar = ap.rendered(self.a_idx, a.id)?;
-        let br = bp.rendered(self.b_idx, b.id)?;
+        let ar = ap.rendered(self.a_idx, a_id)?;
+        let br = bp.rendered(self.b_idx, b_id)?;
         // Missingness is decided on the rendered string, exactly like
         // `score_str`; a non-empty string can still have an empty token
         // set (punctuation-only under `Tokenizer::Word`), which the id
@@ -66,20 +87,20 @@ impl Feature {
         }
         match self.sim {
             SimFunction::Jaccard(t) => Some(sets::jaccard_ids(
-                ap.tokens(self.a_idx, t, a.id)?,
-                bp.tokens(self.b_idx, t, b.id)?,
+                ap.tokens(self.a_idx, t, a_id)?,
+                bp.tokens(self.b_idx, t, b_id)?,
             )),
             SimFunction::Dice(t) => Some(sets::dice_ids(
-                ap.tokens(self.a_idx, t, a.id)?,
-                bp.tokens(self.b_idx, t, b.id)?,
+                ap.tokens(self.a_idx, t, a_id)?,
+                bp.tokens(self.b_idx, t, b_id)?,
             )),
             SimFunction::Overlap(t) => Some(sets::overlap_ids(
-                ap.tokens(self.a_idx, t, a.id)?,
-                bp.tokens(self.b_idx, t, b.id)?,
+                ap.tokens(self.a_idx, t, a_id)?,
+                bp.tokens(self.b_idx, t, b_id)?,
             )),
             SimFunction::Cosine(t) => Some(sets::cosine_ids(
-                ap.tokens(self.a_idx, t, a.id)?,
-                bp.tokens(self.b_idx, t, b.id)?,
+                ap.tokens(self.a_idx, t, a_id)?,
+                bp.tokens(self.b_idx, t, b_id)?,
             )),
             // Edit/hybrid/TF-IDF measures still run their own algorithm but
             // reuse the cached rendered strings instead of re-rendering.
@@ -90,6 +111,18 @@ impl Feature {
 
 /// Score a similarity function on two values with missing ⇒ `NaN`.
 pub fn score_values(sim: SimFunction, a: &Value, b: &Value, ctx: &SimContext<'_>) -> f64 {
+    score_value_refs(sim, a.as_value_ref(), b.as_value_ref(), ctx)
+}
+
+/// Score a similarity function on two borrowed cell views with missing ⇒
+/// `NaN`; same scoring as [`score_values`] ([`ValueRef`] mirrors
+/// [`Value`] semantics exactly).
+pub fn score_value_refs(
+    sim: SimFunction,
+    a: ValueRef<'_>,
+    b: ValueRef<'_>,
+    ctx: &SimContext<'_>,
+) -> f64 {
     if sim.is_numeric() && !matches!(sim, SimFunction::ExactMatch) {
         match (a.as_num(), b.as_num()) {
             (Some(x), Some(y)) => sim.score_num(x, y).unwrap_or(f64::NAN),
@@ -128,6 +161,23 @@ impl FeatureSet {
     /// Compute the full feature vector for one pair.
     pub fn vector(&self, a: &Tuple, b: &Tuple, ctx: &SimContext<'_>) -> Vec<f64> {
         self.features.iter().map(|f| f.compute(a, b, ctx)).collect()
+    }
+
+    /// Compute the full feature vector for one pair of tuple ids,
+    /// reading cells straight from the tables (see
+    /// [`Feature::compute_at`]).
+    pub fn vector_at(
+        &self,
+        a: &Table,
+        b: &Table,
+        aid: TupleId,
+        bid: TupleId,
+        ctx: &SimContext<'_>,
+    ) -> Vec<f64> {
+        self.features
+            .iter()
+            .map(|f| f.compute_at(a, b, aid, bid, ctx))
+            .collect()
     }
 }
 

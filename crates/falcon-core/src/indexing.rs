@@ -16,7 +16,7 @@ use crate::rules::RuleSequence;
 use falcon_dataflow::{run_map_combine_reduce, wall_now, Cluster, Emitter};
 use falcon_forest::SplitOp;
 use falcon_index::{FilterSpec, IndexError, PredicateIndex, TokenOrder};
-use falcon_table::{Table, Tuple};
+use falcon_table::{Table, TupleId};
 use falcon_textsim::{TokenDict, TokenProfile, Tokenizer};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -258,10 +258,12 @@ impl BuiltIndexes {
                 return Ok(t0.elapsed());
             }
         }
-        let splits: Vec<Vec<Tuple>> = a
+        // Split by tuple id: mappers pull rendered values straight from
+        // the column instead of shipping materialized row clones.
+        let splits: Vec<Vec<TupleId>> = a
             .splits(cluster.threads() * 2)
             .into_iter()
-            .map(|r| a.rows()[r].to_vec())
+            .map(|r| (r.start as TupleId..r.end as TupleId).collect())
             .collect();
         // MR job 1: token frequencies (with a combiner, so each map task
         // ships one count per distinct token instead of one record per
@@ -271,8 +273,12 @@ impl BuiltIndexes {
             cluster,
             splits,
             cluster.threads(),
-            move |t: &Tuple, e: &mut Emitter<String, u32>| {
-                for tok in tokenizer.tokenize(&t.value(attr_idx).render()) {
+            move |&id: &TupleId, e: &mut Emitter<String, u32>| {
+                let mut s = String::new();
+                if let Some(v) = a.value_ref(id, attr_idx) {
+                    v.render_into(&mut s);
+                }
+                for tok in tokenizer.tokenize(&s) {
                     e.emit(tok, 1);
                 }
             },

@@ -23,10 +23,10 @@ pub fn kbb_candidates(a: &Table, b: &Table, key_attrs: &[&str]) -> Vec<IdPair> {
     if a_idx.len() != key_attrs.len() || b_idx.len() != key_attrs.len() {
         return Vec::new();
     }
-    let key_of = |vals: &[falcon_table::Value], idx: &[usize]| -> Option<String> {
+    let key_of = |table: &Table, id: u32, idx: &[usize]| -> Option<String> {
         let mut parts = Vec::with_capacity(idx.len());
         for &i in idx {
-            let r = vals[i].render();
+            let r = table.value_ref(id, i).unwrap_or_default().render();
             if r.is_empty() {
                 return None;
             }
@@ -35,16 +35,16 @@ pub fn kbb_candidates(a: &Table, b: &Table, key_attrs: &[&str]) -> Vec<IdPair> {
         Some(parts.join("\u{1}"))
     };
     let mut blocks: HashMap<String, Vec<u32>> = HashMap::new();
-    for t in a.rows() {
-        if let Some(k) = key_of(&t.values, &a_idx) {
-            blocks.entry(k).or_default().push(t.id);
+    for id in 0..a.len() as u32 {
+        if let Some(k) = key_of(a, id, &a_idx) {
+            blocks.entry(k).or_default().push(id);
         }
     }
     let mut out = Vec::new();
-    for t in b.rows() {
-        if let Some(k) = key_of(&t.values, &b_idx) {
+    for id in 0..b.len() as u32 {
+        if let Some(k) = key_of(b, id, &b_idx) {
             if let Some(aids) = blocks.get(&k) {
-                out.extend(aids.iter().map(|&aid| (aid, t.id)));
+                out.extend(aids.iter().map(|&aid| (aid, id)));
             }
         }
     }

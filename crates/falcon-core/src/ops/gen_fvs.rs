@@ -61,12 +61,8 @@ pub fn tfidf_model_for(features: &FeatureSet, a: &Table, b: &Table) -> Option<Tf
     }
     let mut docs: Vec<String> = Vec::new();
     for f in needs {
-        for t in a.rows() {
-            docs.push(t.value(f.a_idx).render());
-        }
-        for t in b.rows() {
-            docs.push(t.value(f.b_idx).render());
-        }
+        a.for_each_rendered(f.a_idx, |_, s| docs.push(s.to_string()));
+        b.for_each_rendered(f.b_idx, |_, s| docs.push(s.to_string()));
     }
     Some(TfIdfModel::build(docs.iter().map(String::as_str)))
 }
@@ -96,13 +92,15 @@ pub fn gen_fvs_with(
     mode: FvMode,
 ) -> Result<GenFvsOutput, FalconError> {
     for &(aid, bid) in pairs {
-        if a.get(aid).is_none() {
+        // Ids are dense from 0, so a length check suffices and never
+        // forces the columnar store to materialize its row view.
+        if aid as usize >= a.len() {
             return Err(FalconError::UnknownTupleId {
                 table: "A",
                 id: aid,
             });
         }
-        if b.get(bid).is_none() {
+        if bid as usize >= b.len() {
             return Err(FalconError::UnknownTupleId {
                 table: "B",
                 id: bid,
@@ -147,10 +145,10 @@ pub fn gen_fvs_with(
         }
         // Ids were validated above; skip (rather than crash a worker) if
         // the invariant is somehow violated.
-        let (Some(at), Some(bt)) = (a.get(aid), b.get(bid)) else {
+        if aid as usize >= a.len() || bid as usize >= b.len() {
             return;
-        };
-        out.push(((aid, bid), features.vector(at, bt, &ctx)));
+        }
+        out.push(((aid, bid), features.vector_at(a, b, aid, bid, &ctx)));
     })?;
     let mut fvs = FvSet::default();
     for (pair, fv) in out.output {

@@ -10,7 +10,7 @@
 
 use crate::error::FalconError;
 use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, Emitter, JobStats};
-use falcon_table::{AttrType, IdPair, Table, TableProfile, Tuple, TupleId};
+use falcon_table::{AttrType, IdPair, Table, TableProfile, TupleId};
 use falcon_textsim::tokenize::word_tokens;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -30,11 +30,16 @@ pub struct SampleOutput {
 }
 
 /// Convert a tuple to its token "document" over string attributes
-/// (Section 5's `d(a)`).
-fn document(tuple: &Tuple, string_attrs: &[usize]) -> Vec<String> {
+/// (Section 5's `d(a)`), reading columnar cells directly by id.
+fn document_at(table: &Table, id: TupleId, string_attrs: &[usize]) -> Vec<String> {
     let mut toks = Vec::new();
+    let mut scratch = String::new();
     for &i in string_attrs {
-        toks.extend(word_tokens(&tuple.value(i).render()));
+        scratch.clear();
+        if let Some(v) = table.value_ref(id, i) {
+            v.render_into(&mut scratch);
+        }
+        toks.extend(word_tokens(&scratch));
     }
     toks.sort_unstable();
     toks.dedup();
@@ -67,20 +72,21 @@ pub fn sample_pairs(
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x53414d50);
     let a_strings = Arc::new(string_attrs(a));
 
-    // MR job 1: inverted index over A's documents.
-    let splits: Vec<Vec<Tuple>> = a
+    // MR job 1: inverted index over A's documents. Splits carry tuple
+    // ids; mappers read cells from the shared columnar table.
+    let splits: Vec<Vec<TupleId>> = a
         .splits(cluster.threads() * 2)
         .into_iter()
-        .map(|r| a.rows()[r].to_vec())
+        .map(|r| (r.start as TupleId..r.end as TupleId).collect())
         .collect();
     let a_strings_map = Arc::clone(&a_strings);
     let index_out = run_map_reduce(
         cluster,
         splits,
         cluster.threads(),
-        move |t: &Tuple, e: &mut Emitter<String, TupleId>| {
-            for tok in document(t, &a_strings_map) {
-                e.emit(tok, t.id);
+        move |&id: &TupleId, e: &mut Emitter<String, TupleId>| {
+            for tok in document_at(a, id, &a_strings_map) {
+                e.emit(tok, id);
             }
         },
         |tok: &String, ids: Vec<TupleId>, out: &mut Vec<(String, Vec<TupleId>)>| {
@@ -95,43 +101,48 @@ pub fn sample_pairs(
     let mut b_ids: Vec<usize> = (0..b.len()).collect();
     b_ids.shuffle(&mut rng);
     b_ids.truncate(n_b);
-    let selected: Vec<Tuple> = b_ids.iter().map(|&i| b.rows()[i].clone()).collect();
+    let selected: Vec<TupleId> = b_ids.iter().map(|&i| i as TupleId).collect();
 
     // MR job 2 (map-only): generate pairs for each selected B tuple.
-    let b_splits: Vec<Vec<(Tuple, u64)>> = selected
+    let b_splits: Vec<Vec<(TupleId, u64)>> = selected
         .chunks((selected.len() / (cluster.threads().max(1)).max(1)).max(1))
-        .map(|c| c.iter().map(|t| (t.clone(), rng.gen::<u64>())).collect())
+        .map(|c| c.iter().map(|&id| (id, rng.gen::<u64>())).collect())
         .collect();
     let a_len = a.len();
     let b_strings = Arc::new(string_attrs(b));
-    let pair_out = run_map_only(cluster, b_splits, move |(bt, pseed): &(Tuple, u64), out| {
-        let mut local = SmallRng::seed_from_u64(*pseed);
-        // Shared-token counts against the inverted index.
-        let mut counts: HashMap<TupleId, usize> = HashMap::new();
-        for tok in document(bt, &b_strings) {
-            if let Some(ids) = index.get(&tok) {
-                for &id in ids {
-                    *counts.entry(id).or_default() += 1;
+    let pair_out = run_map_only(
+        cluster,
+        b_splits,
+        move |&(bid, pseed): &(TupleId, u64), out| {
+            let mut local = SmallRng::seed_from_u64(pseed);
+            // Shared-token counts against the inverted index.
+            let mut counts: HashMap<TupleId, usize> = HashMap::new();
+            for tok in document_at(b, bid, &b_strings) {
+                if let Some(ids) = index.get(&tok) {
+                    for &id in ids {
+                        *counts.entry(id).or_default() += 1;
+                    }
                 }
             }
-        }
-        let mut ranked: Vec<(usize, TupleId)> = counts.into_iter().map(|(id, c)| (c, id)).collect();
-        ranked.sort_unstable_by(|x, y| y.cmp(x));
-        let y1 = (y / 2).min(ranked.len());
-        let mut chosen: Vec<TupleId> = ranked[..y1].iter().map(|(_, id)| *id).collect();
-        // Fill with random distinct A tuples.
-        let mut guard = 0;
-        while chosen.len() < y.min(a_len) && guard < 20 * y {
-            let cand = local.gen_range(0..a_len) as TupleId;
-            if !chosen.contains(&cand) {
-                chosen.push(cand);
+            let mut ranked: Vec<(usize, TupleId)> =
+                counts.into_iter().map(|(id, c)| (c, id)).collect();
+            ranked.sort_unstable_by(|x, y| y.cmp(x));
+            let y1 = (y / 2).min(ranked.len());
+            let mut chosen: Vec<TupleId> = ranked[..y1].iter().map(|(_, id)| *id).collect();
+            // Fill with random distinct A tuples.
+            let mut guard = 0;
+            while chosen.len() < y.min(a_len) && guard < 20 * y {
+                let cand = local.gen_range(0..a_len) as TupleId;
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+                guard += 1;
             }
-            guard += 1;
-        }
-        for aid in chosen {
-            out.push((aid, bt.id));
-        }
-    })?;
+            for aid in chosen {
+                out.push((aid, bid));
+            }
+        },
+    )?;
 
     let mut pairs = pair_out.output.clone();
     pairs.sort_unstable();

@@ -37,7 +37,7 @@ use crate::tokens::{build_pair_profiles_seq, PairProfiles};
 use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, DataflowError, Emitter, JobStats};
 use falcon_index::spec::Candidates;
 use falcon_index::PredicateIndex;
-use falcon_table::{IdPair, Table, Tuple, TupleId};
+use falcon_table::{IdPair, Table, TupleId};
 use falcon_textsim::SimContext;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -153,18 +153,28 @@ pub struct BlockingOutput {
     pub jobs: Vec<JobStats>,
 }
 
-/// Rough in-memory footprint of a table (gates MapSide).
+/// Rough in-memory footprint of a table (gates MapSide). Computed
+/// column-at-a-time over rendered lengths; the formula (32 bytes per
+/// row plus 24 per cell plus rendered length) is
+/// representation-invariant so the optimizer picks the same physical
+/// plan under either table layout.
 pub fn estimate_table_bytes(t: &Table) -> usize {
-    t.rows()
-        .iter()
-        .map(|r| {
-            32 + r
-                .values
-                .iter()
-                .map(|v| 24 + v.render().len())
-                .sum::<usize>()
-        })
-        .sum()
+    let mut total = 32 * t.len();
+    let mut scratch = String::new();
+    for idx in 0..t.schema().arity() {
+        t.for_each_value(idx, |_, v| {
+            total += 24;
+            match v.as_str() {
+                Some(s) => total += s.len(),
+                None => {
+                    scratch.clear();
+                    v.render_into(&mut scratch);
+                    total += scratch.len();
+                }
+            }
+        });
+    }
+    total
 }
 
 /// Shared exact rule-sequence evaluator used by every reducer/mapper:
@@ -206,14 +216,14 @@ impl PairEvaluator {
     pub fn keeps(&self, aid: TupleId, bid: TupleId) -> bool {
         // A pair referencing an unknown id cannot be a match of real
         // tuples; dropping it is exact, not lossy.
-        let (Some(at), Some(bt)) = (self.a.get(aid), self.b.get(bid)) else {
+        if aid as usize >= self.a.len() || bid as usize >= self.b.len() {
             return false;
-        };
+        }
         let ctx = SimContext::empty().with_profiles(&self.profiles.a, &self.profiles.b);
         let mut fv = vec![f64::NAN; self.arity];
         for &i in &self.needed {
             let f = self.features.get(i);
-            fv[i] = f.compute(at, bt, &ctx);
+            fv[i] = f.compute_at(&self.a, &self.b, aid, bid, &ctx);
         }
         self.seq.keeps(&fv)
     }
@@ -261,15 +271,16 @@ fn intersect_sorted(a: Vec<TupleId>, b: &[TupleId]) -> Vec<TupleId> {
     out
 }
 
-/// Candidate A-ids for one B tuple across the given bundles.
+/// Candidate A-ids for one B tuple (by id) across the given bundles.
 /// `None` = unrestricted (every bundle probed to "All").
-fn candidates_for(bt: &Tuple, bundles: &[Bundle]) -> Option<Vec<TupleId>> {
+fn candidates_for(b: &Table, bid: TupleId, bundles: &[Bundle]) -> Option<Vec<TupleId>> {
     let mut acc: Option<Vec<TupleId>> = None;
     for bundle in bundles {
         let mut union: Vec<TupleId> = Vec::new();
         let mut unrestricted = false;
         for (idx, b_idx) in bundle {
-            match idx.probe(bt.value(*b_idx)) {
+            let bv = b.value_ref(bid, *b_idx).unwrap_or_default();
+            match idx.probe_ref(bv) {
                 Candidates::All => {
                     unrestricted = true;
                     break;
@@ -293,10 +304,12 @@ fn candidates_for(bt: &Tuple, bundles: &[Bundle]) -> Option<Vec<TupleId>> {
     acc
 }
 
-fn b_splits(b: &Table, cluster: &Cluster) -> Vec<Vec<Tuple>> {
+/// B-side splits carry tuple ids only; mappers resolve cells against a
+/// shared table handle (cheap `Arc` clone), so no rows are materialized.
+fn b_splits(b: &Table, cluster: &Cluster) -> Vec<Vec<TupleId>> {
     b.splits(cluster.threads() * 2)
         .into_iter()
-        .map(|r| b.rows()[r].to_vec())
+        .map(|r| (r.start as TupleId..r.end as TupleId).collect())
         .collect()
 }
 
@@ -311,19 +324,22 @@ fn run_probe_reduce(
 ) -> Result<BlockingOutput, BlockingError> {
     let a_len = a.len() as TupleId;
     let bundles = Arc::new(bundles);
+    let b_handle = b.clone();
     let out = run_map_reduce(
         cluster,
         b_splits(b, cluster),
         cluster.threads(),
-        move |bt: &Tuple, e: &mut Emitter<TupleId, TupleId>| match candidates_for(bt, &bundles) {
+        move |&bid: &TupleId, e: &mut Emitter<TupleId, TupleId>| match candidates_for(
+            &b_handle, bid, &bundles,
+        ) {
             Some(ids) => {
                 for aid in ids {
-                    e.emit(aid, bt.id);
+                    e.emit(aid, bid);
                 }
             }
             None => {
                 for aid in 0..a_len {
-                    e.emit(aid, bt.id);
+                    e.emit(aid, bid);
                 }
             }
         },
@@ -355,13 +371,14 @@ fn run_probe_wave(
 ) -> Result<(HashSet<IdPair>, JobStats), BlockingError> {
     let a_len = a.len() as TupleId;
     let bundles = Arc::new(bundles);
+    let b_handle = b.clone();
     let out =
         run_map_only(
             cluster,
             b_splits(b, cluster),
-            move |bt: &Tuple, out| match candidates_for(bt, &bundles) {
-                Some(ids) => out.extend(ids.into_iter().map(|aid| (aid, bt.id))),
-                None => out.extend((0..a_len).map(|aid| (aid, bt.id))),
+            move |&bid: &TupleId, out| match candidates_for(&b_handle, bid, &bundles) {
+                Some(ids) => out.extend(ids.into_iter().map(|aid| (aid, bid))),
+                None => out.extend((0..a_len).map(|aid| (aid, bid))),
             },
         )?;
     Ok((out.output.iter().copied().collect(), out.stats))
@@ -516,13 +533,14 @@ pub fn execute(
             }
             if op == PhysicalOp::MapSide {
                 let a_len = a.len() as TupleId;
-                let out = run_map_only(cluster, b_splits(b, cluster), move |bt: &Tuple, out| {
-                    for aid in 0..a_len {
-                        if evaluator.keeps(aid, bt.id) {
-                            out.push((aid, bt.id));
+                let out =
+                    run_map_only(cluster, b_splits(b, cluster), move |&bid: &TupleId, out| {
+                        for aid in 0..a_len {
+                            if evaluator.keeps(aid, bid) {
+                                out.push((aid, bid));
+                            }
                         }
-                    }
-                })?;
+                    })?;
                 let duration = out.stats.sim_duration(&cluster.config);
                 let mut candidates = out.output;
                 candidates.sort_unstable();
@@ -538,9 +556,9 @@ pub fn execute(
                     cluster,
                     b_splits(b, cluster),
                     cluster.threads(),
-                    move |bt: &Tuple, e: &mut Emitter<TupleId, TupleId>| {
+                    move |&bid: &TupleId, e: &mut Emitter<TupleId, TupleId>| {
                         for aid in 0..a_len {
-                            e.emit(aid, bt.id);
+                            e.emit(aid, bid);
                         }
                     },
                     move |aid: &TupleId, bids: Vec<TupleId>, out: &mut Vec<IdPair>| {

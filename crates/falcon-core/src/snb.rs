@@ -30,12 +30,12 @@ pub fn snb_candidates(a: &Table, b: &Table, key: &str, w: usize) -> Vec<IdPair> 
     };
     // Merge both tables into one sorted run, tagging the side.
     let mut merged: Vec<(String, bool, u32)> = Vec::with_capacity(a.len() + b.len());
-    for t in a.rows() {
-        merged.push((t.value(ai).render().to_lowercase(), false, t.id));
-    }
-    for t in b.rows() {
-        merged.push((t.value(bi).render().to_lowercase(), true, t.id));
-    }
+    a.for_each_value(ai, |id, v| {
+        merged.push((v.render().to_lowercase(), false, id))
+    });
+    b.for_each_value(bi, |id, v| {
+        merged.push((v.render().to_lowercase(), true, id))
+    });
     merged.sort();
     let w = w.max(2);
     let mut out = Vec::new();

@@ -16,8 +16,8 @@
 use crate::error::FalconError;
 use crate::features::Feature;
 use falcon_dataflow::{run_map_only, Cluster, JobStats};
-use falcon_table::{Table, Tuple};
-use falcon_textsim::{SimFunction, TokenDict, TokenProfile, Tokenizer};
+use falcon_table::{Table, TupleId};
+use falcon_textsim::{RenderedColumn, SimFunction, TokenDict, TokenProfile, Tokenizer};
 
 /// What one side of a table pair must profile to serve a feature set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -72,12 +72,23 @@ pub fn requirements<'a>(
 
 /// Per-tuple map task: render the needed attributes and tokenize the
 /// needed columns (token strings stay strings here; interning happens in
-/// the deterministic sequential pass).
-fn profile_tuple(t: &Tuple, spec: &ProfileSpec) -> (u32, Vec<String>, Vec<Vec<String>>) {
+/// the deterministic sequential pass). Reads cells through
+/// [`Table::value_ref`], so a columnar table never materializes rows.
+fn profile_id(
+    table: &Table,
+    id: TupleId,
+    spec: &ProfileSpec,
+) -> (u32, Vec<String>, Vec<Vec<String>>) {
+    let render = |attr: usize| {
+        table
+            .value_ref(id, attr)
+            .map(|v| v.render())
+            .unwrap_or_default()
+    };
     let rendered: Vec<String> = spec
         .rendered_attrs
         .iter()
-        .map(|&attr| t.value(attr).render())
+        .map(|&attr| render(attr))
         .collect();
     let tokens: Vec<Vec<String>> = spec
         .token_columns
@@ -85,11 +96,11 @@ fn profile_tuple(t: &Tuple, spec: &ProfileSpec) -> (u32, Vec<String>, Vec<Vec<St
         .map(
             |&(attr, tok)| match spec.rendered_attrs.iter().position(|&a| a == attr) {
                 Some(i) => tok.tokenize_sorted(&rendered[i]),
-                None => tok.tokenize_sorted(&t.value(attr).render()),
+                None => tok.tokenize_sorted(&render(attr)),
             },
         )
         .collect();
-    (t.id, rendered, tokens)
+    (id, rendered, tokens)
 }
 
 /// Assemble map output into a [`TokenProfile`], interning tokens in tuple-id
@@ -102,10 +113,12 @@ fn assemble(
     complete: bool,
 ) -> TokenProfile {
     records.sort_by_key(|(id, _, _)| *id);
-    let mut rendered_cols: Vec<Vec<String>> = spec
+    // Rendered values go into arena-backed columns; records arrive
+    // id-sorted, so gaps (uncovered tuples) are filled with "" as we go.
+    let mut rendered_cols: Vec<RenderedColumn> = spec
         .rendered_attrs
         .iter()
-        .map(|_| vec![String::new(); table_len])
+        .map(|_| RenderedColumn::new())
         .collect();
     let mut token_cols: Vec<Vec<Vec<u32>>> = spec
         .token_columns
@@ -113,14 +126,21 @@ fn assemble(
         .map(|_| vec![Vec::new(); table_len])
         .collect();
     let mut covered = vec![false; table_len];
+    let mut cursor = 0usize; // rendered cells emitted per column so far
     for (id, rends, toklists) in records {
         let idx = id as usize;
-        if idx >= table_len {
+        if idx >= table_len || idx < cursor {
             continue;
         }
         covered[idx] = true;
+        for col in &mut rendered_cols {
+            for _ in cursor..idx {
+                col.push("");
+            }
+        }
+        cursor = idx + 1;
         for (col, r) in rendered_cols.iter_mut().zip(rends) {
-            col[idx] = r;
+            col.push(&r);
         }
         for (col, toks) in token_cols.iter_mut().zip(toklists) {
             // Tokens arrive sorted by *string*; after interning, re-sort by
@@ -131,9 +151,14 @@ fn assemble(
             col[idx] = ids;
         }
     }
+    for col in &mut rendered_cols {
+        for _ in cursor..table_len {
+            col.push("");
+        }
+    }
     let mut profile = TokenProfile::new(complete);
     for (&attr, col) in spec.rendered_attrs.iter().zip(rendered_cols) {
-        profile.insert_rendered(attr, col);
+        profile.insert_rendered_col(attr, col);
     }
     for (&key, col) in spec.token_columns.iter().zip(token_cols) {
         profile.insert_column(key, col);
@@ -147,10 +172,8 @@ fn assemble(
 /// Build one table's profile sequentially (no cluster accounting). Used
 /// where no dataflow context exists, e.g. `PairEvaluator` construction.
 pub fn build_profile_seq(table: &Table, spec: &ProfileSpec, dict: &mut TokenDict) -> TokenProfile {
-    let records: Vec<_> = table
-        .rows()
-        .iter()
-        .map(|t| profile_tuple(t, spec))
+    let records: Vec<_> = (0..table.len() as TupleId)
+        .map(|id| profile_id(table, id, spec))
         .collect();
     assemble(table.len(), spec, records, dict, true)
 }
@@ -169,19 +192,17 @@ pub fn build_profile_par(
     dict: &mut TokenDict,
     mask: Option<&[bool]>,
 ) -> Result<(TokenProfile, JobStats), FalconError> {
-    let rows: Vec<&Tuple> = match mask {
-        None => table.rows().iter().collect(),
-        Some(m) => table
-            .rows()
-            .iter()
-            .filter(|t| m.get(t.id as usize).copied().unwrap_or(false))
+    let ids: Vec<TupleId> = match mask {
+        None => (0..table.len() as TupleId).collect(),
+        Some(m) => (0..table.len() as TupleId)
+            .filter(|&id| m.get(id as usize).copied().unwrap_or(false))
             .collect(),
     };
     let n_splits = cluster.threads() * 2;
-    let chunk = rows.len().div_ceil(n_splits.max(1)).max(1);
-    let splits: Vec<Vec<&Tuple>> = rows.chunks(chunk).map(<[&Tuple]>::to_vec).collect();
-    let out = run_map_only(cluster, splits, |t: &&Tuple, out| {
-        out.push(profile_tuple(t, spec));
+    let chunk = ids.len().div_ceil(n_splits.max(1)).max(1);
+    let splits: Vec<Vec<TupleId>> = ids.chunks(chunk).map(<[TupleId]>::to_vec).collect();
+    let out = run_map_only(cluster, splits, |&id: &TupleId, out| {
+        out.push(profile_id(table, id, spec));
     })?;
     let profile = assemble(table.len(), spec, out.output, dict, mask.is_none());
     Ok((profile, out.stats))

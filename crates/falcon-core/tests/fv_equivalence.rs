@@ -10,7 +10,7 @@ use falcon_core::features::{Feature, FeatureSet};
 use falcon_core::ops::gen_fvs::{gen_fvs_with, tfidf_model_for, FvMode};
 use falcon_core::tokens::build_pair_profiles_seq;
 use falcon_dataflow::{Cluster, ClusterConfig};
-use falcon_table::{AttrType, IdPair, Schema, Table, Value};
+use falcon_table::{AttrType, IdPair, Schema, Table, TableRepr, Value};
 use falcon_textsim::{SimContext, SimFunction, Tokenizer};
 use proptest::prelude::*;
 
@@ -140,6 +140,45 @@ proptest! {
                     "pair {:?} feature {} ({} vs {})",
                     pair, fs.get(k).name, x, y
                 );
+            }
+        }
+    }
+
+    /// The table representation is invisible to feature generation: the
+    /// same pairs scored over columnar and legacy (row) tables produce
+    /// bit-identical vectors, in both fv modes.
+    #[test]
+    fn gen_fvs_is_representation_invariant(
+        a_rows in proptest::collection::vec((value(), value()), 1..5),
+        b_rows in proptest::collection::vec((value(), value()), 1..5),
+    ) {
+        let a = table("a", a_rows);
+        let b = table("b", b_rows);
+        let a_leg = a.to_repr(TableRepr::Legacy);
+        let b_leg = b.to_repr(TableRepr::Legacy);
+        let a_col = a_leg.to_repr(TableRepr::Columnar);
+        let b_col = b_leg.to_repr(TableRepr::Columnar);
+        let fs = all_features();
+        let pairs: Vec<IdPair> = (0..a.len() as u32)
+            .flat_map(|i| (0..b.len() as u32).map(move |j| (i, j)))
+            .collect();
+        let cluster = Cluster::new(ClusterConfig::small(2)).with_threads(2);
+        for mode in [FvMode::TokenProfile, FvMode::Legacy] {
+            let col = gen_fvs_with(&cluster, &a_col, &b_col, &pairs, &fs, mode)
+                .expect("columnar tables");
+            let leg = gen_fvs_with(&cluster, &a_leg, &b_leg, &pairs, &fs, mode)
+                .expect("legacy tables");
+            prop_assert_eq!(&col.fvs.pairs, &leg.fvs.pairs);
+            for (pair, (fv_col, fv_leg)) in
+                col.fvs.pairs.iter().zip(col.fvs.fvs.iter().zip(&leg.fvs.fvs))
+            {
+                for (k, (x, y)) in fv_col.iter().zip(fv_leg).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "mode {:?} pair {:?} feature {} ({} vs {})",
+                        mode, pair, fs.get(k).name, x, y
+                    );
+                }
             }
         }
     }

@@ -72,7 +72,7 @@ impl TokenOrder {
 
 /// Prefix inverted index over table `A` for one `(attribute, tokenizer,
 /// sim, threshold)` combination.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PrefixIndex {
     /// token -> postings of (tuple id, token position in the tuple's
     /// ordered token list).
@@ -87,6 +87,11 @@ pub struct PrefixIndex {
 const NO_TOKENS: u32 = u32::MAX;
 
 impl PrefixIndex {
+    /// Create an empty index, to be filled with [`PrefixIndex::insert`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Build the index for predicate `sim(x, ·) >= threshold` from the `A`
     /// side values. `values` yields `(id, raw value)`; ids must be dense
     /// from 0 (standard for [`falcon_table::Table`]).
@@ -97,31 +102,40 @@ impl PrefixIndex {
         threshold: f64,
         order: &TokenOrder,
     ) -> Self {
-        let mut postings: HashMap<String, Vec<(TupleId, u32)>> = HashMap::new();
-        let mut set_sizes: Vec<u32> = Vec::new();
-        let mut posting_count = 0;
+        let mut idx = Self::new();
         for (id, raw) in values {
-            if set_sizes.len() <= id as usize {
-                set_sizes.resize(id as usize + 1, NO_TOKENS);
-            }
-            if raw.is_empty() {
-                continue;
-            }
-            let ordered = order.order_tokens(tokenizer.tokenize(raw));
-            if ordered.is_empty() {
-                continue;
-            }
-            set_sizes[id as usize] = ordered.len() as u32;
-            let p = prefix::prefix_len(sim, threshold, ordered.len());
-            for (pos, tok) in ordered.into_iter().take(p).enumerate() {
-                postings.entry(tok).or_default().push((id, pos as u32));
-                posting_count += 1;
-            }
+            idx.insert(id, raw, tokenizer, sim, threshold, order);
         }
-        Self {
-            postings,
-            set_sizes,
-            posting_count,
+        idx
+    }
+
+    /// Insert one `(id, raw value)` entry: the incremental form used by
+    /// the columnar one-pass index builds. Empty values leave the id
+    /// marked token-less (it is handled by the caller's missing list).
+    pub fn insert(
+        &mut self,
+        id: TupleId,
+        raw: &str,
+        tokenizer: Tokenizer,
+        sim: SimFunction,
+        threshold: f64,
+        order: &TokenOrder,
+    ) {
+        if self.set_sizes.len() <= id as usize {
+            self.set_sizes.resize(id as usize + 1, NO_TOKENS);
+        }
+        if raw.is_empty() {
+            return;
+        }
+        let ordered = order.order_tokens(tokenizer.tokenize(raw));
+        if ordered.is_empty() {
+            return;
+        }
+        self.set_sizes[id as usize] = ordered.len() as u32;
+        let p = prefix::prefix_len(sim, threshold, ordered.len());
+        for (pos, tok) in ordered.into_iter().take(p).enumerate() {
+            self.postings.entry(tok).or_default().push((id, pos as u32));
+            self.posting_count += 1;
         }
     }
 

@@ -17,16 +17,22 @@ impl HashIndex {
     /// null never exact-matches anything under our missing-value
     /// semantics).
     pub fn build<'a>(values: impl Iterator<Item = (TupleId, &'a str)>) -> Self {
-        let mut map: HashMap<String, Vec<TupleId>> = HashMap::new();
-        let mut entries = 0;
+        let mut idx = Self::default();
         for (id, v) in values {
-            if v.is_empty() {
-                continue;
-            }
-            map.entry(v.to_string()).or_default().push(id);
-            entries += 1;
+            idx.insert(id, v);
         }
-        Self { map, entries }
+        idx
+    }
+
+    /// Insert one `(id, value)` entry. Empty values are skipped (a null
+    /// never exact-matches anything). This is the incremental form used by
+    /// the columnar one-pass index builds.
+    pub fn insert(&mut self, id: TupleId, v: &str) {
+        if v.is_empty() {
+            return;
+        }
+        self.map.entry(v.to_string()).or_default().push(id);
+        self.entries += 1;
     }
 
     /// Ids whose value equals the probe exactly.

@@ -21,7 +21,7 @@
 
 use crate::inverted::{PrefixIndex, TokenOrder};
 use crate::scalar::{HashIndex, LengthIndex, RangeIndex};
-use falcon_table::{Table, TupleId, Value};
+use falcon_table::{Table, TupleId, Value, ValueRef};
 use falcon_textsim::{prefix, SimFunction, Tokenizer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -377,32 +377,28 @@ impl PredicateIndex {
                 })?;
         Ok(match spec {
             FilterSpec::Equals { .. } => {
-                let rendered: Vec<(TupleId, String)> = a
-                    .rows()
-                    .iter()
-                    .map(|t| (t.id, t.value(attr_idx).render()))
-                    .collect();
-                let missing = rendered
-                    .iter()
-                    .filter(|(_, s)| s.is_empty())
-                    .map(|(id, _)| *id)
-                    .collect();
-                PredicateIndex::Equals {
-                    index: HashIndex::build(rendered.iter().map(|(id, s)| (*id, s.as_str()))),
-                    missing,
-                }
+                // One streaming pass over the column: no per-row Value
+                // materialization, no intermediate rendered vector.
+                let mut index = HashIndex::default();
+                let mut missing = Vec::new();
+                a.for_each_rendered(attr_idx, |id, s| {
+                    if s.is_empty() {
+                        missing.push(id);
+                    } else {
+                        index.insert(id, s);
+                    }
+                });
+                PredicateIndex::Equals { index, missing }
             }
             FilterSpec::Range {
                 width, relative, ..
             } => {
                 let mut missing = Vec::new();
                 let mut present = Vec::new();
-                for t in a.rows() {
-                    match t.value(attr_idx).as_num() {
-                        Some(v) => present.push((t.id, v)),
-                        None => missing.push(t.id),
-                    }
-                }
+                a.for_each_value(attr_idx, |id, v| match v.as_num() {
+                    Some(x) => present.push((id, x)),
+                    None => missing.push(id),
+                });
                 PredicateIndex::Range {
                     index: RangeIndex::build(present.into_iter()),
                     missing,
@@ -414,26 +410,24 @@ impl PredicateIndex {
                 let tokenizer = sim.tokenizer().ok_or_else(|| IndexError::NotSetBased {
                     sim: format!("{sim:?}"),
                 })?;
-                let rendered: Vec<(TupleId, String)> = a
-                    .rows()
-                    .iter()
-                    .map(|t| (t.id, t.value(attr_idx).render()))
-                    .collect();
-                let order = order.unwrap_or_else(|| {
-                    token_order_for(rendered.iter().map(|(_, s)| s.as_str()), tokenizer)
+                let order = match order {
+                    Some(o) => o,
+                    None => {
+                        // No prebuilt order: one extra rendered pass to
+                        // count token frequencies.
+                        let mut rendered: Vec<String> = Vec::with_capacity(a.len());
+                        a.for_each_rendered(attr_idx, |_, s| rendered.push(s.to_string()));
+                        token_order_for(rendered.iter().map(String::as_str), tokenizer)
+                    }
+                };
+                let mut index = PrefixIndex::new();
+                let mut missing = Vec::new();
+                a.for_each_rendered(attr_idx, |id, s| {
+                    if s.is_empty() {
+                        missing.push(id);
+                    }
+                    index.insert(id, s, tokenizer, *sim, *threshold, &order);
                 });
-                let index = PrefixIndex::build(
-                    rendered.iter().map(|(id, s)| (*id, s.as_str())),
-                    tokenizer,
-                    *sim,
-                    *threshold,
-                    &order,
-                );
-                let missing = rendered
-                    .iter()
-                    .filter(|(_, s)| s.is_empty())
-                    .map(|(id, _)| *id)
-                    .collect();
                 PredicateIndex::SetSim {
                     index,
                     order,
@@ -449,15 +443,14 @@ impl PredicateIndex {
                 let mut unprunable = Vec::new();
                 let mut missing = Vec::new();
                 let mut char_lens = vec![usize::MAX; a.len()];
-                for row in a.rows() {
-                    let s = row.value(attr_idx).render();
+                a.for_each_rendered(attr_idx, |id, s| {
                     if s.is_empty() {
-                        missing.push(row.id); // missing is always a candidate
-                        continue;
+                        missing.push(id); // missing is always a candidate
+                        return;
                     }
                     let n = s.chars().count();
-                    char_lens[row.id as usize] = n;
-                    lengths.push((row.id, n));
+                    char_lens[id as usize] = n;
+                    lengths.push((id, n));
                     // Shared-qgram condition: any y with lev_sim >= t has
                     // ED <= (1-t)·max(|x|,|y|) <= (1-t)/t·|x| =: d. x and y
                     // then share >= (|x| - q + 1) - d·q qgrams. Pruning by
@@ -465,16 +458,16 @@ impl PredicateIndex {
                     let d = ((1.0 - t) / t * n as f64).floor();
                     let min_shared = (n as f64 - QGRAM as f64 + 1.0) - d * QGRAM as f64;
                     if min_shared >= 1.0 {
-                        for g in falcon_textsim::tokenize::qgrams(&s, QGRAM) {
+                        for g in falcon_textsim::tokenize::qgrams(s, QGRAM) {
                             let list = qgrams.entry(g).or_default();
-                            if list.last() != Some(&row.id) {
-                                list.push(row.id);
+                            if list.last() != Some(&id) {
+                                list.push(id);
                             }
                         }
                     } else {
-                        unprunable.push(row.id);
+                        unprunable.push(id);
                     }
-                }
+                });
                 PredicateIndex::Edit {
                     lengths: LengthIndex::build(lengths.into_iter()),
                     qgrams,
@@ -490,14 +483,22 @@ impl PredicateIndex {
     /// Probe with the `B`-side value of the predicate. Returns candidate
     /// `A` ids passing every filter of this predicate.
     pub fn probe(&self, b_value: &Value) -> Candidates {
+        self.probe_ref(b_value.as_value_ref())
+    }
+
+    /// Borrowed-value form of [`PredicateIndex::probe`]: probe with a
+    /// [`ValueRef`] pulled straight from a columnar table, rendering a key
+    /// only for numeric probes (string probes borrow the arena slice).
+    pub fn probe_ref(&self, b_value: ValueRef<'_>) -> Candidates {
+        let mut scratch = String::new();
         match self {
             PredicateIndex::Equals { index, missing } => {
-                let key = b_value.render();
+                let key = rendered_key(b_value, &mut scratch);
                 if key.is_empty() {
                     return Candidates::All; // missing probe is "similar" to everything
                 }
                 let mut out = missing.clone();
-                out.extend_from_slice(index.probe(&key));
+                out.extend_from_slice(index.probe(key));
                 Candidates::Some(out)
             }
             PredicateIndex::Range {
@@ -531,7 +532,7 @@ impl PredicateIndex {
                 threshold,
                 missing,
             } => {
-                let raw = b_value.render();
+                let raw = rendered_key(b_value, &mut scratch);
                 if raw.is_empty() {
                     return Candidates::All;
                 }
@@ -542,7 +543,7 @@ impl PredicateIndex {
                     return Candidates::All;
                 };
                 let mut out = missing.clone();
-                index.probe(&raw, tokenizer, *sim, *threshold, order, &mut out);
+                index.probe(raw, tokenizer, *sim, *threshold, order, &mut out);
                 Candidates::Some(out)
             }
             PredicateIndex::Edit {
@@ -553,7 +554,7 @@ impl PredicateIndex {
                 threshold,
                 missing,
             } => {
-                let raw = b_value.render();
+                let raw = rendered_key(b_value, &mut scratch);
                 if raw.is_empty() {
                     return Candidates::All;
                 }
@@ -579,7 +580,7 @@ impl PredicateIndex {
                 }
                 let mut out: Vec<TupleId> = missing.clone();
                 out.extend(unprunable.iter().copied().filter(|id| in_bounds(*id)));
-                for g in falcon_textsim::tokenize::qgrams(&raw, QGRAM) {
+                for g in falcon_textsim::tokenize::qgrams(raw, QGRAM) {
                     if let Some(list) = qgrams.get(&g) {
                         out.extend(list.iter().copied().filter(|id| in_bounds(*id)));
                     }
@@ -621,6 +622,19 @@ impl PredicateIndex {
                     + (unprunable.len() + missing.len()) * 4
                     + char_lens.len() * 8
             }
+        }
+    }
+}
+
+/// Render a probe value into `scratch` only when a numeric needs
+/// formatting; nulls are `""` and strings borrow the columnar slice.
+fn rendered_key<'a>(v: ValueRef<'a>, scratch: &'a mut String) -> &'a str {
+    match v {
+        ValueRef::Null => "",
+        ValueRef::Str(s) => s,
+        ValueRef::Num(_) => {
+            v.render_into(scratch);
+            scratch
         }
     }
 }

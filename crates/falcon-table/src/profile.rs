@@ -83,17 +83,21 @@ impl TableProfile {
         let mut non_null = vec![0usize; arity];
         let mut word_sums = vec![0usize; arity];
         let mut numeric_like = vec![0usize; arity];
-        for row in table.rows() {
-            for (i, v) in row.values.iter().enumerate() {
+        let mut scratch = String::new();
+        for i in 0..arity {
+            // Column-at-a-time: one linear sweep per attribute.
+            table.for_each_value(i, |_, v| {
                 if v.is_null() {
-                    continue;
+                    return;
                 }
                 non_null[i] += 1;
                 if v.as_num().is_some() {
                     numeric_like[i] += 1;
                 }
-                word_sums[i] += word_len(&v.render());
-            }
+                scratch.clear();
+                v.render_into(&mut scratch);
+                word_sums[i] += word_len(&scratch);
+            });
         }
         let rows = table.len();
         let attrs = (0..arity)

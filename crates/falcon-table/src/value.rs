@@ -1,7 +1,21 @@
 //! Attribute values: nullable strings and numbers.
 
+use crate::column::ValueRef;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::fmt::Write as _;
+
+/// Append the canonical text form of a number to `out`: integral values
+/// below 1e15 print without a fractional part, everything else uses the
+/// default float formatting. Shared by [`Value::render`] and
+/// [`ValueRef::render`] so both representations render bit-identically.
+pub(crate) fn render_num_into(x: f64, out: &mut String) {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
 
 /// A single attribute value. Real-world EM tables are dirty, so every value
 /// is nullable and numeric-looking strings can be coerced lazily.
@@ -66,13 +80,26 @@ impl Value {
             Value::Null => String::new(),
             Value::Str(s) => s.clone(),
             Value::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
-                    format!("{}", *x as i64)
-                } else {
-                    format!("{x}")
-                }
+                let mut out = String::new();
+                render_num_into(*x, &mut out);
+                out
             }
         }
+    }
+
+    /// Append the rendered text to `out` (allocation-free for reused
+    /// scratch buffers); same output as [`Value::render`].
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => {}
+            Value::Str(s) => out.push_str(s),
+            Value::Num(x) => render_num_into(*x, out),
+        }
+    }
+
+    /// A borrowing [`ValueRef`] view of this value.
+    pub fn as_value_ref(&self) -> ValueRef<'_> {
+        ValueRef::from(self)
     }
 
     /// Parse a raw text field into the most specific value type.

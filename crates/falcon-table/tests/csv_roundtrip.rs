@@ -1,6 +1,10 @@
-//! Property test: any table survives a CSV write/read round trip.
+//! Property tests: any table survives a CSV write/read round trip, and
+//! the columnar and legacy representations are indistinguishable through
+//! every accessor — row ↔ columnar ↔ CSV equivalence over random dirty
+//! tables (nulls, quotes, commas, unicode, embedded newlines, empty and
+//! whitespace fields).
 
-use falcon_table::{csv, AttrType, Schema, Table, Value};
+use falcon_table::{csv, AttrType, Schema, Table, TableRepr, Value};
 use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -9,6 +13,27 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         2 => (-1000i64..1000).prop_map(|x| Value::Num(x as f64)),
         1 => Just(Value::Null),
     ]
+}
+
+/// Dirtier strategy for the cross-representation tests: embedded
+/// newlines and CRs, unicode, doubled quotes, whitespace-only strings,
+/// fractional and extreme numbers.
+fn dirty_value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => "[a-zA-Z0-9 ,\"'\n\réüßλ]{0,16}".prop_map(Value::str),
+        1 => Just(Value::Str("  ".to_string())),
+        2 => (-1.0e6..1.0e6f64).prop_map(Value::Num),
+        1 => (-1000i64..1000).prop_map(|x| Value::Num(x as f64)),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn dirty_schema() -> Schema {
+    Schema::new([
+        ("alpha", AttrType::Str),
+        ("beta", AttrType::Str),
+        ("gamma", AttrType::Str),
+    ])
 }
 
 proptest! {
@@ -21,11 +46,7 @@ proptest! {
             0..20,
         ),
     ) {
-        let schema = Schema::new([
-            ("alpha", AttrType::Str),
-            ("beta", AttrType::Str),
-            ("gamma", AttrType::Str),
-        ]);
+        let schema = dirty_schema();
         let table = Table::new("t", schema, rows);
         let mut buf = Vec::new();
         csv::write_table(&table, &mut buf).unwrap();
@@ -40,6 +61,85 @@ proptest! {
                     Value::parse(&ov.render()),
                     Value::parse(&gv.render())
                 );
+            }
+        }
+    }
+
+    /// Row table ↔ columnar table: same rows, same per-cell views, same
+    /// rendered scans, lossless conversion in both directions.
+    #[test]
+    fn columnar_and_legacy_tables_are_equivalent(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(dirty_value_strategy(), 3..=3),
+            0..20,
+        ),
+    ) {
+        let col =
+            Table::try_new_with("t", dirty_schema(), rows.clone(), TableRepr::Columnar).unwrap();
+        let leg =
+            Table::try_new_with("t", dirty_schema(), rows.clone(), TableRepr::Legacy).unwrap();
+        prop_assert_eq!(col.len(), leg.len());
+
+        // Cell-level views agree (value_ref never materializes rows on
+        // the columnar side).
+        for (rid, row) in rows.iter().enumerate() {
+            for (idx, expect) in row.iter().enumerate() {
+                let cv = col.value_ref(rid as u32, idx).unwrap().to_value();
+                let lv = leg.value_ref(rid as u32, idx).unwrap().to_value();
+                prop_assert_eq!(&cv, &lv);
+                prop_assert_eq!(&cv, expect);
+            }
+        }
+
+        // Columnar rendered scans agree with legacy per-row rendering.
+        for idx in 0..3 {
+            let mut rendered = Vec::new();
+            col.for_each_rendered(idx, |id, s| rendered.push((id, s.to_string())));
+            let expect: Vec<_> = leg
+                .rows()
+                .iter()
+                .map(|t| (t.id, t.values[idx].render()))
+                .collect();
+            prop_assert_eq!(rendered, expect);
+        }
+
+        // Materialized row views are identical, and repr conversion is
+        // lossless both ways.
+        prop_assert_eq!(col.rows(), leg.rows());
+        prop_assert_eq!(col.to_repr(TableRepr::Legacy).rows(), leg.rows());
+        prop_assert_eq!(leg.to_repr(TableRepr::Columnar).rows(), col.rows());
+    }
+
+    /// Row table ↔ columnar table ↔ CSV: both representations write
+    /// byte-identical CSV, and both readers parse it to identical rows —
+    /// including quoted fields with embedded newlines.
+    #[test]
+    fn csv_roundtrip_is_representation_invariant(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(dirty_value_strategy(), 3..=3),
+            0..20,
+        ),
+    ) {
+        let col =
+            Table::try_new_with("t", dirty_schema(), rows.clone(), TableRepr::Columnar).unwrap();
+        let leg = Table::try_new_with("t", dirty_schema(), rows, TableRepr::Legacy).unwrap();
+
+        let mut col_csv = Vec::new();
+        csv::write_table(&col, &mut col_csv).unwrap();
+        let mut leg_csv = Vec::new();
+        csv::write_table(&leg, &mut leg_csv).unwrap();
+        prop_assert_eq!(&col_csv, &leg_csv);
+
+        let back_col =
+            csv::read_table_with("t2", col_csv.as_slice(), TableRepr::Columnar).unwrap();
+        let back_leg = csv::read_table_with("t2", col_csv.as_slice(), TableRepr::Legacy).unwrap();
+        prop_assert_eq!(back_col.rows(), back_leg.rows());
+
+        // And the round trip itself preserves canonicalized values.
+        prop_assert_eq!(back_col.len(), col.len());
+        for (orig, got) in col.rows().iter().zip(back_col.rows()) {
+            for (ov, gv) in orig.values.iter().zip(&got.values) {
+                prop_assert_eq!(Value::parse(&ov.render()), Value::parse(&gv.render()));
             }
         }
     }

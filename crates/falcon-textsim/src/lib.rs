@@ -26,7 +26,7 @@ pub mod tokenize;
 
 use serde::{Deserialize, Serialize};
 
-pub use profile::{TokenDict, TokenProfile};
+pub use profile::{RenderedColumn, TokenDict, TokenProfile};
 pub use tfidf::TfIdfModel;
 pub use tokenize::Tokenizer;
 

@@ -83,6 +83,78 @@ impl TokenDict {
 /// Key of one pre-tokenized column: `(attribute index, tokenizer)`.
 pub type ColumnKey = (usize, Tokenizer);
 
+/// Arena-backed rendered-value column: every string lives back to back
+/// in one byte buffer with `u32` offsets — one allocation per column
+/// instead of a `String` per tuple, matching the columnar table layout.
+#[derive(Debug, Clone)]
+pub struct RenderedColumn {
+    /// `len + 1` entries; value `i` spans `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u32>,
+    /// UTF-8 arena.
+    bytes: Vec<u8>,
+}
+
+impl Default for RenderedColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RenderedColumn {
+    /// Fresh empty column.
+    pub fn new() -> Self {
+        RenderedColumn {
+            offsets: vec![0],
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Append one rendered value.
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        // Rendered columns mirror table columns, which enforce the same
+        // u32 arena bound at ingest; saturation here would only follow a
+        // table that could not have been built.
+        self.offsets
+            .push(u32::try_from(self.bytes.len()).unwrap_or(u32::MAX));
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True iff no value was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        if i >= self.len() {
+            return None;
+        }
+        let span = &self.bytes[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+        // Only whole `&str` values enter the arena; spans are valid UTF-8.
+        Some(std::str::from_utf8(span).unwrap_or(""))
+    }
+
+    /// Estimated memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for RenderedColumn {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        let mut col = RenderedColumn::new();
+        for s in iter {
+            col.push(s.as_ref());
+        }
+        col
+    }
+}
+
 /// Pre-tokenized profile of one table.
 ///
 /// Columns are stored in small ordered `Vec`s and looked up by linear
@@ -95,8 +167,8 @@ pub struct TokenProfile {
     /// (indexed by tuple id).
     columns: Vec<(ColumnKey, Vec<Vec<u32>>)>,
     /// attr idx → per-tuple rendered values (`""` = missing), indexed by
-    /// tuple id.
-    rendered: Vec<(usize, Vec<String>)>,
+    /// tuple id, arena-backed.
+    rendered: Vec<(usize, RenderedColumn)>,
     /// True when every tuple of the table was profiled (no id mask); only
     /// complete profiles may stand in for full-table scans such as the
     /// token-frequency job.
@@ -149,6 +221,11 @@ impl TokenProfile {
 
     /// Install a rendered-value column for one attribute.
     pub fn insert_rendered(&mut self, attr: usize, values: Vec<String>) {
+        self.insert_rendered_col(attr, values.iter().collect());
+    }
+
+    /// Install an already arena-backed rendered column for one attribute.
+    pub fn insert_rendered_col(&mut self, attr: usize, values: RenderedColumn) {
         if let Some(slot) = self.rendered.iter_mut().find(|(a, _)| *a == attr) {
             slot.1 = values;
         } else {
@@ -185,7 +262,6 @@ impl TokenProfile {
             .iter()
             .find(|(a, _)| *a == attr)
             .and_then(|(_, c)| c.get(id as usize))
-            .map(String::as_str)
     }
 
     /// Number of profiled token columns.
@@ -200,11 +276,7 @@ impl TokenProfile {
             .iter()
             .map(|(_, c)| c.iter().map(|ids| 24 + ids.len() * 4).sum::<usize>())
             .sum();
-        let rend: usize = self
-            .rendered
-            .iter()
-            .map(|(_, c)| c.iter().map(|s| 24 + s.len()).sum::<usize>())
-            .sum();
+        let rend: usize = self.rendered.iter().map(|(_, c)| c.estimated_bytes()).sum();
         cols + rend
     }
 }

@@ -50,10 +50,20 @@ impl TfIdfModel {
             .unwrap_or_else(|| ((1 + self.n_docs) as f64).ln() + 1.0)
     }
 
-    fn weight_vector(&self, s: &str) -> HashMap<String, f64> {
-        let mut tf: HashMap<String, f64> = HashMap::new();
-        for tok in word_tokens(s) {
-            *tf.entry(tok).or_insert(0.0) += 1.0;
+    /// Token-sorted tf·idf weights. A sorted `Vec` rather than a
+    /// `HashMap`: the cosine dot products and norms below accumulate
+    /// floats in iteration order, and `HashMap` iteration order varies
+    /// per *instance* (std's `RandomState` differs between maps built on
+    /// the same thread), which would break bit-identical replay.
+    fn weight_vector(&self, s: &str) -> Vec<(String, f64)> {
+        let mut toks = word_tokens(s);
+        toks.sort_unstable();
+        let mut tf: Vec<(String, f64)> = Vec::new();
+        for tok in toks {
+            match tf.last_mut() {
+                Some((t, w)) if *t == tok => *w += 1.0,
+                _ => tf.push((tok, 1.0)),
+            }
         }
         for (tok, w) in tf.iter_mut() {
             *w *= self.idf(tok);
@@ -71,10 +81,14 @@ impl TfIdfModel {
         }
         let dot: f64 = va
             .iter()
-            .filter_map(|(tok, wa)| vb.get(tok).map(|wb| wa * wb))
+            .filter_map(|(tok, wa)| {
+                vb.binary_search_by(|(t, _)| t.as_str().cmp(tok))
+                    .ok()
+                    .map(|i| wa * vb[i].1)
+            })
             .sum();
-        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        let na: f64 = va.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         Some((dot / (na * nb)).clamp(0.0, 1.0))
     }
 
@@ -91,24 +105,25 @@ impl TfIdfModel {
         let vb = self.weight_vector(b);
         let mut dot = 0.0;
         for (tok_a, wa) in &va {
-            // Best close token of b for tok_a.
-            let mut best: Option<(f64, &String)> = None;
-            for tok_b in vb.keys() {
+            // Best close token of b for tok_a; ties keep the first in
+            // token-sorted order, so the choice is deterministic.
+            let mut best: Option<(f64, f64)> = None;
+            for (tok_b, wb) in &vb {
                 let s = if tok_a == tok_b {
                     1.0
                 } else {
                     jaro_winkler(tok_a, tok_b)
                 };
                 if s >= theta && best.is_none_or(|(bs, _)| s > bs) {
-                    best = Some((s, tok_b));
+                    best = Some((s, *wb));
                 }
             }
-            if let Some((s, tok_b)) = best {
-                dot += wa * vb[tok_b] * s;
+            if let Some((s, wb)) = best {
+                dot += wa * wb * s;
             }
         }
-        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        let na: f64 = va.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         Some((dot / (na * nb)).clamp(0.0, 1.0))
     }
 }

@@ -4,7 +4,7 @@
 set -u
 SCALE="${1:-1.0}"
 RUNS="${2:-3}"
-BINS=(table1 table2 table4 table5 fig9 fig10 sweep_physical sweep_ruleseq sweep_cluster sweep_sample sweep_iters sweep_workflow sweep_sampler kbb_recall fv_throughput forest_throughput)
+BINS=(table1 table2 table4 table5 fig9 fig10 sweep_physical sweep_ruleseq sweep_cluster sweep_sample sweep_iters sweep_workflow sweep_sampler kbb_recall fv_throughput forest_throughput ingest)
 for bin in "${BINS[@]}"; do
   echo
   echo "##### $bin (scale $SCALE) #####"
