@@ -85,6 +85,26 @@ fn print_report(report: &falcon::core::driver::RunReport) {
         report.crowd_time(),
         report.total_time()
     );
+    if let Some(bs) = &report.blocking {
+        println!(
+            "probes         : {} examined / {} pruned by signature / {} pruned exact / {} survived",
+            bs.pairs_examined(),
+            bs.pruned_by_signature(),
+            bs.pruned_by_exact(),
+            bs.survived()
+        );
+        for c in &bs.conjuncts {
+            println!(
+                "  conjunct[{:>2}] : modes [{}], {} examined, {} sig-pruned, {} exact-pruned, {} survived",
+                c.conjunct,
+                c.modes.join(", "),
+                c.pairs_examined,
+                c.pruned_by_signature,
+                c.pruned_by_exact,
+                c.survived
+            );
+        }
+    }
     let f = &report.faults;
     if f.attempts > 0 {
         println!(

@@ -404,6 +404,19 @@ pub fn verify_rule_sequence(
     seq: &RuleSequence,
     features: &FeatureSet,
 ) -> (Vec<PlanAnalysisError>, Vec<Diagnostic>) {
+    verify_rule_sequence_with(seq, features, &crate::indexing::PreFilterConfig::default())
+}
+
+/// [`verify_rule_sequence`] under an explicit signature pre-filter
+/// configuration: every derived set-similarity filter is wrapped exactly
+/// as `apply_blocking_rules` will wrap it, so an unprovable signature
+/// configuration (e.g. a zero or oversized width) is rejected *here*,
+/// before any index is built from it.
+pub fn verify_rule_sequence_with(
+    seq: &RuleSequence,
+    features: &FeatureSet,
+    prefilter: &crate::indexing::PreFilterConfig,
+) -> (Vec<PlanAnalysisError>, Vec<Diagnostic>) {
     let mut errors = check_rule_sequence(seq, features.len());
     let mut diags: Vec<Diagnostic> = errors
         .iter()
@@ -606,6 +619,13 @@ pub fn verify_rule_sequence(
                 FilterSpec::from_predicate(f.sim, &f.a_attr, q.op == SplitOp::Gt, q.threshold)
             else {
                 continue; // unfilterable predicate: nothing is pruned
+            };
+            // Verify the spec as it will actually be built: signature
+            // wrapping applied when the pre-filter is enabled.
+            let spec = if prefilter.enabled {
+                spec.with_signature(prefilter.words)
+            } else {
+                spec
             };
             if let Err(ob) = spec.verify() {
                 errors.push(PlanAnalysisError::UnsafeFilter {
@@ -1339,6 +1359,56 @@ mod tests {
             .expect("diagnostic");
         assert_eq!(d.severity, Severity::Error);
         assert_eq!(d.span.feature, Some(abs));
+    }
+
+    #[test]
+    fn unprovable_signature_width_is_a_recall_safety_error() {
+        use crate::indexing::PreFilterConfig;
+        let features = blocking_features();
+        let jac = feature_with(&features, SimFunction::Jaccard(Tokenizer::QGram(3)));
+        let seq = RuleSequence::new(vec![Rule {
+            predicates: vec![pred(jac, SplitOp::Le, 0.5, true)],
+        }]);
+        // The default (valid) pre-filter config passes.
+        let (errors, _) = verify_rule_sequence_with(&seq, &features, &PreFilterConfig::default());
+        assert!(errors.is_empty(), "{errors:?}");
+        // Zero-width and oversized signatures cannot be proved lossless:
+        // rejected before anything is built.
+        for words in [0usize, 65, 1 << 20] {
+            let cfg = PreFilterConfig {
+                enabled: true,
+                words,
+            };
+            let (errors, diags) = verify_rule_sequence_with(&seq, &features, &cfg);
+            assert_eq!(errors.len(), 1, "words={words}: {errors:?}");
+            assert!(
+                matches!(
+                    &errors[0],
+                    PlanAnalysisError::UnsafeFilter { feature, .. } if *feature == jac
+                ),
+                "words={words}: {errors:?}"
+            );
+            assert!(codes(&diags).contains(&"recall-unsafe-filter"), "{diags:?}");
+        }
+        // Disabling the pre-filter makes the width irrelevant.
+        let cfg = PreFilterConfig {
+            enabled: false,
+            words: 0,
+        };
+        let (errors, _) = verify_rule_sequence_with(&seq, &features, &cfg);
+        assert!(errors.is_empty(), "{errors:?}");
+        // Non-set-similarity filters are never wrapped, so an invalid
+        // width cannot poison them.
+        let abs = feature_with(&features, SimFunction::ExactMatch);
+        let seq = RuleSequence::new(vec![Rule {
+            predicates: vec![pred(abs, SplitOp::Le, 0.5, true)],
+        }]);
+        let cfg = PreFilterConfig {
+            enabled: true,
+            words: 0,
+        };
+        let (errors, _) = verify_rule_sequence_with(&seq, &features, &cfg);
+        assert!(errors.is_empty(), "{errors:?}");
     }
 
     #[test]

@@ -39,9 +39,10 @@ pub fn corleone_blocking(
     let evaluator = PairEvaluator::new(a, b, features, seq);
     let t0 = wall_now();
     let mut candidates = Vec::new();
+    let mut fv = Vec::new();
     for aid in 0..a.len() as u32 {
         for bid in 0..b.len() as u32 {
-            if evaluator.keeps(aid, bid) {
+            if evaluator.keeps_scratch(aid, bid, &mut fv) {
                 candidates.push((aid, bid));
             }
         }

@@ -4,7 +4,7 @@
 use crate::analyze;
 use crate::error::FalconError;
 use crate::features::{generate_features, FeatureLibrary, FeatureSet};
-use crate::indexing::{BuiltIndexes, ConjunctSpecs};
+use crate::indexing::{BuiltIndexes, ConjunctSpecs, PreFilterConfig};
 use crate::metrics::em_quality;
 use crate::ops::accuracy_estimator::{estimate_accuracy, AccuracyEstimate, EstimatorConfig};
 use crate::ops::al_matcher::{al_matcher, AlConfig};
@@ -16,7 +16,7 @@ use crate::ops::get_blocking_rules::get_blocking_rules;
 use crate::ops::sample_pairs::sample_pairs;
 use crate::ops::select_opt_seq::{select_opt_seq, SeqConfig};
 use crate::optimizer::{prebuild_for_rules, prebuild_generic, speculate_rules, OptFlags};
-use crate::physical::{self, estimate_table_bytes, PhysicalOp};
+use crate::physical::{self, estimate_table_bytes, BlockingStats, PhysicalOp};
 use crate::plan::{choose_plan, PlanKind};
 use crate::rules::RuleSequence;
 use crate::timeline::Timeline;
@@ -122,6 +122,10 @@ pub struct FalconConfig {
     /// Per-feature index-filter overrides, verified recall-safe
     /// statically before any job runs.
     pub force_filters: Vec<ForcedFilter>,
+    /// Signature pre-filter layer for set-similarity blocking probes (on
+    /// by default; the planner still decides per conjunct whether to use
+    /// the built signatures). Unprovable widths are rejected statically.
+    pub prefilter: PreFilterConfig,
     /// Deterministic fault plan for the simulated cluster: injected task
     /// failures, stragglers and node loss (`None` = fault-free run).
     pub fault: Option<FaultPlan>,
@@ -146,6 +150,7 @@ impl Default for FalconConfig {
             force_plan: None,
             force_physical: None,
             force_filters: Vec::new(),
+            prefilter: PreFilterConfig::default(),
             fault: None,
             seed: 42,
         }
@@ -183,6 +188,11 @@ pub struct RunReport {
     /// Set when a checkpoint journal was attached but failed mid-run; the
     /// run completed unjournaled and cannot be resumed from that journal.
     pub journal_error: Option<String>,
+    /// Per-conjunct blocking probe counters (pairs examined / pruned by
+    /// the signature pre-filter / pruned by exact filters / survived).
+    /// `None` when no index probing ran (match-only plans, or a blocking
+    /// stage resolved entirely from a speculated rule output).
+    pub blocking: Option<BlockingStats>,
 }
 
 impl RunReport {
@@ -380,6 +390,7 @@ impl Falcon {
             feature_counts: (lib.blocking.len(), lib.matching.len()),
             faults: cluster.fault_stats().unwrap_or_default(),
             journal_error: session.journal_error().map(ToString::to_string),
+            blocking: None,
         })
     }
 
@@ -459,6 +470,7 @@ impl Falcon {
                 a,
                 &ranked.rules,
                 &lib.blocking,
+                &cfg.prefilter,
                 &mut built,
                 timeline,
             )?;
@@ -476,6 +488,7 @@ impl Falcon {
                 b,
                 &rules_with_sel,
                 &lib.blocking,
+                &cfg.prefilter,
                 &mut built,
                 timeline,
                 cfg.max_pairs,
@@ -510,13 +523,16 @@ impl Falcon {
         // anything is built from it (warnings — dead predicates,
         // unreachable rules — do not block the run).
         let (seq_errors, _seq_warnings) =
-            analyze::verify_rule_sequence(&seq_out.seq, &lib.blocking);
+            analyze::verify_rule_sequence_with(&seq_out.seq, &lib.blocking, &cfg.prefilter);
         if !seq_errors.is_empty() {
             return Err(FalconError::Plan(seq_errors));
         }
 
         // ---- apply_blocking_rules ----
-        let conjuncts = ConjunctSpecs::derive_with(&seq_out.seq, &lib.blocking, &cfg.force_filters);
+        // Forced-filter substitution happens on the base specs; the
+        // signature pre-filter wraps whatever survived substitution.
+        let conjuncts = ConjunctSpecs::derive_with(&seq_out.seq, &lib.blocking, &cfg.force_filters)
+            .with_signatures(&cfg.prefilter);
         // Build whatever indexes are still missing (unmasked).
         for spec in conjuncts.all_specs() {
             let dur = built.build_spec(cluster, a, &spec)?;
@@ -530,26 +546,34 @@ impl Falcon {
             .enumerate()
             .filter_map(|(i, r)| speculated.get(&r.canonical_key()).map(|o| (i, o)))
             .min_by_key(|(_, o)| o.len());
-        let (candidates, physical_op) = if let Some((_, base)) = spec_hit {
+        let (candidates, physical_op, blocking) = if let Some((_, base)) = spec_hit {
             // Apply the full sequence to the smallest speculated output in
-            // a map-only job (rules are idempotent on survivors).
+            // a map-only job (rules are idempotent on survivors). Each
+            // split carries one pair chunk as a single record so the
+            // evaluator's feature-vector scratch is reused across pairs.
             let evaluator = Arc::new(physical::PairEvaluator::new(
                 a,
                 b,
                 &lib.blocking,
                 &seq_out.seq,
             ));
-            let chunk = base.len().div_ceil((cluster.threads() * 2).max(1)).max(1);
-            let splits: Vec<Vec<IdPair>> = base.chunks(chunk).map(<[IdPair]>::to_vec).collect();
-            let out = run_map_only(cluster, splits, move |&(x, y): &IdPair, acc| {
-                if evaluator.keeps(x, y) {
-                    acc.push((x, y));
+            let n_pairs = base.len();
+            let chunk = n_pairs.div_ceil((cluster.threads() * 2).max(1)).max(1);
+            let splits: Vec<Vec<Vec<IdPair>>> =
+                base.chunks(chunk).map(|c| vec![c.to_vec()]).collect();
+            let mut out = run_map_only(cluster, splits, move |pair_chunk: &Vec<IdPair>, acc| {
+                let mut fv = Vec::new();
+                for &(x, y) in pair_chunk {
+                    if evaluator.keeps_scratch(x, y, &mut fv) {
+                        acc.push((x, y));
+                    }
                 }
             })?;
+            out.stats.input_records = n_pairs;
             timeline.machine("apply_block_rules", out.stats.sim_duration(&cfg.cluster));
             let mut c = out.output;
             c.sort_unstable();
-            (c, cfg.force_physical.unwrap_or(PhysicalOp::ApplyAll))
+            (c, cfg.force_physical.unwrap_or(PhysicalOp::ApplyAll), None)
         } else {
             let op = cfg.force_physical.unwrap_or_else(|| {
                 physical::select_physical(
@@ -577,7 +601,7 @@ impl Falcon {
             match result {
                 Ok(res) => {
                     timeline.machine("apply_block_rules", res.duration);
-                    (res.candidates, res.op)
+                    (res.candidates, res.op, Some(res.blocking))
                 }
                 Err(_) => {
                     // Forced/selected operator failed (pair budget): fall
@@ -595,7 +619,7 @@ impl Falcon {
                         cfg.max_pairs,
                     )?;
                     timeline.machine("apply_block_rules", res.duration);
-                    (res.candidates, res.op)
+                    (res.candidates, res.op, Some(res.blocking))
                 }
             }
         };
@@ -607,6 +631,7 @@ impl Falcon {
             rules_extracted,
             rules_retained,
             sample_len: sample.pairs.len(),
+            blocking,
         })
     }
 
@@ -711,6 +736,7 @@ impl Falcon {
             feature_counts: (lib.blocking.len(), lib.matching.len()),
             faults: cluster.fault_stats().unwrap_or_default(),
             journal_error: session.journal_error().map(ToString::to_string),
+            blocking: block.blocking,
         })
     }
 
@@ -857,6 +883,7 @@ impl Falcon {
             feature_counts: (lib.blocking.len(), lib.matching.len()),
             faults: cluster.fault_stats().unwrap_or_default(),
             journal_error: session.journal_error().map(ToString::to_string),
+            blocking: block.blocking,
         };
         Ok((report, estimates))
     }
@@ -870,6 +897,9 @@ struct BlockingOutcome {
     rules_extracted: usize,
     rules_retained: usize,
     sample_len: usize,
+    /// Probe counters from `physical::execute`; `None` when the stage
+    /// resolved from a speculated single-rule output without probing.
+    blocking: Option<BlockingStats>,
 }
 
 /// Output of one matching stage.

@@ -37,6 +37,33 @@ pub fn predicate_key(spec: &FilterSpec) -> String {
             threshold,
         } => format!("set:{a_attr}:{}:{threshold:.6}", sim.name()),
         FilterSpec::EditSim { a_attr, threshold } => format!("ed:{a_attr}:{threshold:.6}"),
+        FilterSpec::Signature { inner, words } => {
+            format!("sig{words}:{}", predicate_key(inner))
+        }
+    }
+}
+
+/// Configuration of the signature pre-filter layer (the probabilistic
+/// provably-lossless Bloom-signature gate in front of set-similarity
+/// probes).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PreFilterConfig {
+    /// Wrap every derived set-similarity filter spec in a signature
+    /// pre-filter. On by default: the filter is provably lossless, the
+    /// planner still decides per conjunct whether to *use* it.
+    pub enabled: bool,
+    /// Signature width in 64-bit words (1..=64, i.e. 64–4096 bits; the
+    /// issue's sweet spot is 1–4 words). Out-of-range widths fail static
+    /// verification instead of building an unsound filter.
+    pub words: usize,
+}
+
+impl Default for PreFilterConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            words: 2,
+        }
     }
 }
 
@@ -102,6 +129,23 @@ impl ConjunctSpecs {
             })
             .collect();
         ConjunctSpecs { specs }
+    }
+
+    /// Wrap every set-similarity spec in a signature pre-filter of the
+    /// configured width (a no-op when disabled). Wrapping happens *after*
+    /// forced-filter substitution so overrides are judged against the
+    /// base specs; non-set-based specs pass through unchanged
+    /// ([`FilterSpec::with_signature`] only wraps `SetSim`).
+    pub fn with_signatures(mut self, prefilter: &PreFilterConfig) -> ConjunctSpecs {
+        if !prefilter.enabled {
+            return self;
+        }
+        for conjunct in &mut self.specs {
+            for slot in conjunct.iter_mut().flatten() {
+                slot.0 = slot.0.clone().with_signature(prefilter.words);
+            }
+        }
+        self
     }
 
     /// Indices of fully-filterable conjuncts (every disjunct has a filter).
@@ -307,7 +351,10 @@ impl BuiltIndexes {
             return Ok(Duration::ZERO);
         }
         let mut dur = Duration::ZERO;
-        let order = if let FilterSpec::SetSim { a_attr, sim, .. } = spec {
+        // A signature wrapper indexes the same tokens as its inner
+        // set-similarity spec: look through it for the order prebuild.
+        let base = spec.without_signature();
+        let order = if let FilterSpec::SetSim { a_attr, sim, .. } = base {
             let tokenizer = sim
                 .tokenizer()
                 .ok_or_else(|| IndexError::NotSetBased { sim: sim.name() })?;
@@ -472,6 +519,72 @@ mod tests {
         };
         let cs = ConjunctSpecs::derive_with(&seq, &lib.blocking, &[mismatch]);
         assert_eq!(spec_threshold(&cs), 0.6);
+    }
+
+    #[test]
+    fn with_signatures_wraps_only_set_sim_specs() {
+        let (a, b) = tables();
+        let lib = generate_features(&a, &b);
+        let jac = lib
+            .blocking
+            .features
+            .iter()
+            .position(|f| f.sim == SimFunction::Jaccard(Tokenizer::Word))
+            .unwrap();
+        let seq = RuleSequence::new(vec![Rule {
+            predicates: vec![Predicate {
+                feature: jac,
+                op: SplitOp::Le,
+                threshold: 0.6,
+                nan_is_high: true,
+            }],
+        }]);
+        let base = ConjunctSpecs::derive(&seq, &lib.blocking);
+        let wrapped = base.clone().with_signatures(&PreFilterConfig::default());
+        match &wrapped.specs[0][0] {
+            Some((FilterSpec::Signature { inner, words }, _)) => {
+                assert_eq!(*words, PreFilterConfig::default().words);
+                assert!(matches!(**inner, FilterSpec::SetSim { .. }));
+            }
+            other => panic!("expected signature wrapper, got {other:?}"),
+        }
+        // Disabled config is the identity.
+        let off = base.clone().with_signatures(&PreFilterConfig {
+            enabled: false,
+            words: 2,
+        });
+        assert!(matches!(
+            &off.specs[0][0],
+            Some((FilterSpec::SetSim { .. }, _))
+        ));
+        // The wrapper gets its own cache key, distinct from the exact
+        // spec's, so both index variants can coexist in the cache.
+        let (sig_spec, _) = wrapped.specs[0][0].clone().unwrap();
+        let (set_spec, _) = base.specs[0][0].clone().unwrap();
+        assert_ne!(predicate_key(&sig_spec), predicate_key(&set_spec));
+        assert!(predicate_key(&sig_spec).starts_with("sig2:set:"));
+    }
+
+    #[test]
+    fn build_signature_spec_reuses_token_order() {
+        let (a, _) = tables();
+        let mut built = BuiltIndexes::new();
+        let spec = FilterSpec::SetSim {
+            a_attr: "title".into(),
+            sim: SimFunction::Jaccard(Tokenizer::Word),
+            threshold: 0.5,
+        }
+        .with_signature(2);
+        built.build_spec(&cluster(), &a, &spec).expect("build");
+        let idx = built.get(&spec).expect("cached");
+        assert!(matches!(*idx, PredicateIndex::Signature { .. }));
+        // The token order was built once and is shared with the exact spec.
+        let title = a.schema().index_of("title").unwrap();
+        assert!(built.orders.contains_key(&(title, Tokenizer::Word)));
+        let d = built
+            .build_order(&cluster(), &a, "title", Tokenizer::Word)
+            .expect("order");
+        assert_eq!(d, Duration::ZERO);
     }
 
     #[test]

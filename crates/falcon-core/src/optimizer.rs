@@ -17,7 +17,7 @@
 
 use crate::error::FalconError;
 use crate::features::FeatureSet;
-use crate::indexing::{BuiltIndexes, ConjunctSpecs};
+use crate::indexing::{BuiltIndexes, ConjunctSpecs, PreFilterConfig};
 use crate::physical::{self, PhysicalOp};
 use crate::rules::{Rule, RuleSequence};
 use crate::timeline::Timeline;
@@ -113,17 +113,20 @@ pub fn prebuild_generic(
 }
 
 /// Masking step 1b: build every per-predicate index the top-ranked rules
-/// could need, during the `eval_rules` crowd rounds.
+/// could need, during the `eval_rules` crowd rounds. Specs are wrapped
+/// with the run's signature pre-filter config so the cache keys match
+/// what `apply_blocking_rules` will look up.
 pub fn prebuild_for_rules(
     cluster: &Cluster,
     a: &Table,
     rules: &[Rule],
     features: &FeatureSet,
+    prefilter: &PreFilterConfig,
     built: &mut BuiltIndexes,
     timeline: &mut Timeline,
 ) -> Result<(), FalconError> {
     let seq = RuleSequence::new(rules.to_vec());
-    let conjuncts = ConjunctSpecs::derive(&seq, features);
+    let conjuncts = ConjunctSpecs::derive(&seq, features).with_signatures(prefilter);
     for spec in conjuncts.all_specs() {
         let dur = built.build_spec(cluster, a, &spec)?;
         timeline.masked_machine("index_build", dur);
@@ -144,6 +147,7 @@ pub fn speculate_rules(
     b: &Table,
     rules: &[(Rule, f64)],
     features: &FeatureSet,
+    prefilter: &PreFilterConfig,
     built: &mut BuiltIndexes,
     timeline: &mut Timeline,
     max_pairs: u128,
@@ -160,7 +164,7 @@ pub fn speculate_rules(
             continue;
         }
         let seq = RuleSequence::new(vec![rule.clone()]);
-        let conjuncts = ConjunctSpecs::derive(&seq, features);
+        let conjuncts = ConjunctSpecs::derive(&seq, features).with_signatures(prefilter);
         if conjuncts.filterable().is_empty() {
             continue; // no index support; speculation would enumerate A×B
         }
@@ -259,6 +263,7 @@ mod tests {
             &b,
             &[(rule.clone(), 0.01)],
             &lib.blocking,
+            &PreFilterConfig::default(),
             &mut built,
             &mut tl,
             1 << 30,
@@ -274,6 +279,7 @@ mod tests {
             &b,
             &[(rule.clone(), 0.01)],
             &lib.blocking,
+            &PreFilterConfig::default(),
             &mut built,
             &mut tl,
             1 << 30,
@@ -287,6 +293,7 @@ mod tests {
             &b,
             &[(rule.clone(), 0.9)],
             &lib.blocking,
+            &PreFilterConfig::default(),
             &mut built,
             &mut tl,
             1 << 30,

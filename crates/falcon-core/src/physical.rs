@@ -36,11 +36,12 @@ use crate::rules::RuleSequence;
 use crate::tokens::{build_pair_profiles_seq, PairProfiles};
 use falcon_dataflow::{run_map_only, run_map_reduce, Cluster, DataflowError, Emitter, JobStats};
 use falcon_index::spec::Candidates;
-use falcon_index::PredicateIndex;
+use falcon_index::{CandidateBitmap, PredicateIndex, ProbeMode, ProbeStats};
 use falcon_table::{IdPair, Table, TupleId};
 use falcon_textsim::SimContext;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -151,6 +152,131 @@ pub struct BlockingOutput {
     pub duration: Duration,
     /// Per-job statistics.
     pub jobs: Vec<JobStats>,
+    /// Per-conjunct probe instrumentation (empty for the `A × B`
+    /// enumeration baselines, which never probe an index).
+    pub blocking: BlockingStats,
+}
+
+/// Per-conjunct blocking counters: how many candidate probes the conjunct
+/// examined and where they were eliminated. The balance invariant
+/// `pairs_examined == pruned_by_signature + pruned_by_exact + survived`
+/// holds by construction (every examined probe lands in exactly one
+/// bucket).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctStats {
+    /// Conjunct position within the rule sequence.
+    pub conjunct: usize,
+    /// Planned probe mode per predicate of the conjunct
+    /// ("off" / "gate" / "dense").
+    pub modes: Vec<String>,
+    /// Candidate probes examined (postings walked, signatures scanned, or
+    /// scalar-index hits considered).
+    pub pairs_examined: u64,
+    /// Probes refuted by the signature popcount bound alone, before any
+    /// exact filter ran.
+    pub pruned_by_signature: u64,
+    /// Probes refuted by the exact filters (length / position / range
+    /// bounds) after surviving or bypassing the signature.
+    pub pruned_by_exact: u64,
+    /// Probes emitted into the candidate union.
+    pub survived: u64,
+}
+
+/// Blocking-wide roll-up: one [`ConjunctStats`] entry per conjunct that
+/// probed at least once.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingStats {
+    /// Per-conjunct counters, ordered by conjunct position.
+    pub conjuncts: Vec<ConjunctStats>,
+}
+
+impl BlockingStats {
+    /// Total probes examined across conjuncts.
+    pub fn pairs_examined(&self) -> u64 {
+        self.conjuncts.iter().map(|c| c.pairs_examined).sum()
+    }
+
+    /// Total probes pruned by the signature pre-filter.
+    pub fn pruned_by_signature(&self) -> u64 {
+        self.conjuncts.iter().map(|c| c.pruned_by_signature).sum()
+    }
+
+    /// Total probes pruned by the exact filters.
+    pub fn pruned_by_exact(&self) -> u64 {
+        self.conjuncts.iter().map(|c| c.pruned_by_exact).sum()
+    }
+
+    /// Total probes that survived into candidate unions.
+    pub fn survived(&self) -> u64 {
+        self.conjuncts.iter().map(|c| c.survived).sum()
+    }
+}
+
+/// Lock-free sink for per-conjunct probe counters shared by all map
+/// tasks. Only order-independent sums are stored, so the totals are
+/// deterministic for any thread count, split order or fault schedule
+/// (the dataflow layer executes each map body exactly once per task,
+/// even under injected faults).
+struct StatsCollector {
+    cells: Vec<[AtomicU64; 4]>,
+}
+
+impl StatsCollector {
+    fn new(conjuncts: usize) -> Self {
+        Self {
+            cells: std::iter::repeat_with(Default::default)
+                .take(conjuncts)
+                .collect(),
+        }
+    }
+
+    fn add(&self, ci: usize, s: &ProbeStats) {
+        if s.pairs_examined == 0 && s.survived == 0 {
+            return;
+        }
+        let Some(c) = self.cells.get(ci) else { return };
+        c[0].fetch_add(s.pairs_examined, Ordering::Relaxed);
+        c[1].fetch_add(s.pruned_by_signature, Ordering::Relaxed);
+        c[2].fetch_add(s.pruned_by_exact, Ordering::Relaxed);
+        c[3].fetch_add(s.survived, Ordering::Relaxed);
+    }
+
+    /// Assemble the final stats; `modes[ci]` carries the per-predicate
+    /// probe modes recorded when conjunct `ci`'s bundle was assembled.
+    fn finish(&self, modes: &[Vec<String>]) -> BlockingStats {
+        let conjuncts = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, c)| {
+                let v: Vec<u64> = c.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+                let modes = modes.get(ci).cloned().unwrap_or_default();
+                if v.iter().all(|&x| x == 0) && modes.is_empty() {
+                    return None; // conjunct never probed
+                }
+                Some(ConjunctStats {
+                    conjunct: ci,
+                    modes,
+                    pairs_examined: v[0],
+                    pruned_by_signature: v[1],
+                    pruned_by_exact: v[2],
+                    survived: v[3],
+                })
+            })
+            .collect();
+        BlockingStats { conjuncts }
+    }
+}
+
+/// Record the probe modes of each bundle's predicates into the
+/// per-conjunct mode table (appending, so the per-predicate waves of
+/// `ApplyPredicate` accumulate one entry each).
+fn record_modes(modes: &mut [Vec<String>], bundles: &[Bundle]) {
+    for bu in bundles {
+        if let Some(slot) = modes.get_mut(bu.ci) {
+            slot.extend(bu.preds.iter().map(|(_, _, m)| m.name().to_string()));
+        }
+    }
 }
 
 /// Rough in-memory footprint of a table (gates MapSide). Computed
@@ -214,94 +340,164 @@ impl PairEvaluator {
 
     /// True iff the pair survives the rule sequence.
     pub fn keeps(&self, aid: TupleId, bid: TupleId) -> bool {
+        let mut fv = Vec::new();
+        self.keeps_scratch(aid, bid, &mut fv)
+    }
+
+    /// [`PairEvaluator::keeps`] with a caller-owned feature-vector
+    /// buffer, so hot loops evaluate pairs without a per-pair allocation.
+    pub fn keeps_scratch(&self, aid: TupleId, bid: TupleId, fv: &mut Vec<f64>) -> bool {
         // A pair referencing an unknown id cannot be a match of real
         // tuples; dropping it is exact, not lossy.
         if aid as usize >= self.a.len() || bid as usize >= self.b.len() {
             return false;
         }
         let ctx = SimContext::empty().with_profiles(&self.profiles.a, &self.profiles.b);
-        let mut fv = vec![f64::NAN; self.arity];
+        fv.clear();
+        fv.resize(self.arity, f64::NAN);
         for &i in &self.needed {
             let f = self.features.get(i);
             fv[i] = f.compute_at(&self.a, &self.b, aid, bid, &ctx);
         }
-        self.seq.keeps(&fv)
+        self.seq.keeps(fv)
     }
 }
 
-/// One conjunct's probe bundle: `(index, B-side attribute index)` per
-/// predicate.
-type Bundle = Vec<(Arc<PredicateIndex>, usize)>;
+/// One conjunct's probe bundle: `(index, B-side attribute index, planned
+/// probe mode)` per predicate, tagged with the conjunct's sequence
+/// position so stats land on the right counter row.
+struct Bundle {
+    ci: usize,
+    preds: Vec<(Arc<PredicateIndex>, usize, ProbeMode)>,
+}
 
-/// Assemble probe bundles for the given conjunct indices.
+/// Assemble probe bundles for the given conjunct indices, planning each
+/// predicate's probe mode once up front (the planner hook: signature
+/// density and postings statistics decide per predicate whether the
+/// pre-filter pays off).
 ///
 /// A conjunct whose spec or built index is missing is skipped *whole*:
 /// dropping an entire conjunct only weakens the filter (more candidates
 /// pass), which preserves recall. Dropping a single predicate inside a
 /// conjunct would instead shrink the probe union and could lose matches.
+/// The probe mode for `idx`: normally [`PredicateIndex::plan_probe_mode`],
+/// but the `FALCON_PROBE_MODE` environment variable (`off` | `gate` |
+/// `dense`) forces one mode process-wide on every signature-wrapped index
+/// for differential testing — every mode is lossless, so final candidate
+/// pairs cannot change. Read once and cached so a run never mixes modes.
+fn planned_mode(idx: &PredicateIndex) -> ProbeMode {
+    static FORCED: std::sync::OnceLock<Option<ProbeMode>> = std::sync::OnceLock::new();
+    let forced = *FORCED.get_or_init(|| match std::env::var("FALCON_PROBE_MODE").as_deref() {
+        Ok("off") => Some(ProbeMode::Off),
+        Ok("gate") => Some(ProbeMode::Gate),
+        Ok("dense") => Some(ProbeMode::Dense),
+        _ => None,
+    });
+    match forced {
+        Some(mode) if matches!(idx, PredicateIndex::Signature { .. }) => mode,
+        _ => idx.plan_probe_mode(),
+    }
+}
+
 fn bundles_for(conjuncts: &ConjunctSpecs, built: &BuiltIndexes, which: &[usize]) -> Vec<Bundle> {
     which
         .iter()
         .filter_map(|&ci| {
-            conjuncts.specs[ci]
+            let preds = conjuncts.specs[ci]
                 .iter()
                 .map(|s| {
                     let (spec, b_idx) = s.as_ref()?;
-                    Some((built.get(spec)?, *b_idx))
+                    let idx = built.get(spec)?;
+                    let mode = planned_mode(&idx);
+                    Some((idx, *b_idx, mode))
                 })
-                .collect::<Option<Bundle>>()
+                .collect::<Option<Vec<_>>>()?;
+            Some(Bundle { ci, preds })
         })
         .collect()
 }
 
-fn intersect_sorted(a: Vec<TupleId>, b: &[TupleId]) -> Vec<TupleId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
+/// Reusable per-map-task probe state: the bitmap union / intersection
+/// buffers, the sorted emit vector, and per-conjunct counter deltas
+/// flushed to the shared [`StatsCollector`] once per chunk. Marking ids
+/// in a bitmap deduplicates for free, intersection is a word-wise AND,
+/// and iteration yields ascending ids — the whole union/dedup/intersect
+/// pipeline runs without a single sort or per-tuple allocation.
+struct ProbeScratch {
+    union: CandidateBitmap,
+    acc: CandidateBitmap,
+    out: Vec<TupleId>,
+    locals: Vec<ProbeStats>,
 }
 
-/// Candidate A-ids for one B tuple (by id) across the given bundles.
-/// `None` = unrestricted (every bundle probed to "All").
-fn candidates_for(b: &Table, bid: TupleId, bundles: &[Bundle]) -> Option<Vec<TupleId>> {
-    let mut acc: Option<Vec<TupleId>> = None;
-    for bundle in bundles {
-        let mut union: Vec<TupleId> = Vec::new();
+impl ProbeScratch {
+    fn new(a_len: usize, bundles: &[Bundle]) -> Self {
+        Self {
+            union: CandidateBitmap::new(a_len),
+            acc: CandidateBitmap::new(a_len),
+            out: Vec::new(),
+            locals: vec![ProbeStats::default(); bundles.len()],
+        }
+    }
+
+    /// Flush the accumulated per-conjunct deltas and zero them.
+    fn flush(&mut self, bundles: &[Bundle], collector: &StatsCollector) {
+        for (local, bu) in self.locals.iter_mut().zip(bundles) {
+            collector.add(bu.ci, local);
+            *local = ProbeStats::default();
+        }
+    }
+}
+
+/// Candidate A-ids for one B tuple across the given bundles, collected
+/// into `scratch.out` (ascending, deduplicated). Returns `false` when
+/// every bundle probed to "All" — the caller pairs `bid` with all of `A`.
+fn candidates_for(
+    b: &Table,
+    bid: TupleId,
+    a_len: usize,
+    bundles: &[Bundle],
+    scratch: &mut ProbeScratch,
+) -> bool {
+    let mut restricted = false;
+    for (bi, bundle) in bundles.iter().enumerate() {
+        scratch.union.reset(a_len);
         let mut unrestricted = false;
-        for (idx, b_idx) in bundle {
+        let stats = &mut scratch.locals[bi];
+        for (idx, b_idx, mode) in &bundle.preds {
             let bv = b.value_ref(bid, *b_idx).unwrap_or_default();
-            match idx.probe_ref(bv) {
+            match idx.probe_ref_stats(bv, *mode, stats) {
                 Candidates::All => {
                     unrestricted = true;
                     break;
                 }
-                Candidates::Some(ids) => union.extend(ids),
+                Candidates::Some(ids) => {
+                    for id in ids {
+                        scratch.union.insert(id);
+                    }
+                }
+                Candidates::Bitmap(bm) => scratch.union.union_with(&bm),
             }
         }
         if unrestricted {
             continue;
         }
-        union.sort_unstable();
-        union.dedup();
-        acc = Some(match acc {
-            None => union,
-            Some(prev) => intersect_sorted(prev, &union),
-        });
-        if acc.as_ref().is_some_and(Vec::is_empty) {
+        if restricted {
+            scratch.acc.intersect(&scratch.union);
+        } else {
+            scratch.acc.copy_from(&scratch.union);
+            restricted = true;
+        }
+        if scratch.acc.ones() == 0 {
             break;
         }
     }
-    acc
+    scratch.out.clear();
+    if restricted {
+        let (acc, out) = (&scratch.acc, &mut scratch.out);
+        acc.for_each(|id| out.push(id));
+    }
+    restricted
 }
 
 /// B-side splits carry tuple ids only; mappers resolve cells against a
@@ -313,6 +509,17 @@ fn b_splits(b: &Table, cluster: &Cluster) -> Vec<Vec<TupleId>> {
         .collect()
 }
 
+/// Chunk-as-record B-side splits for the probing operators: each split
+/// carries one id chunk as a single record, so a map task allocates its
+/// [`ProbeScratch`] once per chunk and streams ids through it. Callers
+/// restore `JobStats::input_records` to the true tuple count afterwards.
+fn b_chunk_splits(b: &Table, cluster: &Cluster) -> Vec<Vec<Vec<TupleId>>> {
+    b.splits(cluster.threads() * 2)
+        .into_iter()
+        .map(|r| vec![(r.start as TupleId..r.end as TupleId).collect()])
+        .collect()
+}
+
 /// Index-probing + reducer-evaluation execution (ApplyAll / ApplyGreedy).
 fn run_probe_reduce(
     cluster: &Cluster,
@@ -320,37 +527,44 @@ fn run_probe_reduce(
     b: &Table,
     evaluator: Arc<PairEvaluator>,
     bundles: Vec<Bundle>,
+    collector: &Arc<StatsCollector>,
     op: PhysicalOp,
 ) -> Result<BlockingOutput, BlockingError> {
-    let a_len = a.len() as TupleId;
+    let a_len = a.len();
     let bundles = Arc::new(bundles);
     let b_handle = b.clone();
-    let out = run_map_reduce(
+    let n_b = b.len();
+    let collector = Arc::clone(collector);
+    let mut out = run_map_reduce(
         cluster,
-        b_splits(b, cluster),
+        b_chunk_splits(b, cluster),
         cluster.threads(),
-        move |&bid: &TupleId, e: &mut Emitter<TupleId, TupleId>| match candidates_for(
-            &b_handle, bid, &bundles,
-        ) {
-            Some(ids) => {
-                for aid in ids {
-                    e.emit(aid, bid);
+        move |chunk: &Vec<TupleId>, e: &mut Emitter<TupleId, TupleId>| {
+            let mut scratch = ProbeScratch::new(a_len, &bundles);
+            for &bid in chunk {
+                if candidates_for(&b_handle, bid, a_len, &bundles, &mut scratch) {
+                    for &aid in &scratch.out {
+                        e.emit(aid, bid);
+                    }
+                } else {
+                    for aid in 0..a_len as TupleId {
+                        e.emit(aid, bid);
+                    }
                 }
             }
-            None => {
-                for aid in 0..a_len {
-                    e.emit(aid, bid);
-                }
-            }
+            scratch.flush(&bundles, &collector);
         },
         move |aid: &TupleId, bids: Vec<TupleId>, out: &mut Vec<IdPair>| {
+            let mut fv = Vec::new();
             for bid in bids {
-                if evaluator.keeps(*aid, bid) {
+                if evaluator.keeps_scratch(*aid, bid, &mut fv) {
                     out.push((*aid, bid));
                 }
             }
         },
     )?;
+    // Chunk-as-record wrapping counted chunks; restore the true count.
+    out.stats.input_records = n_b;
     let duration = out.stats.sim_duration(&cluster.config);
     let mut candidates = out.output;
     candidates.sort_unstable();
@@ -359,6 +573,7 @@ fn run_probe_reduce(
         op,
         duration,
         jobs: vec![out.stats],
+        blocking: BlockingStats::default(),
     })
 }
 
@@ -368,19 +583,29 @@ fn run_probe_wave(
     a: &Table,
     b: &Table,
     bundles: Vec<Bundle>,
+    collector: &Arc<StatsCollector>,
 ) -> Result<(HashSet<IdPair>, JobStats), BlockingError> {
-    let a_len = a.len() as TupleId;
+    let a_len = a.len();
     let bundles = Arc::new(bundles);
     let b_handle = b.clone();
-    let out =
-        run_map_only(
-            cluster,
-            b_splits(b, cluster),
-            move |&bid: &TupleId, out| match candidates_for(&b_handle, bid, &bundles) {
-                Some(ids) => out.extend(ids.into_iter().map(|aid| (aid, bid))),
-                None => out.extend((0..a_len).map(|aid| (aid, bid))),
-            },
-        )?;
+    let n_b = b.len();
+    let collector = Arc::clone(collector);
+    let mut out = run_map_only(
+        cluster,
+        b_chunk_splits(b, cluster),
+        move |chunk: &Vec<TupleId>, out: &mut Vec<IdPair>| {
+            let mut scratch = ProbeScratch::new(a_len, &bundles);
+            for &bid in chunk {
+                if candidates_for(&b_handle, bid, a_len, &bundles, &mut scratch) {
+                    out.extend(scratch.out.iter().map(|&aid| (aid, bid)));
+                } else {
+                    out.extend((0..a_len as TupleId).map(|aid| (aid, bid)));
+                }
+            }
+            scratch.flush(&bundles, &collector);
+        },
+    )?;
+    out.stats.input_records = n_b;
     Ok((out.output.iter().copied().collect(), out.stats))
 }
 
@@ -392,16 +617,18 @@ fn run_evaluate(
 ) -> Result<(Vec<IdPair>, JobStats), BlockingError> {
     // Each split carries one whole pair chunk as a single record, so a map
     // task streams its chunk through the evaluator without per-pair
-    // dispatch through the dataflow record loop.
+    // dispatch through the dataflow record loop (and with one shared
+    // feature-vector scratch buffer per chunk).
     let n_pairs = pairs.len();
     let chunk = n_pairs.div_ceil((cluster.threads() * 2).max(1)).max(1);
     let splits: Vec<Vec<Vec<IdPair>>> = pairs.chunks(chunk).map(|c| vec![c.to_vec()]).collect();
     let mut out = run_map_only(cluster, splits, move |pair_chunk: &Vec<IdPair>, out| {
-        out.extend(
-            pair_chunk
-                .iter()
-                .filter(|&&(aid, bid)| evaluator.keeps(aid, bid)),
-        );
+        let mut fv = Vec::new();
+        for &(aid, bid) in pair_chunk {
+            if evaluator.keeps_scratch(aid, bid, &mut fv) {
+                out.push((aid, bid));
+            }
+        }
     })?;
     // Chunk-as-record wrapping counted chunks; restore the true count.
     out.stats.input_records = n_pairs;
@@ -426,13 +653,16 @@ pub fn execute(
 ) -> Result<BlockingOutput, BlockingError> {
     let evaluator = Arc::new(PairEvaluator::new(a, b, features, seq));
     let filterable = conjuncts.filterable();
-    match op {
+    let collector = Arc::new(StatsCollector::new(conjuncts.specs.len()));
+    let mut modes: Vec<Vec<String>> = vec![Vec::new(); conjuncts.specs.len()];
+    let mut result = match op {
         PhysicalOp::ApplyAll => {
             if filterable.is_empty() {
                 return Err(BlockingError::NoFilterableConjunct);
             }
             let bundles = bundles_for(conjuncts, built, &filterable);
-            run_probe_reduce(cluster, a, b, evaluator, bundles, op)
+            record_modes(&mut modes, &bundles);
+            run_probe_reduce(cluster, a, b, evaluator, bundles, &collector, op)?
         }
         PhysicalOp::ApplyGreedy => {
             let best = filterable
@@ -445,7 +675,8 @@ pub fn execute(
                 })
                 .ok_or(BlockingError::NoFilterableConjunct)?;
             let bundles = bundles_for(conjuncts, built, &[best]);
-            run_probe_reduce(cluster, a, b, evaluator, bundles, op)
+            record_modes(&mut modes, &bundles);
+            run_probe_reduce(cluster, a, b, evaluator, bundles, &collector, op)?
         }
         PhysicalOp::ApplyConjunct => {
             if filterable.is_empty() {
@@ -460,7 +691,8 @@ pub fn execute(
                     // every candidate it would have admitted (recall-safe).
                     continue;
                 }
-                let (set, stats) = run_probe_wave(cluster, a, b, bundles)?;
+                record_modes(&mut modes, &bundles);
+                let (set, stats) = run_probe_wave(cluster, a, b, bundles, &collector)?;
                 jobs.push(stats);
                 acc = Some(match acc {
                     None => set,
@@ -472,12 +704,13 @@ pub fn execute(
             let (candidates, stats) = run_evaluate(cluster, evaluator, pairs)?;
             jobs.push(stats);
             let duration = jobs.iter().map(|s| s.sim_duration(&cluster.config)).sum();
-            Ok(BlockingOutput {
+            BlockingOutput {
                 candidates,
                 op,
                 duration,
                 jobs,
-            })
+                blocking: BlockingStats::default(),
+            }
         }
         PhysicalOp::ApplyPredicate => {
             if filterable.is_empty() {
@@ -496,13 +729,19 @@ pub fn execute(
                     .iter()
                     .map(|s| {
                         let (spec, b_idx) = s.as_ref()?;
-                        Some(vec![(built.get(spec)?, *b_idx)])
+                        let idx = built.get(spec)?;
+                        let mode = planned_mode(&idx);
+                        Some(Bundle {
+                            ci,
+                            preds: vec![(idx, *b_idx, mode)],
+                        })
                     })
                     .collect();
                 let Some(pred_bundles) = specs else { continue };
+                record_modes(&mut modes, &pred_bundles);
                 let mut union: HashSet<IdPair> = HashSet::new();
                 for bundle in pred_bundles {
-                    let (set, stats) = run_probe_wave(cluster, a, b, vec![bundle])?;
+                    let (set, stats) = run_probe_wave(cluster, a, b, vec![bundle], &collector)?;
                     jobs.push(stats);
                     union.extend(set);
                 }
@@ -516,12 +755,13 @@ pub fn execute(
             let (candidates, stats) = run_evaluate(cluster, evaluator, pairs)?;
             jobs.push(stats);
             let duration = jobs.iter().map(|s| s.sim_duration(&cluster.config)).sum();
-            Ok(BlockingOutput {
+            BlockingOutput {
                 candidates,
                 op,
                 duration,
                 jobs,
-            })
+                blocking: BlockingStats::default(),
+            }
         }
         PhysicalOp::MapSide | PhysicalOp::ReduceSplit => {
             let pairs = a.len() as u128 * b.len() as u128;
@@ -535,8 +775,9 @@ pub fn execute(
                 let a_len = a.len() as TupleId;
                 let out =
                     run_map_only(cluster, b_splits(b, cluster), move |&bid: &TupleId, out| {
+                        let mut fv = Vec::new();
                         for aid in 0..a_len {
-                            if evaluator.keeps(aid, bid) {
+                            if evaluator.keeps_scratch(aid, bid, &mut fv) {
                                 out.push((aid, bid));
                             }
                         }
@@ -544,12 +785,13 @@ pub fn execute(
                 let duration = out.stats.sim_duration(&cluster.config);
                 let mut candidates = out.output;
                 candidates.sort_unstable();
-                Ok(BlockingOutput {
+                BlockingOutput {
                     candidates,
                     op,
                     duration,
                     jobs: vec![out.stats],
-                })
+                    blocking: BlockingStats::default(),
+                }
             } else {
                 let a_len = a.len() as TupleId;
                 let out = run_map_reduce(
@@ -562,8 +804,9 @@ pub fn execute(
                         }
                     },
                     move |aid: &TupleId, bids: Vec<TupleId>, out: &mut Vec<IdPair>| {
+                        let mut fv = Vec::new();
                         for bid in bids {
-                            if evaluator.keeps(*aid, bid) {
+                            if evaluator.keeps_scratch(*aid, bid, &mut fv) {
                                 out.push((*aid, bid));
                             }
                         }
@@ -572,15 +815,18 @@ pub fn execute(
                 let duration = out.stats.sim_duration(&cluster.config);
                 let mut candidates = out.output;
                 candidates.sort_unstable();
-                Ok(BlockingOutput {
+                BlockingOutput {
                     candidates,
                     op,
                     duration,
                     jobs: vec![out.stats],
-                })
+                    blocking: BlockingStats::default(),
+                }
             }
         }
-    }
+    };
+    result.blocking = collector.finish(&modes);
+    Ok(result)
 }
 
 /// The Section 10.1 physical-operator selection rules.

@@ -47,6 +47,24 @@ fn heavy_faults_leave_the_matched_pairs_bit_identical() {
     assert_eq!(faulty.candidate_size, clean.candidate_size);
     assert_eq!(faulty.ledger, clean.ledger, "crowd spend is untouched");
 
+    // Per-conjunct probe counters sum per-task deltas over a fixed task
+    // set, so retries/stragglers/node loss must not move them either, and
+    // each conjunct's buckets account for every examined probe.
+    assert_eq!(
+        faulty.blocking, clean.blocking,
+        "probe counters are schedule-independent"
+    );
+    if let Some(bs) = &clean.blocking {
+        for c in &bs.conjuncts {
+            assert_eq!(
+                c.pairs_examined,
+                c.pruned_by_signature + c.pruned_by_exact + c.survived,
+                "conjunct {} counters do not balance",
+                c.conjunct
+            );
+        }
+    }
+
     // The report carries the run-wide fault accounting.
     let f = &faulty.faults;
     assert!(f.retries > 0, "{f:?}");
@@ -72,6 +90,7 @@ fn fault_injected_runs_are_reproducible_for_a_fixed_seed() {
     };
     let (r1, r2) = (run(), run());
     assert_eq!(r1.matches, r2.matches);
+    assert_eq!(r1.blocking, r2.blocking);
     // The fault *schedule* is seed-deterministic; `time_lost` is derived
     // from measured task durations and so varies run to run.
     let counters = |r: &falcon_core::driver::RunReport| {

@@ -1,0 +1,73 @@
+//! Forcing every signature index into one probe mode via
+//! `FALCON_PROBE_MODE` must not change the final candidate pairs: `Gate`
+//! shrinks and `Dense` grows the *intermediate* per-predicate candidate
+//! sets, but exact rule evaluation downstream makes the surviving pairs
+//! identical. A single test per process — the override is read once and
+//! cached, so it cannot be varied within one binary.
+
+use falcon_core::corleone::corleone_blocking;
+use falcon_core::features::generate_features;
+use falcon_core::indexing::{BuiltIndexes, ConjunctSpecs, PreFilterConfig};
+use falcon_core::physical::{self, PhysicalOp};
+use falcon_core::rules::{Predicate, Rule, RuleSequence};
+use falcon_dataflow::{Cluster, ClusterConfig};
+use falcon_datagen::products;
+use falcon_forest::SplitOp;
+use falcon_textsim::{SimFunction, Tokenizer};
+
+#[test]
+fn dense_forced_probes_keep_final_candidates_identical() {
+    std::env::set_var("FALCON_PROBE_MODE", "dense");
+    let d = products::generate(0.02, 11);
+    let lib = generate_features(&d.a, &d.b);
+    let jac_title = lib
+        .blocking
+        .features
+        .iter()
+        .position(|f| f.sim == SimFunction::Jaccard(Tokenizer::Word) && f.a_attr == "title")
+        .expect("jaccard(title) feature");
+    let seq = RuleSequence::new(vec![Rule {
+        predicates: vec![Predicate {
+            feature: jac_title,
+            op: SplitOp::Le,
+            threshold: 0.4,
+            nan_is_high: true,
+        }],
+    }]);
+    let reference = corleone_blocking(&d.a, &d.b, &lib.blocking, &seq, 1 << 40)
+        .unwrap()
+        .candidates;
+    assert!(!reference.is_empty());
+    let cluster = Cluster::new(ClusterConfig::small(4)).with_threads(4);
+    let conjuncts =
+        ConjunctSpecs::derive(&seq, &lib.blocking).with_signatures(&PreFilterConfig::default());
+    let mut built = BuiltIndexes::new();
+    for spec in conjuncts.all_specs() {
+        built.build_spec(&cluster, &d.a, &spec).expect("build");
+    }
+    for op in [PhysicalOp::ApplyAll, PhysicalOp::ApplyPredicate] {
+        let out = physical::execute(
+            op,
+            &cluster,
+            &d.a,
+            &d.b,
+            &lib.blocking,
+            &seq,
+            &conjuncts,
+            &built,
+            &[0.3],
+            1 << 40,
+        )
+        .unwrap_or_else(|e| panic!("{op:?} failed: {e}"));
+        assert_eq!(
+            out.candidates, reference,
+            "{op:?} under forced-dense probing disagrees with baseline"
+        );
+        // The forced mode is visible in the recorded plan.
+        assert!(out
+            .blocking
+            .conjuncts
+            .iter()
+            .any(|c| c.modes.iter().any(|m| m == "dense")));
+    }
+}

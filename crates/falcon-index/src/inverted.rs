@@ -9,6 +9,7 @@
 //! token) and the position filter (enough *remaining* tokens to reach the
 //! required overlap).
 
+use crate::signature::{ProbeSig, ProbeStats, SignatureIndex};
 use falcon_table::TupleId;
 use falcon_textsim::prefix;
 use falcon_textsim::{SimFunction, Tokenizer};
@@ -121,13 +122,32 @@ impl PrefixIndex {
         threshold: f64,
         order: &TokenOrder,
     ) {
+        if raw.is_empty() {
+            self.insert_tokens(id, Vec::new(), sim, threshold);
+            return;
+        }
+        self.insert_tokens(
+            id,
+            order.order_tokens(tokenizer.tokenize(raw)),
+            sim,
+            threshold,
+        );
+    }
+
+    /// Insert one entry from its already-ordered token list. This is the
+    /// tokenize-once form used when the same columnar pass also feeds a
+    /// [`SignatureIndex`]. Empty token lists leave the id marked
+    /// token-less.
+    pub fn insert_tokens(
+        &mut self,
+        id: TupleId,
+        ordered: Vec<String>,
+        sim: SimFunction,
+        threshold: f64,
+    ) {
         if self.set_sizes.len() <= id as usize {
             self.set_sizes.resize(id as usize + 1, NO_TOKENS);
         }
-        if raw.is_empty() {
-            return;
-        }
-        let ordered = order.order_tokens(tokenizer.tokenize(raw));
         if ordered.is_empty() {
             return;
         }
@@ -164,6 +184,26 @@ impl PrefixIndex {
             return;
         }
         let ordered = order.order_tokens(tokenizer.tokenize(raw));
+        let mut stats = ProbeStats::default();
+        self.probe_gated(&ordered, sim, threshold, None, out, &mut stats);
+    }
+
+    /// Token-level form of [`PrefixIndex::probe`] with an optional
+    /// signature gate and probe counters. When `gate` is supplied, each
+    /// posting is first tested with the lossless popcount bound
+    /// ([`SignatureIndex::may_overlap`]) before the exact length and
+    /// position filters run — a signature refutation is a proof the pair
+    /// cannot reach the threshold, so gating never changes which true
+    /// candidates survive, only how much exact filtering runs.
+    pub fn probe_gated(
+        &self,
+        ordered: &[String],
+        sim: SimFunction,
+        threshold: f64,
+        gate: Option<(&SignatureIndex, &ProbeSig)>,
+        out: &mut Vec<TupleId>,
+        stats: &mut ProbeStats,
+    ) {
         let y_len = ordered.len();
         if y_len == 0 {
             return;
@@ -175,25 +215,70 @@ impl PrefixIndex {
                 continue;
             };
             for &(id, i) in list {
+                stats.pairs_examined += 1;
                 let x_len = self.set_sizes[id as usize] as usize;
+                let need = prefix::required_overlap(sim, threshold, x_len, y_len);
+                // Signature pre-filter: a few popcounts refute the pair
+                // before any exact filter arithmetic.
+                if let (Some((sigs, probe)), Some(need)) = (gate, need) {
+                    if !sigs.may_overlap(id, probe, need) {
+                        stats.pruned_by_signature += 1;
+                        continue;
+                    }
+                }
                 // Length filter.
                 if let Some((lo, hi)) = bounds {
                     if x_len < lo || x_len > hi {
+                        stats.pruned_by_exact += 1;
                         continue;
                     }
                 }
                 // Position filter: tokens at positions i (in x) and j (in
                 // y) match; the best remaining overlap is this shared token
                 // plus whatever follows on both sides.
-                if let Some(need) = prefix::required_overlap(sim, threshold, x_len, y_len) {
+                if let Some(need) = need {
                     let remaining = 1 + (x_len - i as usize - 1).min(y_len - j - 1);
                     if remaining < need {
+                        stats.pruned_by_exact += 1;
                         continue;
                     }
                 }
+                stats.survived += 1;
                 out.push(id);
             }
         }
+    }
+
+    /// Expected postings touched per probe token, assuming probe tokens
+    /// are distributed like indexed tokens: `Σ|list|² / Σ|list|`. The
+    /// planner multiplies this by the average prefix length to estimate
+    /// per-probe inverted-index work.
+    pub fn avg_posting_touch(&self) -> f64 {
+        if self.posting_count == 0 {
+            return 0.0;
+        }
+        self.posting_len_sum_sq() as f64 / self.posting_count as f64
+    }
+
+    /// `Σ|list|²` over the postings map. Integer accumulation: summing
+    /// f64 in HashMap iteration order could differ in the last ULP
+    /// between runs and flip the probe-mode planner's decision; u128
+    /// sums are exact and order-free.
+    fn posting_len_sum_sq(&self) -> u128 {
+        self.postings
+            .values()
+            .map(|l| (l.len() as u128) * (l.len() as u128))
+            .sum()
+    }
+
+    /// Mean prefix length over indexed (token-bearing) tuples — a proxy
+    /// for the number of probe tokens that hit the postings map.
+    pub fn avg_prefix_len(&self) -> f64 {
+        let indexed = self.set_sizes.iter().filter(|s| **s != NO_TOKENS).count();
+        if indexed == 0 {
+            return 0.0;
+        }
+        self.posting_count as f64 / indexed as f64
     }
 
     /// Estimated memory footprint in bytes.

@@ -18,10 +18,14 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod bitmap;
 pub mod inverted;
 pub mod scalar;
+pub mod signature;
 pub mod spec;
 
+pub use bitmap::CandidateBitmap;
 pub use inverted::{PrefixIndex, TokenOrder};
 pub use scalar::{HashIndex, LengthIndex, RangeIndex};
-pub use spec::{FilterSpec, IndexError, Obligation, PredicateIndex};
+pub use signature::{ProbeSig, ProbeStats, SignatureIndex};
+pub use spec::{FilterSpec, IndexError, Obligation, PredicateIndex, ProbeMode};

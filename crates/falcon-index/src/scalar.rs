@@ -77,15 +77,19 @@ impl RangeIndex {
         Self { entries }
     }
 
-    /// Ids whose value lies in `[lo, hi]` (inclusive).
+    /// Ids whose value lies in `[lo, hi]` (inclusive). Both endpoints are
+    /// located by binary search, so the probe costs O(log n + k) rather
+    /// than a linear scan with a per-entry bound check.
     pub fn probe(&self, lo: f64, hi: f64, out: &mut Vec<TupleId>) {
-        let start = self.entries.partition_point(|(v, _)| *v < lo);
-        for (v, id) in &self.entries[start..] {
-            if *v > hi {
-                break;
-            }
-            out.push(*id);
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less)
+            && lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Equal)
+        {
+            // Empty or NaN-bounded range: nothing can satisfy it.
+            return;
         }
+        let start = self.entries.partition_point(|(v, _)| *v < lo);
+        let end = self.entries.partition_point(|(v, _)| *v <= hi);
+        out.extend(self.entries[start..end].iter().map(|(_, id)| *id));
     }
 
     /// Estimated memory footprint in bytes.
@@ -135,10 +139,15 @@ impl LengthIndex {
         self.by_len.get(len).map_or(&[], Vec::as_slice)
     }
 
-    /// Append all ids whose length lies in `[lo, hi]` (inclusive).
+    /// Append all ids whose length lies in `[lo, hi]` (inclusive). The
+    /// bucket range is clamped up front so empty/degenerate ranges cost
+    /// nothing instead of walking the whole bucket table.
     pub fn probe(&self, lo: usize, hi: usize, out: &mut Vec<TupleId>) {
-        let hi = hi.min(self.by_len.len().saturating_sub(1));
-        for bucket in self.by_len.iter().take(hi + 1).skip(lo) {
+        if self.by_len.is_empty() || lo > hi || lo >= self.by_len.len() {
+            return;
+        }
+        let hi = hi.min(self.by_len.len() - 1);
+        for bucket in &self.by_len[lo..=hi] {
             out.extend_from_slice(bucket);
         }
     }
@@ -211,6 +220,61 @@ mod tests {
         idx.probe(10, 20, &mut out);
         assert!(out.is_empty());
         assert_eq!(idx.ids_with_len(2), &[0, 2]);
+    }
+
+    #[test]
+    fn range_probe_degenerate_ranges() {
+        let idx = RangeIndex::build([(0, 1.0), (1, 2.0), (2, 3.0)].into_iter());
+        let mut out = Vec::new();
+        // Inverted range: empty.
+        idx.probe(3.0, 1.0, &mut out);
+        assert!(out.is_empty());
+        // NaN bounds: empty, no panic.
+        idx.probe(f64::NAN, 5.0, &mut out);
+        idx.probe(0.0, f64::NAN, &mut out);
+        assert!(out.is_empty());
+        // Point range on a present value.
+        idx.probe(2.0, 2.0, &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        // Point range between values: empty.
+        idx.probe(2.5, 2.5, &mut out);
+        assert!(out.is_empty());
+        // Empty index.
+        let empty = RangeIndex::default();
+        empty.probe(0.0, 10.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_probe_duplicate_values_at_bounds() {
+        let idx = RangeIndex::build([(0, 5.0), (1, 5.0), (2, 5.0), (3, 7.0), (4, 7.0)].into_iter());
+        let mut out = Vec::new();
+        idx.probe(5.0, 7.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        out.clear();
+        idx.probe(5.0, 5.0, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn length_probe_degenerate_ranges() {
+        let idx = LengthIndex::build([(0, 2), (1, 5)].into_iter());
+        let mut out = Vec::new();
+        // Inverted range.
+        idx.probe(5, 2, &mut out);
+        assert!(out.is_empty());
+        // lo past the largest bucket.
+        idx.probe(6, 100, &mut out);
+        assert!(out.is_empty());
+        // Empty index.
+        let empty = LengthIndex::default();
+        empty.probe(0, 100, &mut out);
+        assert!(out.is_empty());
+        // Point range.
+        idx.probe(5, 5, &mut out);
+        assert_eq!(out, vec![1]);
     }
 
     #[test]

@@ -19,12 +19,19 @@
 //! match (almost) all dissimilar pairs and admit no index:
 //! [`FilterSpec`] construction reports them as unfilterable.
 
+use crate::bitmap::CandidateBitmap;
 use crate::inverted::{PrefixIndex, TokenOrder};
 use crate::scalar::{HashIndex, LengthIndex, RangeIndex};
+use crate::signature::{ProbeSig, ProbeStats, SignatureIndex, SIG_NO_TOKENS};
 use falcon_table::{Table, TupleId, Value, ValueRef};
 use falcon_textsim::{prefix, SimFunction, Tokenizer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Widest allowed signature (64 words = 4096 bits): wider adds memory
+/// without measurable extra pruning, and the cap keeps `words × 64`
+/// arithmetic comfortably inside `u64`.
+pub const MAX_SIGNATURE_WORDS: usize = 64;
 
 /// What kind of index-based filtering a positive-rule predicate admits.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +67,18 @@ pub enum FilterSpec {
         a_attr: String,
         /// Similarity threshold `t`.
         threshold: f64,
+    },
+    /// Signature pre-filter wrapped around a set-similarity filter: the
+    /// inner filters still run, but each pair is first tested with a
+    /// `words × 64`-bit Bloom fingerprint popcount bound (see
+    /// [`crate::signature`]). Only provably a candidate-superset over
+    /// [`FilterSpec::SetSim`] inners — the static verifier rejects
+    /// anything else.
+    Signature {
+        /// The exact filter the signature gates (must be `SetSim`).
+        inner: Box<FilterSpec>,
+        /// Signature width in 64-bit words (1..=64).
+        words: usize,
     },
 }
 
@@ -107,6 +126,30 @@ impl FilterSpec {
             | FilterSpec::Range { a_attr, .. }
             | FilterSpec::SetSim { a_attr, .. }
             | FilterSpec::EditSim { a_attr, .. } => a_attr,
+            FilterSpec::Signature { inner, .. } => inner.a_attr(),
+        }
+    }
+
+    /// Wrap this spec with a `words`-word signature pre-filter when the
+    /// signature layer is provably lossless for it (set-similarity
+    /// filters only); other specs are returned unchanged. This is the
+    /// only constructor planner code should use — it can never produce a
+    /// spec that `verify()` rejects for a valid `words`.
+    pub fn with_signature(self, words: usize) -> FilterSpec {
+        match self {
+            spec @ FilterSpec::SetSim { .. } => FilterSpec::Signature {
+                inner: Box::new(spec),
+                words,
+            },
+            spec => spec,
+        }
+    }
+
+    /// Strip any signature wrapper, yielding the exact filter spec.
+    pub fn without_signature(&self) -> &FilterSpec {
+        match self {
+            FilterSpec::Signature { inner, .. } => inner.without_signature(),
+            spec => spec,
         }
     }
 
@@ -150,6 +193,26 @@ impl FilterSpec {
                 (Obligation::ThresholdFinite, threshold.is_finite()),
                 (Obligation::ThresholdPositive, *threshold > 0.0),
             ],
+            FilterSpec::Signature { inner, words } => {
+                // The inner filter's obligations still apply verbatim (the
+                // exact path runs behind the gate), plus two signature
+                // obligations: a usable width, and the superset proof —
+                // the popcount bound is derived from the set-overlap
+                // requirement `required_overlap`, which exists only for
+                // set-similarity filters. Wrapping anything else (ranges,
+                // equality, edit distance, another signature) has no such
+                // bound and could prune satisfying pairs.
+                let mut obs = inner.obligations();
+                obs.push((
+                    Obligation::SignatureWidthValid,
+                    (1..=MAX_SIGNATURE_WORDS).contains(words),
+                ));
+                obs.push((
+                    Obligation::SignatureSuperset,
+                    matches!(**inner, FilterSpec::SetSim { .. }),
+                ));
+                obs
+            }
         }
     }
 
@@ -187,6 +250,14 @@ pub enum Obligation {
     /// A relative range width must be below one for the probe window to
     /// be invertible (`rel_diff` ranges over [0, 2]).
     RelativeWidthBelowOne,
+    /// A signature width must lie in `1..=MAX_SIGNATURE_WORDS` 64-bit
+    /// words (zero-width signatures have no bits to compare; absurd
+    /// widths waste memory for no pruning).
+    SignatureWidthValid,
+    /// A signature pre-filter must be provably a candidate-superset: the
+    /// popcount bound exists only for set-similarity filters, so only a
+    /// `SetSim` inner can be wrapped.
+    SignatureSuperset,
 }
 
 impl Obligation {
@@ -199,6 +270,11 @@ impl Obligation {
             Obligation::WidthFinite => "range width is finite",
             Obligation::WidthNonNegative => "range width is non-negative",
             Obligation::RelativeWidthBelowOne => "relative range width is below one",
+            Obligation::SignatureWidthValid => "signature width is between 1 and 64 words",
+            Obligation::SignatureSuperset => {
+                "signature pre-filter provably passes a candidate superset \
+                 (requires a set-similarity inner filter)"
+            }
         }
     }
 }
@@ -216,6 +292,59 @@ pub enum Candidates {
     All,
     /// These ids (possibly with duplicates) are the only candidates.
     Some(Vec<TupleId>),
+    /// Dense candidate bitmap (already deduplicated, iterates sorted).
+    /// Produced by signature-only (`Dense`) probes.
+    Bitmap(CandidateBitmap),
+}
+
+impl ProbeMode {
+    /// Short display name ("off" / "gate" / "dense").
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeMode::Off => "off",
+            ProbeMode::Gate => "gate",
+            ProbeMode::Dense => "dense",
+        }
+    }
+}
+
+impl Candidates {
+    /// Visit every candidate id; `Some` may repeat ids, `Bitmap` never
+    /// does. Returns `false` when the set is `All` (unrestricted) without
+    /// calling `f`.
+    pub fn for_each_id(&self, mut f: impl FnMut(TupleId)) -> bool {
+        match self {
+            Candidates::All => false,
+            Candidates::Some(ids) => {
+                for id in ids {
+                    f(*id);
+                }
+                true
+            }
+            Candidates::Bitmap(bm) => {
+                bm.for_each(&mut f);
+                true
+            }
+        }
+    }
+}
+
+/// How a signature-wrapped predicate index answers a probe. Chosen per
+/// conjunct by the planner from signature density and postings stats
+/// ([`PredicateIndex::plan_probe_mode`]); every mode yields a lossless
+/// candidate set, they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeMode {
+    /// Exact filters only (signatures too dense to prune anything).
+    Off,
+    /// Walk the inverted index, gating each posting with the signature
+    /// popcount bound before exact length/position filtering.
+    Gate,
+    /// Skip the inverted index: scan the dense signature column and keep
+    /// every id the popcount + length bounds cannot refute. Returns a
+    /// superset of the exact probe's output — downstream exact rule
+    /// evaluation makes the final candidate pairs identical.
+    Dense,
 }
 
 /// Built index bundle for one filterable predicate.
@@ -239,7 +368,7 @@ pub enum Candidates {
 /// let index = PredicateIndex::build(&a, &spec, None);
 /// match index.probe(&Value::str("compact digital camera")) {
 ///     Candidates::Some(ids) => assert!(ids.contains(&0) && !ids.contains(&1)),
-///     Candidates::All => unreachable!(),
+///     _ => unreachable!(),
 /// }
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -277,6 +406,15 @@ pub enum PredicateIndex {
         threshold: f64,
         /// Ids with missing values (always candidates).
         missing: Vec<TupleId>,
+    },
+    /// Signature pre-filter over an exact set-similarity bundle: a dense
+    /// Bloom fingerprint column consulted before (or instead of) the
+    /// inner inverted-index probe.
+    Signature {
+        /// Per-tuple fingerprints plus token counts.
+        sigs: SignatureIndex,
+        /// The exact filter bundle behind the gate (always `SetSim`).
+        exact: Box<PredicateIndex>,
     },
     /// Character-length + shared-qgram filters for Levenshtein predicates.
     Edit {
@@ -407,33 +545,17 @@ impl PredicateIndex {
                 }
             }
             FilterSpec::SetSim { sim, threshold, .. } => {
-                let tokenizer = sim.tokenizer().ok_or_else(|| IndexError::NotSetBased {
-                    sim: format!("{sim:?}"),
-                })?;
-                let order = match order {
-                    Some(o) => o,
-                    None => {
-                        // No prebuilt order: one extra rendered pass to
-                        // count token frequencies.
-                        let mut rendered: Vec<String> = Vec::with_capacity(a.len());
-                        a.for_each_rendered(attr_idx, |_, s| rendered.push(s.to_string()));
-                        token_order_for(rendered.iter().map(String::as_str), tokenizer)
+                build_setsim(a, attr_idx, *sim, *threshold, order, None)?
+            }
+            FilterSpec::Signature { inner, words } => {
+                // `verify()` above proved the inner is SetSim; the fallback
+                // arm keeps the function total if that invariant ever
+                // weakens (an unwrapped build is recall-safe regardless).
+                match &**inner {
+                    FilterSpec::SetSim { sim, threshold, .. } => {
+                        build_setsim(a, attr_idx, *sim, *threshold, order, Some(*words))?
                     }
-                };
-                let mut index = PrefixIndex::new();
-                let mut missing = Vec::new();
-                a.for_each_rendered(attr_idx, |id, s| {
-                    if s.is_empty() {
-                        missing.push(id);
-                    }
-                    index.insert(id, s, tokenizer, *sim, *threshold, &order);
-                });
-                PredicateIndex::SetSim {
-                    index,
-                    order,
-                    sim: *sim,
-                    threshold: *threshold,
-                    missing,
+                    other => Self::try_build(a, other, order)?,
                 }
             }
             FilterSpec::EditSim { threshold, .. } => {
@@ -489,7 +611,48 @@ impl PredicateIndex {
     /// Borrowed-value form of [`PredicateIndex::probe`]: probe with a
     /// [`ValueRef`] pulled straight from a columnar table, rendering a key
     /// only for numeric probes (string probes borrow the arena slice).
+    /// Signature-wrapped indexes probe in their self-planned mode.
     pub fn probe_ref(&self, b_value: ValueRef<'_>) -> Candidates {
+        let mut stats = ProbeStats::default();
+        self.probe_ref_stats(b_value, self.plan_probe_mode(), &mut stats)
+    }
+
+    /// Pick the cheapest lossless probe mode for this index. Non-signature
+    /// indexes always run exact ([`ProbeMode::Off`]); for signature
+    /// bundles the decision weighs signature density (dense fingerprints
+    /// cannot prune) against expected inverted-index work per probe (when
+    /// a probe is expected to touch more postings than there are signed
+    /// tuples, a flat signature scan is cheaper than walking postings).
+    pub fn plan_probe_mode(&self) -> ProbeMode {
+        let PredicateIndex::Signature { sigs, exact } = self else {
+            return ProbeMode::Off;
+        };
+        // A near-saturated fingerprint column refutes almost nothing:
+        // popcounts become pure overhead, so run the exact path alone.
+        if sigs.density() >= 0.5 {
+            return ProbeMode::Off;
+        }
+        if let PredicateIndex::SetSim { index, .. } = &**exact {
+            let signed = sigs.signed_count() as f64;
+            let expected_postings = index.avg_prefix_len() * index.avg_posting_touch();
+            if signed > 0.0 && expected_postings >= signed {
+                return ProbeMode::Dense;
+            }
+        }
+        ProbeMode::Gate
+    }
+
+    /// Probe with an explicit mode, accumulating per-probe counters into
+    /// `stats`. `mode` is ignored by non-signature indexes. Every mode is
+    /// lossless; `Dense` may return a *superset* of the exact probe's
+    /// candidates (exact rule evaluation downstream makes final candidate
+    /// pairs identical).
+    pub fn probe_ref_stats(
+        &self,
+        b_value: ValueRef<'_>,
+        mode: ProbeMode,
+        stats: &mut ProbeStats,
+    ) -> Candidates {
         let mut scratch = String::new();
         match self {
             PredicateIndex::Equals { index, missing } => {
@@ -499,6 +662,8 @@ impl PredicateIndex {
                 }
                 let mut out = missing.clone();
                 out.extend_from_slice(index.probe(key));
+                stats.pairs_examined += out.len() as u64;
+                stats.survived += out.len() as u64;
                 Candidates::Some(out)
             }
             PredicateIndex::Range {
@@ -523,6 +688,8 @@ impl PredicateIndex {
                 };
                 let mut out = missing.clone();
                 index.probe(y - w, y + w, &mut out);
+                stats.pairs_examined += out.len() as u64;
+                stats.survived += out.len() as u64;
                 Candidates::Some(out)
             }
             PredicateIndex::SetSim {
@@ -542,9 +709,18 @@ impl PredicateIndex {
                 let Some(tokenizer) = sim.tokenizer() else {
                     return Candidates::All;
                 };
+                let ordered = order.order_tokens(tokenizer.tokenize(raw));
                 let mut out = missing.clone();
-                index.probe(raw, tokenizer, *sim, *threshold, order, &mut out);
+                // Missing-value ids are permanent candidates: examined and
+                // survived, so examined = pruned + survived stays an
+                // invariant.
+                stats.pairs_examined += missing.len() as u64;
+                stats.survived += missing.len() as u64;
+                index.probe_gated(&ordered, *sim, *threshold, None, &mut out, stats);
                 Candidates::Some(out)
+            }
+            PredicateIndex::Signature { sigs, exact } => {
+                Self::probe_signature(sigs, exact, b_value, mode, stats)
             }
             PredicateIndex::Edit {
                 lengths,
@@ -569,6 +745,8 @@ impl PredicateIndex {
                     l != usize::MAX && l >= lo && l <= hi
                 };
                 if qgrams.is_empty() && unprunable.is_empty() {
+                    stats.pairs_examined += missing.len() as u64;
+                    stats.survived += missing.len() as u64;
                     return Candidates::Some(missing.clone());
                 }
                 // Short probes can't contribute qgram evidence reliably;
@@ -576,18 +754,126 @@ impl PredicateIndex {
                 if y_len < QGRAM {
                     let mut out = missing.clone();
                     lengths.probe(lo, hi, &mut out);
+                    stats.pairs_examined += out.len() as u64;
+                    stats.survived += out.len() as u64;
                     return Candidates::Some(out);
                 }
                 let mut out: Vec<TupleId> = missing.clone();
-                out.extend(unprunable.iter().copied().filter(|id| in_bounds(*id)));
+                stats.pairs_examined += missing.len() as u64;
+                stats.survived += missing.len() as u64;
+                for id in unprunable.iter().copied() {
+                    stats.pairs_examined += 1;
+                    if in_bounds(id) {
+                        stats.survived += 1;
+                        out.push(id);
+                    } else {
+                        stats.pruned_by_exact += 1;
+                    }
+                }
                 for g in falcon_textsim::tokenize::qgrams(raw, QGRAM) {
                     if let Some(list) = qgrams.get(&g) {
-                        out.extend(list.iter().copied().filter(|id| in_bounds(*id)));
+                        for id in list.iter().copied() {
+                            stats.pairs_examined += 1;
+                            if in_bounds(id) {
+                                stats.survived += 1;
+                                out.push(id);
+                            } else {
+                                stats.pruned_by_exact += 1;
+                            }
+                        }
                     }
                 }
                 Candidates::Some(out)
             }
         }
+    }
+
+    /// Probe a signature bundle in the given mode. Split out of
+    /// [`PredicateIndex::probe_ref_stats`] to keep the borrow of the
+    /// rendered-key scratch local.
+    fn probe_signature(
+        sigs: &SignatureIndex,
+        exact: &PredicateIndex,
+        b_value: ValueRef<'_>,
+        mode: ProbeMode,
+        stats: &mut ProbeStats,
+    ) -> Candidates {
+        // The static verifier only admits SetSim inners; the fallback arm
+        // keeps this total (an ungated exact probe is always lossless).
+        let PredicateIndex::SetSim {
+            index,
+            order,
+            sim,
+            threshold,
+            missing,
+        } = exact
+        else {
+            return exact.probe_ref_stats(b_value, ProbeMode::Off, stats);
+        };
+        let mut scratch = String::new();
+        let raw = rendered_key(b_value, &mut scratch);
+        if raw.is_empty() {
+            return Candidates::All;
+        }
+        let Some(tokenizer) = sim.tokenizer() else {
+            return Candidates::All;
+        };
+        let tokens = tokenizer.tokenize(raw);
+        stats.pairs_examined += missing.len() as u64;
+        stats.survived += missing.len() as u64;
+        if mode == ProbeMode::Off || tokens.is_empty() {
+            let ordered = order.order_tokens(tokens);
+            let mut out = missing.clone();
+            index.probe_gated(&ordered, *sim, *threshold, None, &mut out, stats);
+            return Candidates::Some(out);
+        }
+        let probe = ProbeSig::build(&tokens, sigs.words());
+        let y_len = tokens.len();
+        if mode == ProbeMode::Gate {
+            let ordered = order.order_tokens(tokens);
+            let mut out = missing.clone();
+            index.probe_gated(
+                &ordered,
+                *sim,
+                *threshold,
+                Some((sigs, &probe)),
+                &mut out,
+                stats,
+            );
+            return Candidates::Some(out);
+        }
+        // Dense: one flat pass over the fingerprint column, no postings.
+        let bounds = prefix::length_bounds(*sim, *threshold, y_len);
+        let mut bm = CandidateBitmap::new(sigs.len());
+        for id in missing {
+            bm.insert(*id);
+        }
+        for id in 0..sigs.len() as TupleId {
+            let size = sigs.size(id);
+            if size == SIG_NO_TOKENS {
+                // Tokenless tuples are never returned by the exact probe
+                // either (they live on the missing list when the value is
+                // absent, and match nothing when it tokenizes empty).
+                continue;
+            }
+            stats.pairs_examined += 1;
+            let x_len = size as usize;
+            if let Some(need) = prefix::required_overlap(*sim, *threshold, x_len, y_len) {
+                if !sigs.may_overlap(id, &probe, need) {
+                    stats.pruned_by_signature += 1;
+                    continue;
+                }
+            }
+            if let Some((lo, hi)) = bounds {
+                if x_len < lo || x_len > hi {
+                    stats.pruned_by_exact += 1;
+                    continue;
+                }
+            }
+            stats.survived += 1;
+            bm.insert(id);
+        }
+        Candidates::Bitmap(bm)
     }
 
     /// Estimated memory footprint in bytes (gates physical-operator
@@ -606,6 +892,9 @@ impl PredicateIndex {
                 missing,
                 ..
             } => index.estimated_bytes() + order.estimated_bytes() + missing.len() * 4,
+            PredicateIndex::Signature { sigs, exact } => {
+                sigs.estimated_bytes() + exact.estimated_bytes()
+            }
             PredicateIndex::Edit {
                 lengths,
                 qgrams,
@@ -637,6 +926,62 @@ fn rendered_key<'a>(v: ValueRef<'a>, scratch: &'a mut String) -> &'a str {
             scratch
         }
     }
+}
+
+/// Build the prefix-filter bundle for one set-similarity predicate in a
+/// single columnar pass, optionally populating a signature column from
+/// the same tokenization (`sig_words = Some(w)` → a
+/// [`PredicateIndex::Signature`] wrapping the exact bundle).
+fn build_setsim(
+    a: &Table,
+    attr_idx: usize,
+    sim: SimFunction,
+    threshold: f64,
+    order: Option<TokenOrder>,
+    sig_words: Option<usize>,
+) -> Result<PredicateIndex, IndexError> {
+    let tokenizer = sim.tokenizer().ok_or_else(|| IndexError::NotSetBased {
+        sim: format!("{sim:?}"),
+    })?;
+    let order = match order {
+        Some(o) => o,
+        None => {
+            // No prebuilt order: one extra rendered pass to count token
+            // frequencies.
+            let mut rendered: Vec<String> = Vec::with_capacity(a.len());
+            a.for_each_rendered(attr_idx, |_, s| rendered.push(s.to_string()));
+            token_order_for(rendered.iter().map(String::as_str), tokenizer)
+        }
+    };
+    let mut index = PrefixIndex::new();
+    let mut missing = Vec::new();
+    let mut sigs = sig_words.map(|w| SignatureIndex::new(a.len(), w));
+    a.for_each_rendered(attr_idx, |id, s| {
+        if s.is_empty() {
+            missing.push(id);
+            index.insert_tokens(id, Vec::new(), sim, threshold);
+            return;
+        }
+        let tokens = tokenizer.tokenize(s);
+        if let Some(sigs) = sigs.as_mut() {
+            sigs.insert(id, &tokens);
+        }
+        index.insert_tokens(id, order.order_tokens(tokens), sim, threshold);
+    });
+    let exact = PredicateIndex::SetSim {
+        index,
+        order,
+        sim,
+        threshold,
+        missing,
+    };
+    Ok(match sigs {
+        Some(sigs) => PredicateIndex::Signature {
+            sigs,
+            exact: Box::new(exact),
+        },
+        None => exact,
+    })
 }
 
 /// Compute a global token order (ascending frequency) for an attribute.
@@ -736,6 +1081,7 @@ mod tests {
                 assert_eq!(ids, vec![0, 2, 3]);
             }
             Candidates::All => panic!("expected Some"),
+            Candidates::Bitmap(_) => panic!("expected Some"),
         }
         // Missing probe value is "similar" to everything.
         assert_eq!(idx.probe(&Value::Null), Candidates::All);
@@ -759,6 +1105,7 @@ mod tests {
                 assert_eq!(ids, vec![0, 2, 3]);
             }
             Candidates::All => panic!(),
+            Candidates::Bitmap(_) => panic!("expected Some"),
         }
         // Missing probe satisfies dist <= v for every A tuple.
         assert_eq!(idx.probe(&Value::Null), Candidates::All);
@@ -783,6 +1130,7 @@ mod tests {
                 assert_eq!(ids, vec![0, 2, 3]);
             }
             Candidates::All => panic!(),
+            Candidates::Bitmap(_) => panic!("expected Some"),
         }
     }
 
@@ -806,6 +1154,7 @@ mod tests {
                 assert!(!ids.contains(&1));
             }
             Candidates::All => panic!(),
+            Candidates::Bitmap(_) => panic!("expected Some"),
         }
     }
 
@@ -823,6 +1172,7 @@ mod tests {
         match idx.probe(&Value::str("the quick browm fox")) {
             Candidates::Some(ids) => assert!(ids.contains(&0), "{ids:?}"),
             Candidates::All => {}
+            Candidates::Bitmap(bm) => assert!(bm.contains(0)),
         }
         assert_eq!(idx.probe(&Value::Null), Candidates::All);
     }
@@ -902,6 +1252,11 @@ mod tests {
                             Candidates::All => {}
                             Candidates::Some(ids) => assert!(
                                 ids.contains(&row.id),
+                                "{spec:?} missed a={} for b={b:?}",
+                                row.id
+                            ),
+                            Candidates::Bitmap(bm) => assert!(
+                                bm.contains(row.id),
                                 "{spec:?} missed a={} for b={b:?}",
                                 row.id
                             ),

@@ -4,7 +4,17 @@
 set -u
 SCALE="${1:-1.0}"
 RUNS="${2:-3}"
-BINS=(table1 table2 table4 table5 fig9 fig10 sweep_physical sweep_ruleseq sweep_cluster sweep_sample sweep_iters sweep_workflow sweep_sampler kbb_recall fv_throughput forest_throughput ingest)
+# blocking_bench emits BENCH_blocking.json:
+#   candidate_probe_reduction — probes reaching the exact filter + reducer
+#     pipeline, exact path / pre-filtered path (the popcount gate's prune),
+#   wall_speedup              — mean end-to-end blocking wall time,
+#     exact path / pre-filtered path,
+#   final_sets_identical      — asserted in-bench: both paths produce the
+#     same post-rule-evaluation candidate pairs,
+#   planned_modes             — per-conjunct probe modes the cost planner
+#     chose ("off" / "gate" / "dense").
+# It runs at 10x the standard bench scale internally (--scale multiplies).
+BINS=(table1 table2 table4 table5 fig9 fig10 sweep_physical sweep_ruleseq sweep_cluster sweep_sample sweep_iters sweep_workflow sweep_sampler kbb_recall fv_throughput forest_throughput ingest blocking_bench)
 for bin in "${BINS[@]}"; do
   echo
   echo "##### $bin (scale $SCALE) #####"
