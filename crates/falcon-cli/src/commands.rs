@@ -1,4 +1,4 @@
-//! CLI subcommands: `match`, `profile`, `demo`.
+//! CLI subcommands: `match`, `profile`, `demo`, `serve`.
 
 use falcon::core::features::generate_features;
 use falcon::crowd::interactive::InteractiveCrowd;
@@ -17,6 +17,7 @@ USAGE:
     falcon plan check <a.csv> <b.csv> [OPTIONS]  pre-flight plan analysis, no execution
     falcon profile <table.csv>               show inferred attribute characteristics
     falcon demo [products|songs|citations|drugs]  run on a synthetic dataset with ground truth
+    falcon serve <manifest>                  run many EM jobs on one shared node pool
     falcon help                              show this message
 
 MATCH / PLAN CHECK OPTIONS:
@@ -42,6 +43,21 @@ DEMO OPTIONS:
     --fault-rate <p>     inject task failures at rate p (deterministic, seeded)
     --straggler-rate <p> make a fraction p of tasks stragglers (speculation on)
     --resume <journal>   checkpoint / resume, as in `falcon match`
+
+SERVE OPTIONS:
+    --policy <p>         fifo | fair | priority | random (default fair)
+    --nodes <n>          shared pool size in nodes (default 10)
+    --slots <n>          task slots per node (default 4)
+    --threads <n>        concurrent tenant drivers; virtual results are
+                         identical at any setting (default 4)
+    --seed <n>           scheduler seed for --policy random (default 0)
+
+    The manifest lists one tenant job per line as key=value pairs
+    (blank lines and '#' comments ignored):
+        dataset=products scale=1.0 seed=1 error=0.05 priority=0
+        dataset=songs latency=900 workflow=2 arrival=60 journal=b.journal
+    Keys: dataset (required), scale, seed, error, latency (crowd secs),
+    priority, arrival (secs), workflow (outer rounds), journal, name.
 ";
 
 fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -437,6 +453,170 @@ pub fn cmd_demo(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One parsed manifest line for `falcon serve`.
+fn parse_manifest_line(line: &str, idx: usize) -> Result<JobSpec, String> {
+    let mut dataset = None;
+    let mut name = None;
+    let mut scale = 1.0f64;
+    let mut seed = 1u64;
+    let mut error = 0.05f64;
+    let mut latency: Option<f64> = None;
+    let mut priority = 0i32;
+    let mut arrival = 0.0f64;
+    let mut workflow = 0usize;
+    let mut journal: Option<String> = None;
+    for field in line.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key=value, got {field:?}", idx + 1))?;
+        let bad = |what: &str| format!("line {}: {key}= expects {what}", idx + 1);
+        match key {
+            "dataset" => dataset = Some(value.to_string()),
+            "name" => name = Some(value.to_string()),
+            "scale" => scale = value.parse().map_err(|_| bad("a number"))?,
+            "seed" => seed = value.parse().map_err(|_| bad("an integer"))?,
+            "error" => error = value.parse().map_err(|_| bad("a number"))?,
+            "latency" => latency = Some(value.parse().map_err(|_| bad("seconds"))?),
+            "priority" => priority = value.parse().map_err(|_| bad("an integer"))?,
+            "arrival" => arrival = value.parse().map_err(|_| bad("seconds"))?,
+            "workflow" => workflow = value.parse().map_err(|_| bad("an integer"))?,
+            "journal" => journal = Some(value.to_string()),
+            other => return Err(format!("line {}: unknown key {other:?}", idx + 1)),
+        }
+    }
+    let dataset = dataset.ok_or_else(|| format!("line {}: missing dataset=", idx + 1))?;
+    let default_scale = match dataset.as_str() {
+        "products" => 0.05,
+        "songs" => 0.002,
+        "citations" => 0.0015,
+        "drugs" => 0.004,
+        other => return Err(format!("line {}: unknown dataset {other:?}", idx + 1)),
+    };
+    let d = falcon::datagen::generate(&dataset, scale * default_scale, seed);
+    let truth = GroundTruth::new(d.truth.iter().copied());
+    let mut crowd = RandomWorkerCrowd::new(truth, error, seed);
+    if let Some(secs) = latency {
+        crowd = crowd.with_latency(std::time::Duration::from_secs_f64(secs.max(0.0)));
+    }
+    let config = FalconConfig {
+        sample_size: 2_000,
+        sample_fanout: 20,
+        seed,
+        ..FalconConfig::default()
+    };
+    let mut spec = JobSpec::new(
+        name.unwrap_or_else(|| format!("{dataset}-{}", idx + 1)),
+        d.a,
+        d.b,
+        config,
+        std::sync::Arc::new(crowd),
+    )
+    .with_priority(priority)
+    .with_arrival(std::time::Duration::from_secs_f64(arrival.max(0.0)));
+    if workflow > 0 {
+        spec = spec.with_workflow(workflow);
+    }
+    if let Some(p) = journal {
+        spec = spec.with_journal(p);
+    }
+    Ok(spec)
+}
+
+pub fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let manifest_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: falcon serve <manifest> [OPTIONS]")?;
+    let text =
+        std::fs::read_to_string(manifest_path).map_err(|e| format!("read {manifest_path}: {e}"))?;
+    let jobs: Vec<JobSpec> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(i, l)| parse_manifest_line(l, i))
+        .collect::<Result<_, _>>()?;
+    if jobs.is_empty() {
+        return Err(format!("{manifest_path}: no jobs in manifest"));
+    }
+
+    let policy = match flag_value(args, "--policy") {
+        Some(p) => Policy::parse(p).ok_or_else(|| format!("unknown policy {p:?}"))?,
+        None => Policy::FairShare,
+    };
+    let cfg = ServeConfig {
+        pool_nodes: flag_value(args, "--nodes")
+            .map(|v| v.parse().map_err(|_| "--nodes expects an integer"))
+            .transpose()?
+            .unwrap_or(10),
+        slots_per_node: flag_value(args, "--slots")
+            .map(|v| v.parse().map_err(|_| "--slots expects an integer"))
+            .transpose()?
+            .unwrap_or(4),
+        threads: flag_value(args, "--threads")
+            .map(|v| v.parse().map_err(|_| "--threads expects an integer"))
+            .transpose()?
+            .unwrap_or(4),
+        seed: flag_value(args, "--seed")
+            .map(|v| v.parse().map_err(|_| "--seed expects an integer"))
+            .transpose()?
+            .unwrap_or(0),
+        policy,
+        ..ServeConfig::default()
+    };
+
+    println!(
+        "serving {} jobs on {} nodes ({:?}, {} driver threads)",
+        jobs.len(),
+        cfg.pool_nodes,
+        cfg.policy,
+        cfg.threads
+    );
+    let rep = falcon::serve::serve(jobs, &cfg);
+    for o in &rep.outcomes {
+        match &o.result {
+            Ok(r) => println!(
+                "tenant {:<16} prio {:>3}  latency {:>12}  service {:>12}  \
+                 matches {:>6}  ${:.2}",
+                o.name,
+                o.priority,
+                fmt_short(o.latency),
+                fmt_short(o.machine_service),
+                r.matches.len(),
+                r.ledger.cost
+            ),
+            Err(e) => println!("tenant {:<16} FAILED: {e}", o.name),
+        }
+    }
+    println!(
+        "aggregate: makespan {} (serial {}), speedup {:.2}x, \
+         utilization {:.1}% (serial {:.1}%), p50 {} p99 {}, {} rounds",
+        fmt_short(rep.makespan),
+        fmt_short(rep.serial_makespan),
+        rep.throughput_speedup(),
+        rep.utilization * 100.0,
+        rep.serial_utilization * 100.0,
+        fmt_short(rep.latency_percentile(50.0)),
+        fmt_short(rep.latency_percentile(99.0)),
+        rep.rounds
+    );
+    Ok(())
+}
+
+/// Render a duration compactly (`2h07m`, `31m52s`, `4.2s`).
+fn fmt_short(d: std::time::Duration) -> String {
+    let s = d.as_secs();
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{:.1}s", d.as_secs_f64())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +649,57 @@ mod tests {
         std::fs::write(&pb, "name\nx\n").unwrap();
         let err = cmd_match(&s(&[pa.to_str().unwrap(), pb.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("--interactive"), "{err}");
+    }
+
+    #[test]
+    fn manifest_line_parses_all_keys() {
+        let spec = parse_manifest_line(
+            "dataset=products scale=0.2 seed=3 error=0.1 latency=120 \
+             priority=2 arrival=30 workflow=2 journal=/tmp/x.journal name=acme",
+            0,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "acme");
+        assert_eq!(spec.priority, 2);
+        assert_eq!(spec.arrival, std::time::Duration::from_secs(30));
+        assert_eq!(spec.workflow_rounds, 2);
+        assert!(spec.journal.is_some());
+    }
+
+    #[test]
+    fn manifest_line_rejects_garbage() {
+        assert!(parse_manifest_line("scale=1.0", 0)
+            .unwrap_err()
+            .contains("missing dataset"));
+        assert!(parse_manifest_line("dataset=products nope", 4)
+            .unwrap_err()
+            .contains("line 5"));
+        assert!(parse_manifest_line("dataset=products bogus=1", 0)
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse_manifest_line("dataset=nothere", 0)
+            .unwrap_err()
+            .contains("unknown dataset"));
+    }
+
+    #[test]
+    fn serve_runs_a_tiny_manifest() {
+        let dir = std::env::temp_dir();
+        let p = dir.join("falcon_cli_serve.manifest");
+        std::fs::write(
+            &p,
+            "# two small tenants\n\
+             dataset=products scale=0.3 seed=1\n\
+             dataset=products scale=0.3 seed=2 priority=1\n",
+        )
+        .unwrap();
+        assert!(cmd_serve(&s(&[p.to_str().unwrap(), "--threads", "2"])).is_ok());
+    }
+
+    #[test]
+    fn serve_requires_manifest() {
+        assert!(cmd_serve(&s(&["--policy", "fair"])).is_err());
+        assert!(cmd_serve(&s(&["/nonexistent/jobs.manifest"])).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! falcon plan check a.csv b.csv [--budget pairs] [--nodes n]
 //! falcon profile table.csv
 //! falcon demo [products|songs|citations] [--scale f]
+//! falcon serve jobs.manifest [--policy fair] [--nodes n] [--threads k]
 //! ```
 
 mod commands;
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
         Some("plan") => commands::cmd_plan(&args[1..]),
         Some("profile") => commands::cmd_profile(&args[1..]),
         Some("demo") => commands::cmd_demo(&args[1..]),
+        Some("serve") => commands::cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -19,6 +19,7 @@ use crate::optimizer::{prebuild_for_rules, prebuild_generic, speculate_rules, Op
 use crate::physical::{self, estimate_table_bytes, BlockingStats, PhysicalOp};
 use crate::plan::{choose_plan, PlanKind};
 use crate::rules::RuleSequence;
+use crate::stage::{shape_of, shape_sum, StageGate};
 use crate::timeline::Timeline;
 use falcon_crowd::{Crowd, CrowdJournal, CrowdSession, Ledger};
 use falcon_dataflow::{run_map_only, wall_now, Cluster, ClusterConfig, FaultPlan, FaultStats};
@@ -294,12 +295,42 @@ impl Falcon {
         self.try_run_with_journal(a, b, crowd, Some(journal))
     }
 
+    /// [`Falcon::try_run`] under a [`StageGate`]: the run notifies (and,
+    /// at machine-stage boundaries, blocks on) `gate` after every
+    /// recorded segment, turning the monolithic driver loop into a
+    /// resumable stage iterator a multi-tenant scheduler can interleave
+    /// with other runs (`falcon-serve`). Pass a `journal` to make the
+    /// gated run crash-recoverable exactly as in
+    /// [`Falcon::try_run_resumable`]. The returned report's timeline has
+    /// the gate detached.
+    pub fn try_run_gated<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        journal: Option<CrowdJournal>,
+        gate: Arc<dyn StageGate>,
+    ) -> Result<RunReport, FalconError> {
+        self.try_run_inner(a, b, crowd, journal, Some(gate))
+    }
+
     fn try_run_with_journal<C: Crowd>(
         &self,
         a: &Table,
         b: &Table,
         crowd: C,
         journal: Option<CrowdJournal>,
+    ) -> Result<RunReport, FalconError> {
+        self.try_run_inner(a, b, crowd, journal, None)
+    }
+
+    fn try_run_inner<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        journal: Option<CrowdJournal>,
+        gate: Option<Arc<dyn StageGate>>,
     ) -> Result<RunReport, FalconError> {
         let analysis = analyze::analyze(a, b, &self.config);
         if !analysis.is_ok() {
@@ -311,7 +342,10 @@ impl Falcon {
         if let Some(j) = journal {
             session = session.with_journal(j);
         }
-        let mut timeline = Timeline::new();
+        let mut timeline = match gate {
+            Some(g) => Timeline::with_gate(g),
+            None => Timeline::new(),
+        };
 
         // Feature generation (fast table scans).
         let t0 = wall_now();
@@ -327,14 +361,17 @@ impl Falcon {
                 cfg.max_pairs,
             )
         });
-        match plan {
+        let mut report = match plan {
             PlanKind::MatchOnly => {
                 self.run_match_only(a, b, &lib, &cluster, &mut session, &mut timeline)
             }
             PlanKind::BlockAndMatch => {
                 self.run_block_and_match(a, b, &lib, &cluster, &mut session, &mut timeline)
             }
-        }
+        }?;
+        // Reports are plain records: never leak a scheduler handle.
+        report.timeline.detach_gate();
+        Ok(report)
     }
 
     fn run_match_only<C: Crowd>(
@@ -353,7 +390,13 @@ impl Falcon {
             .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
             .collect();
         let fv_out = gen_fvs(cluster, a, b, &pairs, &lib.matching)?;
-        timeline.machine("gen_fvs_m", fv_out.sim_duration(&cfg.cluster));
+        let (tasks, records) = shape_sum(fv_out.prep_stats.iter().chain([&fv_out.stats]));
+        timeline.machine_shaped(
+            "gen_fvs_m",
+            fv_out.sim_duration(&cfg.cluster),
+            tasks,
+            records,
+        );
         let higher: Vec<bool> = lib
             .matching
             .features
@@ -375,7 +418,13 @@ impl Falcon {
             &al_cfg,
         )?;
         let applied = apply_matcher(cluster, &al.forest, &fv_out.fvs)?;
-        timeline.machine("apply_matcher", applied.stats.sim_duration(&cfg.cluster));
+        let (tasks, records) = shape_of(&applied.stats);
+        timeline.machine_shaped(
+            "apply_matcher",
+            applied.stats.sim_duration(&cfg.cluster),
+            tasks,
+            records,
+        );
         Ok(RunReport {
             matches: applied.matches,
             plan: PlanKind::MatchOnly,
@@ -410,15 +459,24 @@ impl Falcon {
 
         // ---- sample_pairs ----
         let sample = sample_pairs(cluster, a, b, cfg.sample_size, cfg.sample_fanout, cfg.seed)?;
-        timeline.machine(
+        let (tasks, records) = shape_sum([&sample.index_job, &sample.pair_job]);
+        timeline.machine_shaped(
             "sample_pairs",
             sample.index_job.sim_duration(&cfg.cluster)
                 + sample.pair_job.sim_duration(&cfg.cluster),
+            tasks,
+            records,
         );
 
         // ---- gen_fvs (blocking features) ----
         let s_fvs = gen_fvs(cluster, a, b, &sample.pairs, &lib.blocking)?;
-        timeline.machine("gen_fvs_b", s_fvs.sim_duration(&cfg.cluster));
+        let (tasks, records) = shape_sum(s_fvs.prep_stats.iter().chain([&s_fvs.stats]));
+        timeline.machine_shaped(
+            "gen_fvs_b",
+            s_fvs.sim_duration(&cfg.cluster),
+            tasks,
+            records,
+        );
 
         // ---- al_matcher (blocking stage) ----
         let higher_b: Vec<bool> = lib
@@ -534,9 +592,9 @@ impl Falcon {
         let conjuncts = ConjunctSpecs::derive_with(&seq_out.seq, &lib.blocking, &cfg.force_filters)
             .with_signatures(&cfg.prefilter);
         // Build whatever indexes are still missing (unmasked).
-        for spec in conjuncts.all_specs() {
-            let dur = built.build_spec(cluster, a, &spec)?;
-            timeline.machine("index_build", dur);
+        for (spec, key) in conjuncts.all_specs_keyed() {
+            let dur = built.build_spec_keyed(cluster, a, spec, key)?;
+            timeline.machine_shaped("index_build", dur, 1, a.len() as u64);
         }
         // Reuse a speculated single-rule output when possible.
         let spec_hit: Option<(usize, &Vec<IdPair>)> = seq_out
@@ -570,7 +628,13 @@ impl Falcon {
                 }
             })?;
             out.stats.input_records = n_pairs;
-            timeline.machine("apply_block_rules", out.stats.sim_duration(&cfg.cluster));
+            let (tasks, records) = shape_of(&out.stats);
+            timeline.machine_shaped(
+                "apply_block_rules",
+                out.stats.sim_duration(&cfg.cluster),
+                tasks,
+                records,
+            );
             let mut c = out.output;
             c.sort_unstable();
             (c, cfg.force_physical.unwrap_or(PhysicalOp::ApplyAll), None)
@@ -600,7 +664,8 @@ impl Falcon {
             );
             match result {
                 Ok(res) => {
-                    timeline.machine("apply_block_rules", res.duration);
+                    let (tasks, records) = shape_sum(&res.jobs);
+                    timeline.machine_shaped("apply_block_rules", res.duration, tasks, records);
                     (res.candidates, res.op, Some(res.blocking))
                 }
                 Err(_) => {
@@ -618,7 +683,8 @@ impl Falcon {
                         &seq_out.rule_selectivities,
                         cfg.max_pairs,
                     )?;
-                    timeline.machine("apply_block_rules", res.duration);
+                    let (tasks, records) = shape_sum(&res.jobs);
+                    timeline.machine_shaped("apply_block_rules", res.duration, tasks, records);
                     (res.candidates, res.op, Some(res.blocking))
                 }
             }
@@ -655,7 +721,13 @@ impl Falcon {
         let cfg = &self.config;
         session.mark_op("matching_stage");
         let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching)?;
-        timeline.machine("gen_fvs_m", c_fvs.sim_duration(&cfg.cluster));
+        let (tasks, records) = shape_sum(c_fvs.prep_stats.iter().chain([&c_fvs.stats]));
+        timeline.machine_shaped(
+            "gen_fvs_m",
+            c_fvs.sim_duration(&cfg.cluster),
+            tasks,
+            records,
+        );
         if c_fvs.fvs.is_empty() {
             return Ok(MatchStageOutcome {
                 matches: Vec::new(),
@@ -688,10 +760,11 @@ impl Falcon {
         )?;
         let applied = apply_matcher(cluster, &al_m.forest, &c_fvs.fvs)?;
         let dur = applied.stats.sim_duration(&cfg.cluster);
+        let (tasks, records) = shape_of(&applied.stats);
         if cfg.opt.speculative_execution && al_m.converged {
-            timeline.masked_machine("apply_matcher", dur);
+            timeline.masked_machine_shaped("apply_matcher", dur, tasks, records);
         } else {
-            timeline.machine("apply_matcher", dur);
+            timeline.machine_shaped("apply_matcher", dur, tasks, records);
         }
         Ok(MatchStageOutcome {
             matches: applied.matches,
@@ -789,6 +862,20 @@ impl Falcon {
         self.try_run_workflow_with_journal(a, b, crowd, max_outer, Some(journal))
     }
 
+    /// [`Falcon::try_run_workflow`] under a [`StageGate`] — the workflow
+    /// analogue of [`Falcon::try_run_gated`].
+    pub fn try_run_workflow_gated<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        max_outer: usize,
+        journal: Option<CrowdJournal>,
+        gate: Arc<dyn StageGate>,
+    ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
+        self.try_run_workflow_inner(a, b, crowd, max_outer, journal, Some(gate))
+    }
+
     fn try_run_workflow_with_journal<C: Crowd>(
         &self,
         a: &Table,
@@ -796,6 +883,19 @@ impl Falcon {
         crowd: C,
         max_outer: usize,
         journal: Option<CrowdJournal>,
+    ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
+        self.try_run_workflow_inner(a, b, crowd, max_outer, journal, None)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn try_run_workflow_inner<C: Crowd>(
+        &self,
+        a: &Table,
+        b: &Table,
+        crowd: C,
+        max_outer: usize,
+        journal: Option<CrowdJournal>,
+        gate: Option<Arc<dyn StageGate>>,
     ) -> Result<(RunReport, Vec<AccuracyEstimate>), FalconError> {
         let analysis = analyze::analyze(a, b, &self.config);
         if !analysis.is_ok() {
@@ -807,7 +907,10 @@ impl Falcon {
         if let Some(j) = journal {
             session = session.with_journal(j);
         }
-        let mut timeline = Timeline::new();
+        let mut timeline = match gate {
+            Some(g) => Timeline::with_gate(g),
+            None => Timeline::new(),
+        };
         let t0 = wall_now();
         let lib = generate_features(a, b);
         timeline.machine("gen_features", t0.elapsed());
@@ -869,6 +972,7 @@ impl Falcon {
                 what: "workflow rounds",
             });
         };
+        timeline.detach_gate();
         let report = RunReport {
             matches: matched.matches,
             plan: PlanKind::BlockAndMatch,

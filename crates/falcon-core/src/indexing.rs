@@ -76,9 +76,33 @@ pub struct ConjunctSpecs {
     /// `specs[i][j]`: filter spec + B-attr index for predicate `j` of
     /// conjunct `i`, or `None` when that predicate admits no filter.
     pub specs: Vec<Vec<Option<(FilterSpec, usize)>>>,
+    /// `keys[i][j]`: the [`predicate_key`] of `specs[i][j]`, computed
+    /// once at construction. Index build and probe paths look up the
+    /// cache through these instead of re-formatting the key per
+    /// conjunct on every build/probe (the hot path during masked
+    /// prebuild and speculation).
+    keys: Vec<Vec<Option<String>>>,
 }
 
 impl ConjunctSpecs {
+    /// Wrap raw per-conjunct specs, computing every cache key once.
+    pub fn from_specs(specs: Vec<Vec<Option<(FilterSpec, usize)>>>) -> ConjunctSpecs {
+        let keys = specs
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|s| s.as_ref().map(|(spec, _)| predicate_key(spec)))
+                    .collect()
+            })
+            .collect();
+        ConjunctSpecs { specs, keys }
+    }
+
+    /// Cached [`predicate_key`] for predicate `pi` of conjunct `ci`
+    /// (`None` when that predicate admits no filter).
+    pub fn key_of(&self, ci: usize, pi: usize) -> Option<&str> {
+        self.keys.get(ci)?.get(pi)?.as_deref()
+    }
     /// Derive the specs from a rule sequence over a blocking feature set
     /// (Section 7.3, step 2: "analyze CNF rule to infer index-based
     /// filters").
@@ -128,7 +152,7 @@ impl ConjunctSpecs {
                     .collect()
             })
             .collect();
-        ConjunctSpecs { specs }
+        Self::from_specs(specs)
     }
 
     /// Wrap every set-similarity spec in a signature pre-filter of the
@@ -145,7 +169,8 @@ impl ConjunctSpecs {
                 slot.0 = slot.0.clone().with_signature(prefilter.words);
             }
         }
-        self
+        // Wrapping changed the specs, so the hoisted keys must follow.
+        Self::from_specs(self.specs)
     }
 
     /// Indices of fully-filterable conjuncts (every disjunct has a filter).
@@ -160,12 +185,23 @@ impl ConjunctSpecs {
 
     /// All distinct specs across conjuncts.
     pub fn all_specs(&self) -> Vec<FilterSpec> {
+        self.all_specs_keyed()
+            .into_iter()
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
+    /// All distinct `(spec, cached key)` pairs across conjuncts, deduped
+    /// by the hoisted keys (no re-formatting).
+    pub fn all_specs_keyed(&self) -> Vec<(&FilterSpec, &str)> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for c in &self.specs {
-            for s in c.iter().flatten() {
-                if seen.insert(predicate_key(&s.0)) {
-                    out.push(s.0.clone());
+        for (c, ck) in self.specs.iter().zip(&self.keys) {
+            for (s, k) in c.iter().zip(ck) {
+                if let (Some((spec, _)), Some(key)) = (s, k) {
+                    if seen.insert(key.as_str()) {
+                        out.push((spec, key.as_str()));
+                    }
                 }
             }
         }
@@ -256,10 +292,12 @@ impl BuiltIndexes {
 
     /// Total estimated bytes of a set of predicate keys.
     pub fn bytes_of(&self, keys: &[String]) -> usize {
-        keys.iter()
-            .filter_map(|k| self.indexes.get(k))
-            .map(|i| i.estimated_bytes())
-            .sum()
+        keys.iter().map(|k| self.bytes_of_key(k)).sum()
+    }
+
+    /// Estimated bytes of one built index (zero when absent).
+    pub fn bytes_of_key(&self, key: &str) -> usize {
+        self.indexes.get(key).map_or(0, |i| i.estimated_bytes())
     }
 
     /// Build the token order for `(attr, tokenizer)` over table `A`;
@@ -347,7 +385,20 @@ impl BuiltIndexes {
         spec: &FilterSpec,
     ) -> Result<Duration, FalconError> {
         let key = predicate_key(spec);
-        if self.indexes.contains_key(&key) {
+        self.build_spec_keyed(cluster, a, spec, &key)
+    }
+
+    /// [`BuiltIndexes::build_spec`] with the caller's precomputed
+    /// [`predicate_key`] (see [`ConjunctSpecs::all_specs_keyed`]), so hot
+    /// build loops don't re-format keys per conjunct.
+    pub fn build_spec_keyed(
+        &mut self,
+        cluster: &Cluster,
+        a: &Table,
+        spec: &FilterSpec,
+        key: &str,
+    ) -> Result<Duration, FalconError> {
+        if self.indexes.contains_key(key) {
             return Ok(Duration::ZERO);
         }
         let mut dur = Duration::ZERO;
@@ -375,7 +426,7 @@ impl BuiltIndexes {
         let t0 = wall_now();
         let idx = PredicateIndex::try_build(a, spec, order)?;
         dur += t0.elapsed();
-        self.indexes.insert(key, Arc::new(idx));
+        self.indexes.insert(key.to_string(), Arc::new(idx));
         Ok(dur)
     }
 
@@ -395,7 +446,13 @@ impl BuiltIndexes {
 
     /// Fetch a built index.
     pub fn get(&self, spec: &FilterSpec) -> Option<Arc<PredicateIndex>> {
-        self.indexes.get(&predicate_key(spec)).cloned()
+        self.get_by_key(&predicate_key(spec))
+    }
+
+    /// Fetch a built index by its precomputed [`predicate_key`] — the
+    /// allocation-free lookup the probe bundle assembly uses.
+    pub fn get_by_key(&self, key: &str) -> Option<Arc<PredicateIndex>> {
+        self.indexes.get(key).cloned()
     }
 }
 

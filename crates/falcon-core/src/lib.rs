@@ -36,6 +36,7 @@ pub mod physical;
 pub mod plan;
 pub mod rules;
 pub mod snb;
+pub mod stage;
 pub mod timeline;
 pub mod tokens;
 

@@ -18,8 +18,9 @@
 use crate::error::FalconError;
 use crate::features::FeatureSet;
 use crate::indexing::{BuiltIndexes, ConjunctSpecs, PreFilterConfig};
-use crate::physical::{self, PhysicalOp};
+use crate::physical::{self, PhysicalOp, ScratchPool};
 use crate::rules::{Rule, RuleSequence};
+use crate::stage::{shape_of, shape_sum};
 use crate::timeline::Timeline;
 use crate::tokens;
 use falcon_dataflow::Cluster;
@@ -80,7 +81,13 @@ pub fn prebuild_generic(
     if !a_spec.token_columns.is_empty() && built.profile().is_none() {
         let mut dict = TokenDict::new();
         let (profile, stats) = tokens::build_profile_par(cluster, a, &a_spec, &mut dict, None)?;
-        timeline.masked_machine("index_build", stats.sim_duration(&cluster.config));
+        let (tasks, records) = shape_of(&stats);
+        timeline.masked_machine_shaped(
+            "index_build",
+            stats.sim_duration(&cluster.config),
+            tasks,
+            records,
+        );
         built.set_profile(profile, dict);
     }
     let mut seen_orders = std::collections::HashSet::new();
@@ -127,9 +134,9 @@ pub fn prebuild_for_rules(
 ) -> Result<(), FalconError> {
     let seq = RuleSequence::new(rules.to_vec());
     let conjuncts = ConjunctSpecs::derive(&seq, features).with_signatures(prefilter);
-    for spec in conjuncts.all_specs() {
-        let dur = built.build_spec(cluster, a, &spec)?;
-        timeline.masked_machine("index_build", dur);
+    for (spec, key) in conjuncts.all_specs_keyed() {
+        let dur = built.build_spec_keyed(cluster, a, spec, key)?;
+        timeline.masked_machine_shaped("index_build", dur, 1, a.len() as u64);
     }
     Ok(())
 }
@@ -156,6 +163,10 @@ pub fn speculate_rules(
     /// materializing individually.
     const MAX_KEEP_FRACTION: f64 = 0.05;
     let mut out = HashMap::new();
+    // One probe-scratch pool for the whole speculation loop: each rule's
+    // execution reuses the buffers its predecessors allocated instead of
+    // re-allocating bitmaps and stats per speculative stage.
+    let pool = ScratchPool::new();
     for (rule, selectivity) in rules {
         if timeline.remaining_capacity().is_zero() {
             break; // the crowd finished; stop speculating
@@ -168,11 +179,11 @@ pub fn speculate_rules(
         if conjuncts.filterable().is_empty() {
             continue; // no index support; speculation would enumerate A×B
         }
-        for spec in conjuncts.all_specs() {
-            let dur = built.build_spec(cluster, a, &spec)?;
-            timeline.masked_machine("index_build", dur);
+        for (spec, key) in conjuncts.all_specs_keyed() {
+            let dur = built.build_spec_keyed(cluster, a, spec, key)?;
+            timeline.masked_machine_shaped("index_build", dur, 1, a.len() as u64);
         }
-        let result = physical::execute(
+        let result = physical::execute_pooled(
             PhysicalOp::ApplyAll,
             cluster,
             a,
@@ -183,9 +194,11 @@ pub fn speculate_rules(
             built,
             &[0.5],
             max_pairs,
+            &pool,
         );
         if let Ok(res) = result {
-            timeline.masked_machine("speculative_exec", res.duration);
+            let (tasks, records) = shape_sum(&res.jobs);
+            timeline.masked_machine_shaped("speculative_exec", res.duration, tasks, records);
             out.insert(rule.canonical_key(), res.candidates);
         }
     }

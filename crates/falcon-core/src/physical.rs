@@ -405,9 +405,12 @@ fn bundles_for(conjuncts: &ConjunctSpecs, built: &BuiltIndexes, which: &[usize])
         .filter_map(|&ci| {
             let preds = conjuncts.specs[ci]
                 .iter()
-                .map(|s| {
-                    let (spec, b_idx) = s.as_ref()?;
-                    let idx = built.get(spec)?;
+                .enumerate()
+                .map(|(pi, s)| {
+                    let (_, b_idx) = s.as_ref()?;
+                    // Cache lookup through the key hoisted at spec
+                    // derivation — no per-conjunct key formatting here.
+                    let idx = built.get_by_key(conjuncts.key_of(ci, pi)?)?;
                     let mode = planned_mode(&idx);
                     Some((idx, *b_idx, mode))
                 })
@@ -428,16 +431,31 @@ struct ProbeScratch {
     acc: CandidateBitmap,
     out: Vec<TupleId>,
     locals: Vec<ProbeStats>,
+    /// Feature-vector buffer for evaluator stages (kept here so the
+    /// pool recycles one allocation set for probe *and* evaluate work).
+    fv: Vec<f64>,
 }
 
 impl ProbeScratch {
-    fn new(a_len: usize, bundles: &[Bundle]) -> Self {
+    fn empty() -> Self {
         Self {
-            union: CandidateBitmap::new(a_len),
-            acc: CandidateBitmap::new(a_len),
+            union: CandidateBitmap::new(0),
+            acc: CandidateBitmap::new(0),
             out: Vec::new(),
-            locals: vec![ProbeStats::default(); bundles.len()],
+            locals: Vec::new(),
+            fv: Vec::new(),
         }
+    }
+
+    /// Make the scratch ready for a task over `a_len` A-tuples and
+    /// `n_bundles` conjunct bundles, keeping existing allocations.
+    fn prepare(&mut self, a_len: usize, n_bundles: usize) {
+        self.union.reset(a_len);
+        self.acc.reset(a_len);
+        self.out.clear();
+        self.locals.clear();
+        self.locals.resize(n_bundles, ProbeStats::default());
+        self.fv.clear();
     }
 
     /// Flush the accumulated per-conjunct deltas and zero them.
@@ -446,6 +464,34 @@ impl ProbeScratch {
             collector.add(bu.ci, local);
             *local = ProbeStats::default();
         }
+    }
+}
+
+/// Pool of [`ProbeScratch`] buffers, shared by the map tasks of one or
+/// more blocking executions. The bitmaps inside a scratch are sized to
+/// `|A|`, so recycling them across the optimizer's speculative stages
+/// (one `execute` per candidate rule over the same `A`) avoids
+/// re-zeroing multi-kilobyte buffers per stage — the single-job masking
+/// cost the stage-yielding driver must not regress.
+#[derive(Default)]
+pub struct ScratchPool {
+    slots: parking_lot::Mutex<Vec<ProbeScratch>>,
+}
+
+impl ScratchPool {
+    /// Fresh shared pool.
+    pub fn new() -> Arc<ScratchPool> {
+        Arc::new(Self::default())
+    }
+
+    fn checkout(&self, a_len: usize, n_bundles: usize) -> ProbeScratch {
+        let mut scratch = self.slots.lock().pop().unwrap_or_else(ProbeScratch::empty);
+        scratch.prepare(a_len, n_bundles);
+        scratch
+    }
+
+    fn restore(&self, scratch: ProbeScratch) {
+        self.slots.lock().push(scratch);
     }
 }
 
@@ -521,6 +567,7 @@ fn b_chunk_splits(b: &Table, cluster: &Cluster) -> Vec<Vec<Vec<TupleId>>> {
 }
 
 /// Index-probing + reducer-evaluation execution (ApplyAll / ApplyGreedy).
+#[allow(clippy::too_many_arguments)]
 fn run_probe_reduce(
     cluster: &Cluster,
     a: &Table,
@@ -528,6 +575,7 @@ fn run_probe_reduce(
     evaluator: Arc<PairEvaluator>,
     bundles: Vec<Bundle>,
     collector: &Arc<StatsCollector>,
+    pool: &Arc<ScratchPool>,
     op: PhysicalOp,
 ) -> Result<BlockingOutput, BlockingError> {
     let a_len = a.len();
@@ -535,12 +583,13 @@ fn run_probe_reduce(
     let b_handle = b.clone();
     let n_b = b.len();
     let collector = Arc::clone(collector);
+    let pool = Arc::clone(pool);
     let mut out = run_map_reduce(
         cluster,
         b_chunk_splits(b, cluster),
         cluster.threads(),
         move |chunk: &Vec<TupleId>, e: &mut Emitter<TupleId, TupleId>| {
-            let mut scratch = ProbeScratch::new(a_len, &bundles);
+            let mut scratch = pool.checkout(a_len, bundles.len());
             for &bid in chunk {
                 if candidates_for(&b_handle, bid, a_len, &bundles, &mut scratch) {
                     for &aid in &scratch.out {
@@ -553,6 +602,7 @@ fn run_probe_reduce(
                 }
             }
             scratch.flush(&bundles, &collector);
+            pool.restore(scratch);
         },
         move |aid: &TupleId, bids: Vec<TupleId>, out: &mut Vec<IdPair>| {
             let mut fv = Vec::new();
@@ -584,17 +634,19 @@ fn run_probe_wave(
     b: &Table,
     bundles: Vec<Bundle>,
     collector: &Arc<StatsCollector>,
+    pool: &Arc<ScratchPool>,
 ) -> Result<(HashSet<IdPair>, JobStats), BlockingError> {
     let a_len = a.len();
     let bundles = Arc::new(bundles);
     let b_handle = b.clone();
     let n_b = b.len();
     let collector = Arc::clone(collector);
+    let pool = Arc::clone(pool);
     let mut out = run_map_only(
         cluster,
         b_chunk_splits(b, cluster),
         move |chunk: &Vec<TupleId>, out: &mut Vec<IdPair>| {
-            let mut scratch = ProbeScratch::new(a_len, &bundles);
+            let mut scratch = pool.checkout(a_len, bundles.len());
             for &bid in chunk {
                 if candidates_for(&b_handle, bid, a_len, &bundles, &mut scratch) {
                     out.extend(scratch.out.iter().map(|&aid| (aid, bid)));
@@ -603,6 +655,7 @@ fn run_probe_wave(
                 }
             }
             scratch.flush(&bundles, &collector);
+            pool.restore(scratch);
         },
     )?;
     out.stats.input_records = n_b;
@@ -614,21 +667,24 @@ fn run_evaluate(
     cluster: &Cluster,
     evaluator: Arc<PairEvaluator>,
     pairs: Vec<IdPair>,
+    pool: &Arc<ScratchPool>,
 ) -> Result<(Vec<IdPair>, JobStats), BlockingError> {
     // Each split carries one whole pair chunk as a single record, so a map
     // task streams its chunk through the evaluator without per-pair
     // dispatch through the dataflow record loop (and with one shared
-    // feature-vector scratch buffer per chunk).
+    // feature-vector scratch buffer per chunk, recycled via the pool).
     let n_pairs = pairs.len();
     let chunk = n_pairs.div_ceil((cluster.threads() * 2).max(1)).max(1);
     let splits: Vec<Vec<Vec<IdPair>>> = pairs.chunks(chunk).map(|c| vec![c.to_vec()]).collect();
+    let pool = Arc::clone(pool);
     let mut out = run_map_only(cluster, splits, move |pair_chunk: &Vec<IdPair>, out| {
-        let mut fv = Vec::new();
+        let mut scratch = pool.checkout(0, 0);
         for &(aid, bid) in pair_chunk {
-            if evaluator.keeps_scratch(aid, bid, &mut fv) {
+            if evaluator.keeps_scratch(aid, bid, &mut scratch.fv) {
                 out.push((aid, bid));
             }
         }
+        pool.restore(scratch);
     })?;
     // Chunk-as-record wrapping counted chunks; restore the true count.
     out.stats.input_records = n_pairs;
@@ -651,6 +707,39 @@ pub fn execute(
     rule_selectivities: &[f64],
     max_pairs: u128,
 ) -> Result<BlockingOutput, BlockingError> {
+    execute_pooled(
+        op,
+        cluster,
+        a,
+        b,
+        features,
+        seq,
+        conjuncts,
+        built,
+        rule_selectivities,
+        max_pairs,
+        &ScratchPool::new(),
+    )
+}
+
+/// [`execute`] with a caller-owned [`ScratchPool`], so consecutive
+/// executions over the same `A` (the optimizer's speculative stages, the
+/// final `apply_blocking_rules`) recycle probe buffers instead of
+/// reallocating them per stage.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_pooled(
+    op: PhysicalOp,
+    cluster: &Cluster,
+    a: &Table,
+    b: &Table,
+    features: &FeatureSet,
+    seq: &RuleSequence,
+    conjuncts: &ConjunctSpecs,
+    built: &BuiltIndexes,
+    rule_selectivities: &[f64],
+    max_pairs: u128,
+    pool: &Arc<ScratchPool>,
+) -> Result<BlockingOutput, BlockingError> {
     let evaluator = Arc::new(PairEvaluator::new(a, b, features, seq));
     let filterable = conjuncts.filterable();
     let collector = Arc::new(StatsCollector::new(conjuncts.specs.len()));
@@ -662,7 +751,7 @@ pub fn execute(
             }
             let bundles = bundles_for(conjuncts, built, &filterable);
             record_modes(&mut modes, &bundles);
-            run_probe_reduce(cluster, a, b, evaluator, bundles, &collector, op)?
+            run_probe_reduce(cluster, a, b, evaluator, bundles, &collector, pool, op)?
         }
         PhysicalOp::ApplyGreedy => {
             let best = filterable
@@ -676,7 +765,7 @@ pub fn execute(
                 .ok_or(BlockingError::NoFilterableConjunct)?;
             let bundles = bundles_for(conjuncts, built, &[best]);
             record_modes(&mut modes, &bundles);
-            run_probe_reduce(cluster, a, b, evaluator, bundles, &collector, op)?
+            run_probe_reduce(cluster, a, b, evaluator, bundles, &collector, pool, op)?
         }
         PhysicalOp::ApplyConjunct => {
             if filterable.is_empty() {
@@ -692,7 +781,7 @@ pub fn execute(
                     continue;
                 }
                 record_modes(&mut modes, &bundles);
-                let (set, stats) = run_probe_wave(cluster, a, b, bundles, &collector)?;
+                let (set, stats) = run_probe_wave(cluster, a, b, bundles, &collector, pool)?;
                 jobs.push(stats);
                 acc = Some(match acc {
                     None => set,
@@ -701,7 +790,7 @@ pub fn execute(
             }
             let mut pairs: Vec<IdPair> = acc.unwrap_or_default().into_iter().collect();
             pairs.sort_unstable();
-            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs)?;
+            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs, pool)?;
             jobs.push(stats);
             let duration = jobs.iter().map(|s| s.sim_duration(&cluster.config)).sum();
             BlockingOutput {
@@ -727,9 +816,10 @@ pub fn execute(
                 // conjunct only admits extra candidates.
                 let specs: Option<Vec<Bundle>> = conjuncts.specs[ci]
                     .iter()
-                    .map(|s| {
-                        let (spec, b_idx) = s.as_ref()?;
-                        let idx = built.get(spec)?;
+                    .enumerate()
+                    .map(|(pi, s)| {
+                        let (_, b_idx) = s.as_ref()?;
+                        let idx = built.get_by_key(conjuncts.key_of(ci, pi)?)?;
                         let mode = planned_mode(&idx);
                         Some(Bundle {
                             ci,
@@ -741,7 +831,8 @@ pub fn execute(
                 record_modes(&mut modes, &pred_bundles);
                 let mut union: HashSet<IdPair> = HashSet::new();
                 for bundle in pred_bundles {
-                    let (set, stats) = run_probe_wave(cluster, a, b, vec![bundle], &collector)?;
+                    let (set, stats) =
+                        run_probe_wave(cluster, a, b, vec![bundle], &collector, pool)?;
                     jobs.push(stats);
                     union.extend(set);
                 }
@@ -752,7 +843,7 @@ pub fn execute(
             }
             let mut pairs: Vec<IdPair> = acc.unwrap_or_default().into_iter().collect();
             pairs.sort_unstable();
-            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs)?;
+            let (candidates, stats) = run_evaluate(cluster, evaluator, pairs, pool)?;
             jobs.push(stats);
             let duration = jobs.iter().map(|s| s.sim_duration(&cluster.config)).sum();
             BlockingOutput {
@@ -840,18 +931,17 @@ pub fn select_physical(
     a_bytes: usize,
     greedy_ratio: f64,
 ) -> PhysicalOp {
-    use crate::indexing::predicate_key;
     let filterable = conjuncts.filterable();
     if !filterable.is_empty() {
-        // Per-conjunct index byte totals.
+        // Per-conjunct index byte totals, via the hoisted cache keys.
         let conj_bytes: Vec<(usize, usize)> = filterable
             .iter()
             .map(|&ci| {
-                let keys: Vec<String> = conjuncts.specs[ci]
-                    .iter()
-                    .filter_map(|s| s.as_ref().map(|(spec, _)| predicate_key(spec)))
-                    .collect();
-                (ci, built.bytes_of(&keys))
+                let bytes = (0..conjuncts.specs[ci].len())
+                    .filter_map(|pi| conjuncts.key_of(ci, pi))
+                    .map(|k| built.bytes_of_key(k))
+                    .sum();
+                (ci, bytes)
             })
             .collect();
         // Most selective filterable conjunct (`conj_bytes` is non-empty
@@ -878,11 +968,9 @@ pub fn select_physical(
             // Per-predicate granularity.
             let max_pred = filterable
                 .iter()
-                .flat_map(|&ci| conjuncts.specs[ci].iter())
-                .filter_map(|s| {
-                    s.as_ref()
-                        .map(|(spec, _)| built.bytes_of(&[predicate_key(spec)]))
-                })
+                .flat_map(|&ci| (0..conjuncts.specs[ci].len()).map(move |pi| (ci, pi)))
+                .filter_map(|(ci, pi)| conjuncts.key_of(ci, pi))
+                .map(|k| built.bytes_of_key(k))
                 .max()
                 .unwrap_or(usize::MAX);
             if max_pred <= mapper_memory {

@@ -1,0 +1,155 @@
+//! Stage boundaries: the unit a multi-tenant scheduler reasons about.
+//!
+//! A Falcon run is a sequence of *stages* — MapReduce jobs, local model
+//! work and crowd rounds — that [`crate::timeline::Timeline`] records as
+//! segments. For a single job the record is enough; a shared service
+//! additionally needs to *intervene* at each boundary so one tenant's
+//! machine stages can fill the node pool while another tenant waits on
+//! the crowd (`falcon-serve`). This module defines that boundary
+//! protocol: a [`StageEvent`] describing the stage that just ran and a
+//! [`StageGate`] callback the timeline notifies (and, for machine
+//! stages, blocks on) after recording each segment.
+//!
+//! Because crowd answers in this codebase are computed synchronously and
+//! crowd latency is purely virtual accounting, gating at stage
+//! boundaries cannot change *what* a run computes — only when its
+//! machine stages are deemed to occupy cluster nodes. That is the
+//! foundation of the per-tenant determinism argument in DESIGN.md §13.
+
+use falcon_dataflow::JobStats;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic `(map_tasks, input_records)` shape of a cluster job,
+/// for [`crate::timeline::Timeline::machine_shaped`] — these counts
+/// depend only on the input and split policy, never on measured wall
+/// time, so a gated scheduler can price the stage reproducibly.
+pub fn shape_of(stats: &JobStats) -> (u32, u64) {
+    (stats.map_tasks.max(1) as u32, stats.input_records as u64)
+}
+
+/// Combined shape of a stage that ran several cluster jobs.
+pub fn shape_sum<'a>(jobs: impl IntoIterator<Item = &'a JobStats>) -> (u32, u64) {
+    let mut tasks = 0u32;
+    let mut records = 0u64;
+    for j in jobs {
+        tasks = tasks.saturating_add(j.map_tasks as u32);
+        records = records.saturating_add(j.input_records as u64);
+    }
+    (tasks.max(1), records)
+}
+
+/// What kind of work a stage performed, mirroring
+/// [`crate::timeline::Segment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Machine work on the critical path; a scheduler must lease nodes
+    /// and may not start it before the tenant's crowd frontier.
+    Machine,
+    /// Machine work the optimizer scheduled during crowdsourcing; a
+    /// scheduler leases nodes but may run it under pending crowd waits.
+    MaskedMachine,
+    /// A crowd round: virtual latency, no nodes consumed.
+    CrowdWait,
+}
+
+/// One completed stage, reported to a [`StageGate`] at its boundary.
+///
+/// `dur` is the stage's own simulated duration (what the timeline
+/// recorded). `tasks` and `records` are *deterministic shape hints* —
+/// map-task and input-record counts where the stage ran a cluster job,
+/// `1`/`0` otherwise — so a scheduler can price the stage with a
+/// deterministic cost model instead of the measured (and therefore
+/// run-to-run noisy) `dur`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageEvent {
+    /// Operator label, matching the timeline segment label.
+    pub label: String,
+    /// Kind of work.
+    pub kind: StageKind,
+    /// Simulated duration as recorded on the timeline.
+    pub dur: Duration,
+    /// Map tasks of the underlying cluster job (`1` for local work).
+    pub tasks: u32,
+    /// Input records of the underlying cluster job (`0` for local work).
+    pub records: u64,
+}
+
+/// Callback invoked at every stage boundary of a gated run.
+///
+/// `on_stage` is called *after* the segment is recorded. For
+/// [`StageKind::Machine`] and [`StageKind::MaskedMachine`] events the
+/// gate may block until a scheduler grants the tenant a node lease for
+/// its next stage — that blocking is what turns the monolithic driver
+/// loop into a resumable stage iterator without rewriting its call tree
+/// into an explicit state machine. For [`StageKind::CrowdWait`] events
+/// implementations should return promptly: crowd latency is virtual, so
+/// blocking the driver thread on it would serialize tenants for no
+/// reason.
+pub trait StageGate: Send + Sync {
+    /// Observe one stage boundary; may block (see trait docs).
+    fn on_stage(&self, event: StageEvent);
+}
+
+/// Shared handle to a gate, carried inside [`crate::timeline::Timeline`].
+///
+/// A newtype so `Timeline` can keep deriving `Debug`/`Clone` (trait
+/// objects have no `Debug`) and so serde's derive sees a concrete type.
+#[derive(Clone)]
+pub struct GateHandle(Arc<dyn StageGate>);
+
+impl GateHandle {
+    /// Wrap a gate for installation into a timeline.
+    pub fn new(gate: Arc<dyn StageGate>) -> Self {
+        Self(gate)
+    }
+
+    /// Notify the gate of a stage boundary.
+    pub fn on_stage(&self, event: StageEvent) {
+        self.0.on_stage(event);
+    }
+}
+
+impl std::fmt::Debug for GateHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("GateHandle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct Recorder(Mutex<Vec<StageEvent>>);
+
+    impl StageGate for Recorder {
+        fn on_stage(&self, event: StageEvent) {
+            self.0.lock().push(event);
+        }
+    }
+
+    #[test]
+    fn gate_handle_forwards_events() {
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let handle = GateHandle::new(rec.clone());
+        handle.on_stage(StageEvent {
+            label: "x".into(),
+            kind: StageKind::Machine,
+            dur: Duration::from_secs(1),
+            tasks: 4,
+            records: 100,
+        });
+        let seen = rec.0.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].kind, StageKind::Machine);
+        assert_eq!(seen[0].tasks, 4);
+    }
+
+    #[test]
+    fn gate_handle_debug_is_opaque() {
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let handle = GateHandle::new(rec);
+        assert_eq!(format!("{handle:?}"), "GateHandle(..)");
+    }
+}

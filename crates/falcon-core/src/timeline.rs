@@ -13,8 +13,10 @@
 //! * unmasked machine time `t_u` — machine work not covered by capacity,
 //! * total time — `t_c + t_u`.
 
+use crate::stage::{GateHandle, StageEvent, StageGate, StageKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One recorded segment.
@@ -62,6 +64,11 @@ impl Segment {
 pub struct Timeline {
     segments: Vec<Segment>,
     capacity: Duration,
+    /// Optional stage-boundary callback (`falcon-serve`'s lease
+    /// protocol). Never serialized; detached before a timeline is
+    /// embedded in a report.
+    #[serde(skip)]
+    gate: Option<GateHandle>,
 }
 
 impl Timeline {
@@ -70,35 +77,95 @@ impl Timeline {
         Self::default()
     }
 
+    /// Fresh timeline that notifies (and, for machine stages, blocks
+    /// on) `gate` at every stage boundary. See [`StageGate`].
+    pub fn with_gate(gate: Arc<dyn StageGate>) -> Self {
+        Self {
+            gate: Some(GateHandle::new(gate)),
+            ..Self::default()
+        }
+    }
+
+    /// Drop the stage gate, turning this back into a plain record.
+    /// Called before a timeline is moved into a `RunReport` so reports
+    /// never hold scheduler handles.
+    pub fn detach_gate(&mut self) {
+        self.gate = None;
+    }
+
+    fn notify(&self, label: &str, kind: StageKind, dur: Duration, tasks: u32, records: u64) {
+        if let Some(gate) = &self.gate {
+            gate.on_stage(StageEvent {
+                label: label.to_string(),
+                kind,
+                dur,
+                tasks,
+                records,
+            });
+        }
+    }
+
     /// Record unmaskable machine work.
     pub fn machine(&mut self, label: impl Into<String>, dur: Duration) {
+        self.machine_shaped(label, dur, 1, 0);
+    }
+
+    /// Record unmaskable machine work with the deterministic shape of
+    /// the underlying cluster job (map tasks / input records), so a
+    /// gated scheduler can price it without relying on measured wall
+    /// time. Identical to [`Timeline::machine`] when no gate is set.
+    pub fn machine_shaped(
+        &mut self,
+        label: impl Into<String>,
+        dur: Duration,
+        tasks: u32,
+        records: u64,
+    ) {
+        let label = label.into();
         self.segments.push(Segment::Machine {
-            label: label.into(),
+            label: label.clone(),
             dur,
         });
+        self.notify(&label, StageKind::Machine, dur, tasks, records);
     }
 
     /// Record a crowd round; its latency becomes masking capacity.
     pub fn crowd(&mut self, label: impl Into<String>, dur: Duration) {
+        let label = label.into();
         self.capacity += dur;
         self.segments.push(Segment::Crowd {
-            label: label.into(),
+            label: label.clone(),
             dur,
         });
+        self.notify(&label, StageKind::CrowdWait, dur, 0, 0);
     }
 
     /// Record machine work the optimizer scheduled during crowdsourcing.
     /// Consumes capacity; returns the excess that reached the critical
     /// path (zero when fully masked).
     pub fn masked_machine(&mut self, label: impl Into<String>, dur: Duration) -> Duration {
+        self.masked_machine_shaped(label, dur, 1, 0)
+    }
+
+    /// [`Timeline::masked_machine`] with the deterministic job shape —
+    /// see [`Timeline::machine_shaped`].
+    pub fn masked_machine_shaped(
+        &mut self,
+        label: impl Into<String>,
+        dur: Duration,
+        tasks: u32,
+        records: u64,
+    ) -> Duration {
+        let label = label.into();
         let covered = dur.min(self.capacity);
         self.capacity -= covered;
         let excess = dur - covered;
         self.segments.push(Segment::MaskedMachine {
-            label: label.into(),
+            label: label.clone(),
             dur,
             excess,
         });
+        self.notify(&label, StageKind::MaskedMachine, dur, tasks, records);
         excess
     }
 

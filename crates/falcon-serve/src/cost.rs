@@ -1,0 +1,123 @@
+//! Deterministic stage pricing for the multi-tenant scheduler.
+//!
+//! The scheduler never prices a machine stage by its *measured* duration
+//! — measured wall time is run-to-run noise, and a noisy price would make
+//! placements (and therefore per-tenant virtual finish times) depend on
+//! host load. Instead every machine stage carries its deterministic shape
+//! `(map tasks, input records)` from
+//! [`falcon_core::stage::StageEvent`], and this [`CostModel`] converts
+//! the shape plus a node grant into a simulated duration the same way
+//! the simulated Hadoop cluster does: per-job overhead, then waves of
+//! tasks across the granted slots. Crowd stages are priced by their
+//! recorded virtual latency, which *is* deterministic.
+
+use falcon_core::stage::{StageEvent, StageKind};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Prices a machine stage from its deterministic shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed simulated overhead per stage (job setup, scheduling).
+    pub job_overhead: Duration,
+    /// Fixed simulated overhead per task attempt.
+    pub task_overhead: Duration,
+    /// Simulated compute time per input record.
+    pub per_record: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Mirrors the simulated cluster's default job/task overheads
+        // (`ClusterConfig::default`), with a per-record charge small
+        // enough that crowd rounds dominate at paper-like settings.
+        Self {
+            job_overhead: Duration::from_millis(500),
+            task_overhead: Duration::from_millis(20),
+            per_record: Duration::from_micros(10),
+        }
+    }
+}
+
+impl CostModel {
+    /// A model scaled for unit tests: tiny overheads, legible numbers.
+    pub fn small() -> Self {
+        Self {
+            job_overhead: Duration::from_millis(10),
+            task_overhead: Duration::from_millis(1),
+            per_record: Duration::from_micros(1),
+        }
+    }
+
+    /// Map slots a stage could fill: one per task, expressed in nodes.
+    pub fn nodes_wanted(event: &StageEvent, slots_per_node: usize) -> usize {
+        let tasks = event.tasks.max(1) as usize;
+        tasks.div_ceil(slots_per_node.max(1))
+    }
+
+    /// Simulated duration of `event` when granted `nodes` nodes with
+    /// `slots_per_node` concurrent tasks each. Crowd stages return their
+    /// recorded virtual latency untouched; machine stages run
+    /// `ceil(tasks / (nodes × slots))` waves of per-task work.
+    pub fn duration(&self, event: &StageEvent, nodes: usize, slots_per_node: usize) -> Duration {
+        if event.kind == StageKind::CrowdWait {
+            return event.dur;
+        }
+        let tasks = u64::from(event.tasks.max(1));
+        let slots = (nodes.max(1) as u64).saturating_mul(slots_per_node.max(1) as u64);
+        let waves = tasks.div_ceil(slots);
+        let per_task_records = event.records.div_ceil(tasks);
+        let per_task = self.task_overhead
+            + self
+                .per_record
+                .saturating_mul(u32::try_from(per_task_records).unwrap_or(u32::MAX));
+        self.job_overhead + per_task.saturating_mul(u32::try_from(waves).unwrap_or(u32::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(tasks: u32, records: u64) -> StageEvent {
+        StageEvent {
+            label: "x".into(),
+            kind: StageKind::Machine,
+            dur: Duration::from_secs(99),
+            tasks,
+            records,
+        }
+    }
+
+    #[test]
+    fn more_nodes_means_fewer_waves() {
+        let cost = CostModel::small();
+        let ev = machine(16, 16_000);
+        let d1 = cost.duration(&ev, 1, 4); // 4 waves
+        let d4 = cost.duration(&ev, 4, 4); // 1 wave
+        assert!(d1 > d4);
+        assert_eq!(
+            d4,
+            cost.job_overhead + cost.task_overhead + cost.per_record * 1000
+        );
+    }
+
+    #[test]
+    fn crowd_stages_keep_virtual_latency() {
+        let cost = CostModel::default();
+        let ev = StageEvent {
+            label: "al_matcher".into(),
+            kind: StageKind::CrowdWait,
+            dur: Duration::from_secs(90),
+            tasks: 0,
+            records: 0,
+        };
+        assert_eq!(cost.duration(&ev, 10, 4), Duration::from_secs(90));
+    }
+
+    #[test]
+    fn nodes_wanted_rounds_up() {
+        assert_eq!(CostModel::nodes_wanted(&machine(9, 0), 4), 3);
+        assert_eq!(CostModel::nodes_wanted(&machine(1, 0), 4), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The lease protocol between a tenant's driver thread and the scheduler.
+//!
+//! Each tenant job runs the unmodified `falcon-core` driver on its own OS
+//! thread, gated by a [`ServeGate`] installed in its
+//! [`Timeline`](falcon_core::timeline::Timeline). At every stage boundary
+//! the gate reports a [`StageEvent`] to the scheduler over a per-tenant
+//! channel; for machine-kind stages it then *blocks* until the scheduler
+//! grants the tenant a node lease for whatever comes next. Crowd-kind
+//! stages never block: their latency is virtual, so parking the driver
+//! thread on them would serialize tenants for no reason.
+//!
+//! Real CPU concurrency is bounded separately by a counting semaphore
+//! ([`Permits`]): a tenant holds a permit while actually computing and
+//! releases it across its grant wait, so `ServeConfig::threads` caps how
+//! many drivers burn CPU at once. Permits are a *real-time* throttle
+//! only — the scheduler's lockstep rounds (drain every active tenant,
+//! place, grant) make every virtual-time outcome independent of the
+//! permit count, which is what the determinism tests pin down.
+
+use falcon_core::stage::{StageEvent, StageGate, StageKind};
+use parking_lot::Mutex;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+
+/// Counting semaphore over a bounded channel: the buffer holds the
+/// permits currently *checked out*, so `send` blocks once `k` holders
+/// exist and receiving returns one slot to the pool. (The vendored
+/// `parking_lot` stub has no condvar; a bounded channel gives the same
+/// blocking discipline with no busy wait.)
+pub(crate) struct Permits {
+    tx: SyncSender<()>,
+    rx: Mutex<Receiver<()>>,
+}
+
+impl Permits {
+    pub(crate) fn new(k: usize) -> Arc<Self> {
+        let (tx, rx) = sync_channel(k.max(1));
+        Arc::new(Self {
+            tx,
+            rx: Mutex::new(rx),
+        })
+    }
+
+    /// Block until a permit is free, then hold it.
+    pub(crate) fn acquire(&self) {
+        // The receiver lives in `self`, so send can only fail if the
+        // permit pool itself is gone — nothing to hold in that case.
+        let _ = self.tx.send(());
+    }
+
+    /// Return a held permit.
+    pub(crate) fn release(&self) {
+        let _ = self.rx.lock().try_recv();
+    }
+}
+
+/// Stage-boundary gate for one tenant (see module docs).
+pub(crate) struct ServeGate {
+    /// Stage reports to the scheduler. `Sender` is wrapped so the gate is
+    /// `Sync` on every supported toolchain.
+    events: Mutex<Sender<StageEvent>>,
+    /// Node-lease grants from the scheduler.
+    grants: Mutex<Receiver<()>>,
+    /// Real-concurrency throttle shared by all tenants.
+    permits: Arc<Permits>,
+}
+
+impl ServeGate {
+    pub(crate) fn new(
+        events: Sender<StageEvent>,
+        grants: Receiver<()>,
+        permits: Arc<Permits>,
+    ) -> Self {
+        Self {
+            events: Mutex::new(events),
+            grants: Mutex::new(grants),
+            permits,
+        }
+    }
+}
+
+impl StageGate for ServeGate {
+    fn on_stage(&self, event: StageEvent) {
+        let kind = event.kind;
+        if self.events.lock().send(event).is_err() {
+            // Scheduler gone (shut down or failed): run to completion
+            // ungated rather than wedging the tenant thread.
+            return;
+        }
+        if kind == StageKind::CrowdWait {
+            return;
+        }
+        // Machine-kind boundary: hand the CPU back while waiting for the
+        // scheduler to place this stage and grant the next lease.
+        self.permits.release();
+        let _ = self.grants.lock().recv();
+        self.permits.acquire();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    fn ev(kind: StageKind) -> StageEvent {
+        StageEvent {
+            label: "x".into(),
+            kind,
+            dur: Duration::from_secs(1),
+            tasks: 1,
+            records: 0,
+        }
+    }
+
+    #[test]
+    fn crowd_events_do_not_block() {
+        let (etx, erx) = channel();
+        let (_gtx, grx) = channel();
+        let gate = ServeGate::new(etx, grx, Permits::new(1));
+        // Would deadlock if crowd events waited for a grant.
+        gate.on_stage(ev(StageKind::CrowdWait));
+        assert_eq!(erx.recv().unwrap().kind, StageKind::CrowdWait);
+    }
+
+    #[test]
+    fn machine_events_block_until_granted() {
+        let (etx, erx) = channel();
+        let (gtx, grx) = channel();
+        let permits = Permits::new(1);
+        permits.acquire();
+        let gate = Arc::new(ServeGate::new(etx, grx, permits));
+        let g2 = gate.clone();
+        let h = std::thread::spawn(move || g2.on_stage(ev(StageKind::Machine)));
+        // The event arrives while the worker is parked on the grant.
+        assert_eq!(erx.recv().unwrap().kind, StageKind::Machine);
+        gtx.send(()).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn permits_bound_holders() {
+        let p = Permits::new(2);
+        p.acquire();
+        p.acquire();
+        // A third acquire would block; release frees a slot first.
+        p.release();
+        p.acquire();
+        p.release();
+        p.release();
+    }
+}

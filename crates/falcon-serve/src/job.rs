@@ -1,0 +1,135 @@
+//! One tenant's admission request: a complete EM job plus service-level
+//! metadata (priority, virtual arrival time, crash journal).
+
+use falcon_core::driver::{Falcon, FalconConfig, RunReport};
+use falcon_core::error::FalconError;
+use falcon_crowd::Crowd;
+use falcon_table::Table;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tenant job submitted to the service.
+///
+/// The crowd is held as `Arc<dyn Crowd>` so heterogeneous tenants (MTurk
+/// workers, in-house experts, oracles) can share one queue; the blanket
+/// `impl Crowd for Arc<C>` means the driver consumes it unchanged.
+pub struct JobSpec {
+    /// Tenant name, used in reports and manifests.
+    pub name: String,
+    /// Table A.
+    pub a: Table,
+    /// Table B.
+    pub b: Table,
+    /// Full driver configuration, fault plan included. Each tenant gets
+    /// its own simulated cluster built from this config, so one tenant's
+    /// fault plan or job numbering can never leak into another's run.
+    pub config: FalconConfig,
+    /// The tenant's crowd.
+    pub crowd: Arc<dyn Crowd>,
+    /// Scheduling priority (higher = served first under
+    /// [`Policy::Priority`](crate::sched::Policy)).
+    pub priority: i32,
+    /// Virtual submission time (default: all jobs arrive at `t = 0`).
+    pub arrival: Duration,
+    /// `> 0` runs the accuracy-driven workflow with this outer-round cap
+    /// instead of a single pass.
+    pub workflow_rounds: usize,
+    /// Optional per-tenant crash-recovery journal path.
+    pub journal: Option<PathBuf>,
+}
+
+impl JobSpec {
+    /// A job with default service metadata (priority 0, arrival 0,
+    /// single-pass, no journal).
+    pub fn new(
+        name: impl Into<String>,
+        a: Table,
+        b: Table,
+        config: FalconConfig,
+        crowd: Arc<dyn Crowd>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            a,
+            b,
+            config,
+            crowd,
+            priority: 0,
+            arrival: Duration::ZERO,
+            workflow_rounds: 0,
+            journal: None,
+        }
+    }
+
+    /// Set the scheduling priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the virtual arrival time.
+    pub fn with_arrival(mut self, arrival: Duration) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Run the accuracy-driven workflow with this many outer rounds.
+    pub fn with_workflow(mut self, rounds: usize) -> Self {
+        self.workflow_rounds = rounds;
+        self
+    }
+
+    /// Attach a crash-recovery journal at `path`.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Run this job alone, ungated — the reference a tenant's shared-pool
+    /// report must match bit-for-bit. Uses the same journal handling as
+    /// the gated path.
+    ///
+    /// Note that stateful simulated crowds advance their RNG as they
+    /// answer; for identity comparisons construct a *fresh* crowd with
+    /// the same seed rather than reusing one that already served.
+    pub fn run_solo(&self) -> Result<RunReport, FalconError> {
+        let falcon = Falcon::new(self.config.clone());
+        if self.workflow_rounds > 0 {
+            match &self.journal {
+                Some(p) => falcon
+                    .try_run_workflow_resumable(
+                        &self.a,
+                        &self.b,
+                        self.crowd.clone(),
+                        self.workflow_rounds,
+                        p,
+                    )
+                    .map(|(r, _)| r),
+                None => falcon
+                    .try_run_workflow(&self.a, &self.b, self.crowd.clone(), self.workflow_rounds)
+                    .map(|(r, _)| r),
+            }
+        } else {
+            match &self.journal {
+                Some(p) => falcon.try_run_resumable(&self.a, &self.b, self.crowd.clone(), p),
+                None => falcon.try_run(&self.a, &self.b, self.crowd.clone()),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("a", &self.a.len())
+            .field("b", &self.b.len())
+            .field("crowd", &self.crowd.name())
+            .field("priority", &self.priority)
+            .field("arrival", &self.arrival)
+            .field("workflow_rounds", &self.workflow_rounds)
+            .field("journal", &self.journal)
+            .finish()
+    }
+}

@@ -1,0 +1,702 @@
+//! The multi-tenant scheduler: lockstep rounds over gated drivers, a
+//! discrete-event node pool, and the serial replay baseline.
+//!
+//! # Lockstep rounds
+//!
+//! Every tenant runs the ordinary `falcon-core` driver on its own OS
+//! thread, gated at stage boundaries (see [`crate::gate`]). The
+//! scheduler loops in *rounds*: drain each active tenant's event channel
+//! until the tenant is parked on a machine-kind boundary (crowd events
+//! are folded into its virtual clocks on the way) or its channel
+//! disconnects (the run finished); then place every parked stage on the
+//! shared [`PoolSim`] in policy order; then grant all parked tenants
+//! their next lease. Because a round's content never depends on *when*
+//! threads ran — only on the order events sit in per-tenant FIFO
+//! channels, which is each driver's program order — every virtual-time
+//! outcome is identical at any `threads` setting. The permit count
+//! throttles real CPU use and nothing else.
+//!
+//! # Virtual time
+//!
+//! Per tenant the scheduler keeps two clocks: `machine_ready` (when its
+//! last machine stage finished) and `crowd_free` (when its pending crowd
+//! rounds complete). A crowd stage starts at `max(machine_ready,
+//! crowd_free)` and pushes `crowd_free`; it occupies **zero** nodes. A
+//! masked machine stage may start at `machine_ready` — under the
+//! tenant's own open crowd window — while an unmasked one must wait for
+//! `max(machine_ready, crowd_free)`. Either kind then waits for enough
+//! free nodes in the shared pool. One tenant's crowd waits therefore
+//! leave nodes free exactly when another tenant's machine stages want
+//! them: the paper's single-job masking optimization, generalized across
+//! tenants.
+
+use crate::cost::CostModel;
+use crate::gate::{Permits, ServeGate};
+use crate::job::JobSpec;
+use falcon_core::driver::{Falcon, RunReport};
+use falcon_core::error::FalconError;
+use falcon_core::stage::{StageEvent, StageKind};
+use falcon_crowd::CrowdJournal;
+use falcon_dataflow::{DataflowError, DetRng, Phase};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How parked stages are ordered within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Earliest arrival first (ties: tenant index).
+    Fifo,
+    /// Least machine service so far first, and each stage's node grant is
+    /// capped at `pool / active_tenants`.
+    FairShare,
+    /// Highest [`JobSpec::priority`] first (ties: least machine service).
+    Priority,
+    /// Seeded random order, keyed by `(seed, round, tenant)` through
+    /// [`DetRng::for_task`] — reproducible at any thread count.
+    Random,
+}
+
+impl Policy {
+    /// Parse a policy name as used by the CLI manifest.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fifo" => Some(Self::Fifo),
+            "fair" | "fairshare" | "fair-share" => Some(Self::FairShare),
+            "priority" => Some(Self::Priority),
+            "random" => Some(Self::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Service configuration: the shared pool and scheduling knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Nodes in the shared pool.
+    pub pool_nodes: usize,
+    /// Concurrent tasks per node (used to size node grants).
+    pub slots_per_node: usize,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Real-concurrency cap: how many tenant drivers may compute at
+    /// once. Affects wall-clock time only — never virtual outcomes.
+    pub threads: usize,
+    /// Seed for [`Policy::Random`].
+    pub seed: u64,
+    /// Stage pricing.
+    pub cost: CostModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            pool_nodes: 10,
+            slots_per_node: 4,
+            policy: Policy::FairShare,
+            threads: 4,
+            seed: 0,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Discrete-event view of the shared node pool: a step function of node
+/// usage over virtual time, stored as a sorted delta map.
+#[derive(Debug)]
+struct PoolSim {
+    nodes: i64,
+    /// `time (ns) → usage delta`; a stage on `[s, e)` adds `+n` at `s`
+    /// and `-n` at `e`, so usage at `t` is the prefix sum through `t`.
+    deltas: BTreeMap<u64, i64>,
+    /// Node·nanoseconds committed (for utilization).
+    busy: u128,
+    /// Latest committed stage end.
+    horizon: u64,
+}
+
+impl PoolSim {
+    fn new(nodes: usize) -> Self {
+        Self {
+            nodes: nodes.max(1) as i64,
+            deltas: BTreeMap::new(),
+            busy: 0,
+            horizon: 0,
+        }
+    }
+
+    /// Earliest `start ≥ ready` at which `want` nodes stay free for
+    /// `dur` ns. Single forward sweep over the delta map: candidates
+    /// only move right, so the scan is linear in committed stages.
+    fn earliest_start(&self, ready: u64, want: i64, dur: u64) -> u64 {
+        let cap = self.nodes - want.min(self.nodes);
+        let mut usage: i64 = self.deltas.range(..=ready).map(|(_, d)| *d).sum();
+        let events: Vec<(u64, i64)> = self
+            .deltas
+            .range(ready + 1..)
+            .map(|(k, d)| (*k, *d))
+            .collect();
+        let mut cand = ready;
+        let mut i = 0;
+        loop {
+            if usage <= cap {
+                // Check the whole window [cand, cand + dur).
+                let end = cand.saturating_add(dur);
+                let mut window_usage = usage;
+                let mut j = i;
+                let mut conflict = None;
+                while j < events.len() && events[j].0 < end {
+                    window_usage += events[j].1;
+                    if window_usage > cap {
+                        conflict = Some(j);
+                        break;
+                    }
+                    j += 1;
+                }
+                match conflict {
+                    None => return cand,
+                    Some(j) => {
+                        // Jump the candidate to the conflict point; the
+                        // outer loop keeps advancing until usage drops.
+                        while i <= j {
+                            usage += events[i].1;
+                            i += 1;
+                        }
+                        cand = events[j].0;
+                    }
+                }
+            } else if i < events.len() {
+                usage += events[i].1;
+                cand = events[i].0;
+                i += 1;
+            } else {
+                // All commitments end eventually; past the horizon the
+                // pool is empty.
+                return cand.max(self.horizon);
+            }
+        }
+    }
+
+    /// Commit `want` nodes over `[start, end)`.
+    fn commit(&mut self, start: u64, end: u64, want: i64) {
+        if end <= start || want <= 0 {
+            return;
+        }
+        *self.deltas.entry(start).or_insert(0) += want;
+        *self.deltas.entry(end).or_insert(0) -= want;
+        self.deltas.retain(|_, d| *d != 0);
+        self.busy += u128::from(end - start) * want.unsigned_abs() as u128;
+        self.horizon = self.horizon.max(end);
+    }
+
+    /// Fraction of `nodes × makespan` spent busy.
+    fn utilization(&self, makespan: u64) -> f64 {
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / (self.nodes as f64 * makespan as f64)
+    }
+}
+
+/// One tenant's virtual clocks.
+#[derive(Debug, Clone, Copy)]
+struct TenantClock {
+    machine_ready: u64,
+    crowd_free: u64,
+    /// Node·nanoseconds of machine service consumed (fair-share key).
+    machine_service: u128,
+}
+
+impl TenantClock {
+    fn at(arrival: u64) -> Self {
+        Self {
+            machine_ready: arrival,
+            crowd_free: arrival,
+            machine_service: 0,
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.machine_ready.max(self.crowd_free)
+    }
+}
+
+/// Place one stage for one tenant; shared by the live loop and the
+/// serial replay so both price work identically.
+fn apply_stage(
+    clock: &mut TenantClock,
+    pool: &mut PoolSim,
+    cost: &CostModel,
+    slots_per_node: usize,
+    node_cap: usize,
+    ev: &StageEvent,
+) {
+    match ev.kind {
+        StageKind::CrowdWait => {
+            let start = clock.finish();
+            clock.crowd_free = start.saturating_add(ns(ev.dur));
+        }
+        StageKind::Machine | StageKind::MaskedMachine => {
+            let ready = if ev.kind == StageKind::MaskedMachine {
+                clock.machine_ready
+            } else {
+                clock.finish()
+            };
+            let want = CostModel::nodes_wanted(ev, slots_per_node)
+                .min(node_cap.max(1))
+                .max(1) as i64;
+            let want = want.min(pool.nodes);
+            let dur = ns(cost.duration(ev, want as usize, slots_per_node)).max(1);
+            let start = pool.earliest_start(ready, want, dur);
+            let end = start.saturating_add(dur);
+            pool.commit(start, end, want);
+            clock.machine_ready = end;
+            clock.machine_service += u128::from(dur) * want.unsigned_abs() as u128;
+        }
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One tenant's service-level outcome.
+#[derive(Debug)]
+pub struct TenantOutcome {
+    /// Tenant name from the [`JobSpec`].
+    pub name: String,
+    /// Scheduling priority the tenant ran with.
+    pub priority: i32,
+    /// Virtual submission time.
+    pub arrival: Duration,
+    /// Virtual completion time on the shared pool.
+    pub finish: Duration,
+    /// `finish − arrival`.
+    pub latency: Duration,
+    /// Node·time of machine service consumed.
+    pub machine_service: Duration,
+    /// Stage boundaries observed (machine + masked + crowd).
+    pub stages: usize,
+    /// The tenant's run result — a full [`RunReport`] on success. Gating
+    /// never alters a report, so this is bit-identical to a solo run.
+    pub result: Result<RunReport, FalconError>,
+}
+
+/// Aggregate service report, with the run-jobs-serially baseline replayed
+/// from the recorded stage traces.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-tenant outcomes in submission order.
+    pub outcomes: Vec<TenantOutcome>,
+    /// Virtual completion time of the last tenant on the shared pool.
+    pub makespan: Duration,
+    /// Virtual makespan of the same stage traces run one job at a time.
+    pub serial_makespan: Duration,
+    /// Busy fraction of the pool over the shared makespan.
+    pub utilization: f64,
+    /// Busy fraction of the pool over the serial makespan.
+    pub serial_utilization: f64,
+    /// Per-tenant latencies of the serial baseline, in submission order.
+    pub serial_latencies: Vec<Duration>,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Pool size the report was produced with.
+    pub pool_nodes: usize,
+}
+
+impl ServeReport {
+    /// Aggregate-throughput speedup over running the jobs serially.
+    pub fn throughput_speedup(&self) -> f64 {
+        let shared = self.makespan.as_secs_f64();
+        if shared == 0.0 {
+            return 1.0;
+        }
+        self.serial_makespan.as_secs_f64() / shared
+    }
+
+    /// `p`-th percentile (0–100, nearest-rank) of shared-pool latencies.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        percentile(self.outcomes.iter().map(|o| o.latency).collect(), p)
+    }
+
+    /// `p`-th percentile of the serial baseline's latencies.
+    pub fn serial_latency_percentile(&self, p: f64) -> Duration {
+        percentile(self.serial_latencies.clone(), p)
+    }
+}
+
+fn percentile(mut xs: Vec<Duration>, p: f64) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.sort_unstable();
+    let rank = ((p / 100.0) * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
+/// Per-tenant scheduler state.
+struct Tenant {
+    meta_priority: i32,
+    arrival_ns: u64,
+    events: Receiver<StageEvent>,
+    grants: Sender<()>,
+    handle: Option<JoinHandle<Result<RunReport, FalconError>>>,
+    clock: TenantClock,
+    trace: Vec<StageEvent>,
+    finished: bool,
+    result: Option<Result<RunReport, FalconError>>,
+}
+
+fn run_job(job: &JobSpec, gate: Arc<ServeGate>) -> Result<RunReport, FalconError> {
+    let journal = match &job.journal {
+        Some(p) => Some(CrowdJournal::open(p)?),
+        None => None,
+    };
+    let falcon = Falcon::new(job.config.clone());
+    if job.workflow_rounds > 0 {
+        falcon
+            .try_run_workflow_gated(
+                &job.a,
+                &job.b,
+                job.crowd.clone(),
+                job.workflow_rounds,
+                journal,
+                gate,
+            )
+            .map(|(r, _)| r)
+    } else {
+        falcon.try_run_gated(&job.a, &job.b, job.crowd.clone(), journal, gate)
+    }
+}
+
+/// Run `jobs` concurrently on one shared node pool.
+///
+/// Admission is the vector itself: index order is submission order. The
+/// call returns when every tenant has completed (successfully or not) —
+/// one tenant's failure never aborts the others.
+pub fn serve(jobs: Vec<JobSpec>, cfg: &ServeConfig) -> ServeReport {
+    let permits = Permits::new(cfg.threads);
+    let mut tenants: Vec<Tenant> = Vec::with_capacity(jobs.len());
+    let mut names: Vec<String> = Vec::with_capacity(jobs.len());
+
+    for job in jobs {
+        let (ev_tx, ev_rx) = channel();
+        let (grant_tx, grant_rx) = channel();
+        let gate = Arc::new(ServeGate::new(ev_tx, grant_rx, permits.clone()));
+        let permits_for_thread = permits.clone();
+        names.push(job.name.clone());
+        let tenant = Tenant {
+            meta_priority: job.priority,
+            arrival_ns: ns(job.arrival),
+            events: ev_rx,
+            grants: grant_tx,
+            handle: None,
+            clock: TenantClock::at(ns(job.arrival)),
+            trace: Vec::new(),
+            finished: false,
+            result: None,
+        };
+        let handle = std::thread::spawn(move || {
+            permits_for_thread.acquire();
+            let res = run_job(&job, gate.clone());
+            // Disconnect the event channel *before* releasing the permit
+            // so the scheduler sees a clean end-of-stream.
+            drop(gate);
+            permits_for_thread.release();
+            res
+        });
+        let mut tenant = tenant;
+        tenant.handle = Some(handle);
+        tenants.push(tenant);
+    }
+
+    let mut pool = PoolSim::new(cfg.pool_nodes);
+    let mut round: u64 = 0;
+
+    loop {
+        // Drain every active tenant to its next machine boundary (or to
+        // completion), folding crowd events into its clocks in program
+        // order. `pending` holds (tenant index, parked stage).
+        let mut pending: Vec<(usize, StageEvent)> = Vec::new();
+        let mut any_active = false;
+        for (idx, t) in tenants.iter_mut().enumerate() {
+            if t.finished {
+                continue;
+            }
+            any_active = true;
+            loop {
+                match t.events.recv() {
+                    Ok(ev) if ev.kind == StageKind::CrowdWait => {
+                        apply_stage(
+                            &mut t.clock,
+                            &mut pool,
+                            &cfg.cost,
+                            cfg.slots_per_node,
+                            cfg.pool_nodes,
+                            &ev,
+                        );
+                        t.trace.push(ev);
+                    }
+                    Ok(ev) => {
+                        t.trace.push(ev.clone());
+                        pending.push((idx, ev));
+                        break;
+                    }
+                    Err(_) => {
+                        t.finished = true;
+                        t.result = Some(join_tenant(t.handle.take()));
+                        break;
+                    }
+                }
+            }
+        }
+        if !any_active {
+            break;
+        }
+        if pending.is_empty() {
+            round += 1;
+            continue;
+        }
+
+        // Policy order, then place sequentially against the shared pool.
+        let active = tenants.iter().filter(|t| !t.finished).count().max(1);
+        let node_cap = match cfg.policy {
+            Policy::FairShare => (cfg.pool_nodes / active).max(1),
+            _ => cfg.pool_nodes,
+        };
+        sort_pending(&mut pending, &tenants, cfg, round);
+        for (idx, ev) in &pending {
+            let t = &mut tenants[*idx];
+            apply_stage(
+                &mut t.clock,
+                &mut pool,
+                &cfg.cost,
+                cfg.slots_per_node,
+                node_cap,
+                ev,
+            );
+        }
+        // Release every parked tenant for its next stage.
+        for (idx, _) in &pending {
+            let _ = tenants[*idx].grants.send(());
+        }
+        round += 1;
+    }
+
+    // Assemble outcomes; the shared makespan is the last virtual finish.
+    let mut makespan_ns: u64 = 0;
+    let mut outcomes = Vec::with_capacity(tenants.len());
+    for (t, name) in tenants.iter_mut().zip(names) {
+        let finish = t.clock.finish();
+        makespan_ns = makespan_ns.max(finish);
+        outcomes.push(TenantOutcome {
+            name,
+            priority: t.meta_priority,
+            arrival: Duration::from_nanos(t.arrival_ns),
+            finish: Duration::from_nanos(finish),
+            latency: Duration::from_nanos(finish.saturating_sub(t.arrival_ns)),
+            machine_service: Duration::from_nanos(
+                u64::try_from(t.clock.machine_service).unwrap_or(u64::MAX),
+            ),
+            stages: t.trace.len(),
+            result: t.result.take().unwrap_or(Err(FalconError::EmptyInput {
+                what: "tenant result",
+            })),
+        });
+    }
+    let utilization = pool.utilization(makespan_ns);
+
+    // Serial baseline: replay the recorded traces one tenant at a time
+    // against a fresh pool — pure virtual-time arithmetic, no re-run.
+    let (serial_makespan_ns, serial_utilization, serial_latencies) = replay_serial(&tenants, cfg);
+
+    ServeReport {
+        outcomes,
+        makespan: Duration::from_nanos(makespan_ns),
+        serial_makespan: Duration::from_nanos(serial_makespan_ns),
+        utilization,
+        serial_utilization,
+        serial_latencies,
+        rounds: round,
+        pool_nodes: cfg.pool_nodes,
+    }
+}
+
+fn join_tenant(
+    handle: Option<JoinHandle<Result<RunReport, FalconError>>>,
+) -> Result<RunReport, FalconError> {
+    let Some(handle) = handle else {
+        return Err(FalconError::EmptyInput {
+            what: "tenant thread",
+        });
+    };
+    match handle.join() {
+        Ok(res) => res,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "tenant driver thread panicked".to_string());
+            Err(FalconError::Dataflow(DataflowError::WorkerPanicked {
+                job: 0,
+                phase: Phase::Map,
+                task: 0,
+                attempts: 1,
+                message,
+            }))
+        }
+    }
+}
+
+fn sort_pending(
+    pending: &mut [(usize, StageEvent)],
+    tenants: &[Tenant],
+    cfg: &ServeConfig,
+    round: u64,
+) {
+    match cfg.policy {
+        Policy::Fifo => pending.sort_by_key(|(idx, _)| (tenants[*idx].arrival_ns, *idx)),
+        Policy::FairShare => pending.sort_by_key(|(idx, _)| {
+            (
+                tenants[*idx].clock.machine_service,
+                u128::from(tenants[*idx].arrival_ns),
+                *idx as u128,
+            )
+        }),
+        Policy::Priority => pending.sort_by_key(|(idx, _)| {
+            (
+                std::cmp::Reverse(tenants[*idx].meta_priority),
+                tenants[*idx].clock.machine_service,
+                *idx as u128,
+            )
+        }),
+        Policy::Random => pending.sort_by(|(x, _), (y, _)| {
+            let key = |idx: usize| DetRng::for_task(cfg.seed, round, Phase::Map, idx, 0).gen_f64();
+            key(*x).total_cmp(&key(*y)).then_with(|| x.cmp(y))
+        }),
+    }
+}
+
+fn replay_serial(tenants: &[Tenant], cfg: &ServeConfig) -> (u64, f64, Vec<Duration>) {
+    let mut pool = PoolSim::new(cfg.pool_nodes);
+    // Serve in submission order, respecting arrivals: the next job starts
+    // no earlier than its arrival or the previous job's finish.
+    let mut clock_base: u64 = 0;
+    let mut latencies = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let start = clock_base.max(t.arrival_ns);
+        let mut clock = TenantClock::at(start);
+        for ev in &t.trace {
+            apply_stage(
+                &mut clock,
+                &mut pool,
+                &cfg.cost,
+                cfg.slots_per_node,
+                cfg.pool_nodes,
+                ev,
+            );
+        }
+        clock_base = clock.finish();
+        latencies.push(Duration::from_nanos(
+            clock_base.saturating_sub(t.arrival_ns),
+        ));
+    }
+    (clock_base, pool.utilization(clock_base), latencies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: StageKind, dur_s: u64, tasks: u32, records: u64) -> StageEvent {
+        StageEvent {
+            label: "t".into(),
+            kind,
+            dur: Duration::from_secs(dur_s),
+            tasks,
+            records,
+        }
+    }
+
+    #[test]
+    fn pool_places_at_ready_when_free() {
+        let pool = PoolSim::new(4);
+        assert_eq!(pool.earliest_start(100, 4, 50), 100);
+    }
+
+    #[test]
+    fn pool_waits_for_capacity() {
+        let mut pool = PoolSim::new(4);
+        pool.commit(0, 100, 3);
+        // Wants 2, only 1 free until 100.
+        assert_eq!(pool.earliest_start(0, 2, 10), 100);
+        // Wants 1: fits immediately.
+        assert_eq!(pool.earliest_start(0, 1, 10), 0);
+    }
+
+    #[test]
+    fn pool_backfills_gaps() {
+        let mut pool = PoolSim::new(4);
+        pool.commit(100, 200, 4);
+        // A 50ns stage fits before the existing commitment.
+        assert_eq!(pool.earliest_start(0, 2, 50), 0);
+        // A 150ns stage cannot: it must wait out the busy window.
+        assert_eq!(pool.earliest_start(0, 2, 150), 200);
+    }
+
+    #[test]
+    fn utilization_counts_node_time() {
+        let mut pool = PoolSim::new(2);
+        pool.commit(0, 100, 1);
+        assert!((pool.utilization(100) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_stages_run_under_crowd_windows() {
+        let cost = CostModel::small();
+        let mut pool = PoolSim::new(4);
+        let mut clock = TenantClock::at(0);
+        apply_stage(
+            &mut clock,
+            &mut pool,
+            &cost,
+            4,
+            4,
+            &ev(StageKind::CrowdWait, 100, 0, 0),
+        );
+        let crowd_free = clock.crowd_free;
+        apply_stage(
+            &mut clock,
+            &mut pool,
+            &cost,
+            4,
+            4,
+            &ev(StageKind::MaskedMachine, 999, 4, 100),
+        );
+        // The masked stage started before the crowd window closed.
+        assert!(clock.machine_ready < crowd_free);
+        // An unmasked stage must wait for the crowd.
+        apply_stage(
+            &mut clock,
+            &mut pool,
+            &cost,
+            4,
+            4,
+            &ev(StageKind::Machine, 999, 4, 100),
+        );
+        assert!(clock.machine_ready > crowd_free);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<Duration> = (1..=10).map(Duration::from_secs).collect();
+        assert_eq!(percentile(xs.clone(), 50.0), Duration::from_secs(5));
+        assert_eq!(percentile(xs.clone(), 99.0), Duration::from_secs(10));
+        assert_eq!(percentile(xs, 100.0), Duration::from_secs(10));
+        assert_eq!(percentile(Vec::new(), 50.0), Duration::ZERO);
+    }
+}

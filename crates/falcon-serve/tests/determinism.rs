@@ -1,0 +1,144 @@
+//! Scheduler determinism: the same job set, seed and policy must produce
+//! identical stage interleavings, ledgers and aggregate counters at any
+//! scheduler thread count. The permit count throttles real CPU use only;
+//! every virtual-time quantity comes out of the lockstep rounds.
+
+use falcon_core::driver::FalconConfig;
+use falcon_core::plan::PlanKind;
+use falcon_crowd::sim::{GroundTruth, RandomWorkerCrowd};
+use falcon_dataflow::ClusterConfig;
+use falcon_serve::{match_digest, serve, JobSpec, Policy, ServeConfig, ServeReport};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn em_config(seed: u64) -> FalconConfig {
+    FalconConfig {
+        sample_size: 200,
+        sample_fanout: 20,
+        cluster: ClusterConfig::small(4),
+        force_plan: Some(PlanKind::BlockAndMatch),
+        seed,
+        ..FalconConfig::default()
+    }
+}
+
+/// Three tenants over the products dataset with distinct data seeds,
+/// priorities and arrivals. Crowds are constructed fresh per call so
+/// every invocation starts from the same RNG state.
+fn make_jobs(seed: u64) -> Vec<JobSpec> {
+    (0..3u64)
+        .map(|i| {
+            let data = falcon_datagen::generate("products", 0.015, seed.wrapping_add(i));
+            let truth = GroundTruth::new(data.truth.iter().copied());
+            let crowd = Arc::new(RandomWorkerCrowd::new(truth, 0.05, seed ^ (i + 1)));
+            JobSpec::new(
+                format!("tenant-{i}"),
+                data.a,
+                data.b,
+                em_config(seed.wrapping_mul(31).wrapping_add(i)),
+                crowd,
+            )
+            .with_priority(i as i32)
+            .with_arrival(Duration::from_secs(i * 60))
+        })
+        .collect()
+}
+
+/// Everything that must be invariant across thread counts, flattened to
+/// an easily-diffable form: per-tenant virtual times, service, stage
+/// counts, match digests and ledger counters, plus the aggregates.
+fn fingerprint(rep: &ServeReport) -> Vec<(String, u128)> {
+    let mut fp = Vec::new();
+    for o in &rep.outcomes {
+        fp.push((format!("{}/finish", o.name), o.finish.as_nanos()));
+        fp.push((format!("{}/latency", o.name), o.latency.as_nanos()));
+        fp.push((format!("{}/service", o.name), o.machine_service.as_nanos()));
+        fp.push((format!("{}/stages", o.name), o.stages as u128));
+        let report = o.result.as_ref().unwrap();
+        fp.push((
+            format!("{}/matches", o.name),
+            u128::from(match_digest(&report.matches)),
+        ));
+        fp.push((
+            format!("{}/questions", o.name),
+            report.ledger.questions as u128,
+        ));
+        fp.push((
+            format!("{}/cost_cents", o.name),
+            (report.ledger.cost * 100.0).round() as u128,
+        ));
+        fp.push((
+            format!("{}/crowd_time", o.name),
+            report.ledger.crowd_time.as_nanos(),
+        ));
+    }
+    fp.push(("makespan".into(), rep.makespan.as_nanos()));
+    fp.push(("serial_makespan".into(), rep.serial_makespan.as_nanos()));
+    fp.push(("rounds".into(), u128::from(rep.rounds)));
+    fp.push((
+        "utilization_ppm".into(),
+        (rep.utilization * 1e6).round() as u128,
+    ));
+    fp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn outcomes_invariant_across_thread_counts(
+        seed in 0u64..1_000,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [Policy::Fifo, Policy::FairShare, Policy::Priority, Policy::Random]
+            [policy_idx];
+        let mut prints = Vec::new();
+        for threads in [1usize, 4, 8] {
+            let cfg = ServeConfig {
+                threads,
+                policy,
+                seed,
+                ..ServeConfig::default()
+            };
+            let rep = serve(make_jobs(seed), &cfg);
+            prints.push(fingerprint(&rep));
+        }
+        prop_assert_eq!(&prints[0], &prints[1]);
+        prop_assert_eq!(&prints[1], &prints[2]);
+    }
+}
+
+/// The shared run beats the serial baseline once crowd latency dominates:
+/// tenant crowd waits overlap instead of stacking end to end.
+#[test]
+fn crowd_dominated_workload_masks_across_tenants() {
+    let jobs: Vec<JobSpec> = (0..6u64)
+        .map(|i| {
+            let data = falcon_datagen::generate("products", 0.015, i);
+            let truth = GroundTruth::new(data.truth.iter().copied());
+            let crowd = Arc::new(
+                RandomWorkerCrowd::new(truth, 0.05, i + 1).with_latency(Duration::from_secs(900)),
+            );
+            JobSpec::new(format!("t{i}"), data.a, data.b, em_config(i), crowd)
+        })
+        .collect();
+    let rep = serve(
+        jobs,
+        &ServeConfig {
+            threads: 4,
+            ..ServeConfig::default()
+        },
+    );
+    for o in &rep.outcomes {
+        assert!(o.result.is_ok(), "tenant {} failed", o.name);
+    }
+    assert!(
+        rep.throughput_speedup() >= 2.0,
+        "expected ≥2× over serial, got {:.2}× (shared {:?}, serial {:?})",
+        rep.throughput_speedup(),
+        rep.makespan,
+        rep.serial_makespan
+    );
+    assert!(rep.utilization >= rep.serial_utilization);
+}

@@ -38,6 +38,7 @@
 //! | [`index`] | `falcon-index` | blocking indexes + the five filters |
 //! | [`crowd`] | `falcon-crowd` | crowd simulation, HITs, voting, ledger |
 //! | [`datagen`] | `falcon-datagen` | synthetic Products / Songs / Citations |
+//! | [`serve`] | `falcon-serve` | multi-tenant scheduler over a shared node pool |
 
 pub use falcon_core as core;
 pub use falcon_crowd as crowd;
@@ -45,6 +46,7 @@ pub use falcon_dataflow as dataflow;
 pub use falcon_datagen as datagen;
 pub use falcon_forest as forest;
 pub use falcon_index as index;
+pub use falcon_serve as serve;
 pub use falcon_table as table;
 pub use falcon_textsim as textsim;
 
@@ -59,5 +61,6 @@ pub mod prelude {
     pub use falcon_crowd::{Crowd, CrowdJournal, CrowdSession};
     pub use falcon_dataflow::{Cluster, ClusterConfig, FaultPlan, FaultStats};
     pub use falcon_datagen::EmDataset;
+    pub use falcon_serve::{JobSpec, Policy, ServeConfig, ServeReport};
     pub use falcon_table::{Table, Value};
 }

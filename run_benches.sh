@@ -14,7 +14,14 @@ RUNS="${2:-3}"
 #   planned_modes             — per-conjunct probe modes the cost planner
 #     chose ("off" / "gate" / "dense").
 # It runs at 10x the standard bench scale internally (--scale multiplies).
-BINS=(table1 table2 table4 table5 fig9 fig10 sweep_physical sweep_ruleseq sweep_cluster sweep_sample sweep_iters sweep_workflow sweep_sampler kbb_recall fv_throughput forest_throughput ingest blocking_bench)
+# serve_bench emits BENCH_serve.json:
+#   throughput_speedup        — aggregate throughput of the shared-pool
+#     multi-tenant run over replaying the same jobs serially,
+#   shared/serial             — makespan, utilization, p50/p99 job latency
+#     for each mode,
+#   tenants_bit_identical_to_solo — asserted in-bench: every tenant's
+#     match set equals a solo (ungated) run of the same job.
+BINS=(table1 table2 table4 table5 fig9 fig10 sweep_physical sweep_ruleseq sweep_cluster sweep_sample sweep_iters sweep_workflow sweep_sampler kbb_recall fv_throughput forest_throughput ingest blocking_bench serve_bench)
 for bin in "${BINS[@]}"; do
   echo
   echo "##### $bin (scale $SCALE) #####"
