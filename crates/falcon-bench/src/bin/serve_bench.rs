@@ -109,7 +109,7 @@ fn main() {
         ..ServeConfig::default()
     };
     let wall_serve = Instant::now();
-    let rep = falcon::serve::serve(jobs, &cfg);
+    let rep = falcon::serve::serve(jobs, &cfg).unwrap_or_else(|e| panic!("service failed: {e}"));
     let serve_wall = wall_serve.elapsed();
 
     // Load-bearing assertion: every tenant's match set is bit-identical

@@ -51,13 +51,30 @@ SERVE OPTIONS:
     --threads <n>        concurrent tenant drivers; virtual results are
                          identical at any setting (default 4)
     --seed <n>           scheduler seed for --policy random (default 0)
+    --journal <path>     commit every scheduler decision to a service
+                         journal so a crashed service can be resumed
+    --resume <path>      resume a crashed service from its journal: the
+                         committed schedule is replayed and verified, and
+                         no crowd question is ever re-asked
+    --deadline <secs>    default per-job virtual-clock deadline (a job's
+                         own deadline= key takes precedence)
+    --admission <p>      reject | shed | queue (queue-overflow policy)
+    --max-active <n>     max concurrently active tenants (0 = unbounded)
+    --max-queue <n>      max tenants waiting beyond the active set
+    --queue-deadline <s> deadline stamped on overflow admissions under
+                         --admission queue
+
+    Exit status: 0 when every tenant succeeded; 3 when the service ran but
+    some tenant failed (deadline / quarantined / shed / rejected — see the
+    per-tenant status= lines); 1 when the service itself failed.
 
     The manifest lists one tenant job per line as key=value pairs
     (blank lines and '#' comments ignored):
         dataset=products scale=1.0 seed=1 error=0.05 priority=0
         dataset=songs latency=900 workflow=2 arrival=60 journal=b.journal
     Keys: dataset (required), scale, seed, error, latency (crowd secs),
-    priority, arrival (secs), workflow (outer rounds), journal, name.
+    priority, arrival (secs), deadline (secs), workflow (outer rounds),
+    journal, name.
 ";
 
 fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -463,6 +480,7 @@ fn parse_manifest_line(line: &str, idx: usize) -> Result<JobSpec, String> {
     let mut latency: Option<f64> = None;
     let mut priority = 0i32;
     let mut arrival = 0.0f64;
+    let mut deadline: Option<f64> = None;
     let mut workflow = 0usize;
     let mut journal: Option<String> = None;
     for field in line.split_whitespace() {
@@ -479,6 +497,7 @@ fn parse_manifest_line(line: &str, idx: usize) -> Result<JobSpec, String> {
             "latency" => latency = Some(value.parse().map_err(|_| bad("seconds"))?),
             "priority" => priority = value.parse().map_err(|_| bad("an integer"))?,
             "arrival" => arrival = value.parse().map_err(|_| bad("seconds"))?,
+            "deadline" => deadline = Some(value.parse().map_err(|_| bad("seconds"))?),
             "workflow" => workflow = value.parse().map_err(|_| bad("an integer"))?,
             "journal" => journal = Some(value.to_string()),
             other => return Err(format!("line {}: unknown key {other:?}", idx + 1)),
@@ -519,17 +538,23 @@ fn parse_manifest_line(line: &str, idx: usize) -> Result<JobSpec, String> {
     if let Some(p) = journal {
         spec = spec.with_journal(p);
     }
+    if let Some(secs) = deadline {
+        spec = spec.with_deadline(std::time::Duration::from_secs_f64(secs.max(0.0)));
+    }
     Ok(spec)
 }
 
-pub fn cmd_serve(args: &[String]) -> Result<(), String> {
+/// Run `falcon serve`. `Ok(code)` means the service ran: exit 0 when
+/// every tenant succeeded, exit 3 when some tenant failed (partial
+/// result). `Err` means the service itself failed (exit 1 in `main`).
+pub fn cmd_serve(args: &[String]) -> Result<std::process::ExitCode, String> {
     let manifest_path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("usage: falcon serve <manifest> [OPTIONS]")?;
     let text =
         std::fs::read_to_string(manifest_path).map_err(|e| format!("read {manifest_path}: {e}"))?;
-    let jobs: Vec<JobSpec> = text
+    let mut jobs: Vec<JobSpec> = text
         .lines()
         .enumerate()
         .filter(|(_, l)| {
@@ -546,6 +571,35 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(p) => Policy::parse(p).ok_or_else(|| format!("unknown policy {p:?}"))?,
         None => Policy::FairShare,
     };
+    let admission = falcon::serve::AdmissionConfig {
+        policy: match flag_value(args, "--admission") {
+            Some(p) => falcon::serve::AdmissionPolicy::parse(p)
+                .ok_or_else(|| format!("unknown admission policy {p:?}"))?,
+            None => falcon::serve::AdmissionPolicy::Reject,
+        },
+        max_active: flag_value(args, "--max-active")
+            .map(|v| v.parse().map_err(|_| "--max-active expects an integer"))
+            .transpose()?
+            .unwrap_or(0),
+        max_queue: flag_value(args, "--max-queue")
+            .map(|v| v.parse().map_err(|_| "--max-queue expects an integer"))
+            .transpose()?
+            .unwrap_or(0),
+        queue_deadline: flag_value(args, "--queue-deadline")
+            .map(|v| {
+                v.parse::<f64>()
+                    .map(std::time::Duration::from_secs_f64)
+                    .map_err(|_| "--queue-deadline expects seconds")
+            })
+            .transpose()?,
+        quota: falcon::serve::TenantQuota::default(),
+    };
+    // --resume implies --journal at the same path; the committed schedule
+    // is replayed and verified before any new decision is made.
+    let resume_path = flag_value(args, "--resume");
+    let journal = resume_path
+        .or(flag_value(args, "--journal"))
+        .map(std::path::PathBuf::from);
     let cfg = ServeConfig {
         pool_nodes: flag_value(args, "--nodes")
             .map(|v| v.parse().map_err(|_| "--nodes expects an integer"))
@@ -564,22 +618,44 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             .transpose()?
             .unwrap_or(0),
         policy,
+        admission,
+        journal,
         ..ServeConfig::default()
     };
+    if let Some(secs) = flag_value(args, "--deadline") {
+        let d: f64 = secs.parse().map_err(|_| "--deadline expects seconds")?;
+        for job in jobs.iter_mut() {
+            if job.deadline.is_none() {
+                job.deadline = Some(std::time::Duration::from_secs_f64(d.max(0.0)));
+            }
+        }
+    }
 
     println!(
-        "serving {} jobs on {} nodes ({:?}, {} driver threads)",
+        "serving {} jobs on {} nodes ({:?}, {} driver threads{})",
         jobs.len(),
         cfg.pool_nodes,
         cfg.policy,
-        cfg.threads
+        cfg.threads,
+        if resume_path.is_some() {
+            ", resuming from journal"
+        } else {
+            ""
+        }
     );
-    let rep = falcon::serve::serve(jobs, &cfg);
+    let rep = if resume_path.is_some() {
+        falcon::serve::resume(jobs, &cfg)
+    } else {
+        falcon::serve::serve(jobs, &cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    let mut failed = 0usize;
     for o in &rep.outcomes {
+        let status = o.status.as_str();
         match &o.result {
             Ok(r) => println!(
-                "tenant {:<16} prio {:>3}  latency {:>12}  service {:>12}  \
-                 matches {:>6}  ${:.2}",
+                "tenant {:<16} status={status:<11} prio {:>3}  latency {:>12}  \
+                 service {:>12}  matches {:>6}  ${:.2}",
                 o.name,
                 o.priority,
                 fmt_short(o.latency),
@@ -587,8 +663,21 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
                 r.matches.len(),
                 r.ledger.cost
             ),
-            Err(e) => println!("tenant {:<16} FAILED: {e}", o.name),
+            Err(e) => {
+                failed += 1;
+                let detail = o
+                    .service_error
+                    .as_ref()
+                    .map_or_else(|| e.to_string(), |se| se.to_string());
+                println!("tenant {:<16} status={status:<11} {detail}", o.name);
+            }
         }
+    }
+    if rep.replayed_rounds > 0 {
+        println!(
+            "resumed: {} of {} rounds replayed from the journal",
+            rep.replayed_rounds, rep.rounds
+        );
     }
     println!(
         "aggregate: makespan {} (serial {}), speedup {:.2}x, \
@@ -602,7 +691,14 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
         fmt_short(rep.latency_percentile(99.0)),
         rep.rounds
     );
-    Ok(())
+    if failed > 0 {
+        eprintln!(
+            "{failed} of {} tenants failed; exiting 3 (partial result)",
+            rep.outcomes.len()
+        );
+        return Ok(std::process::ExitCode::from(3));
+    }
+    Ok(std::process::ExitCode::SUCCESS)
 }
 
 /// Render a duration compactly (`2h07m`, `31m52s`, `4.2s`).

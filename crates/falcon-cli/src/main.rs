@@ -21,7 +21,18 @@ fn main() -> ExitCode {
         Some("plan") => commands::cmd_plan(&args[1..]),
         Some("profile") => commands::cmd_profile(&args[1..]),
         Some("demo") => commands::cmd_demo(&args[1..]),
-        Some("serve") => commands::cmd_serve(&args[1..]),
+        // `serve` distinguishes per-tenant failure (exit 3) from service
+        // failure (exit 1): a cloud batch with one quarantined tenant
+        // still produced every other tenant's result.
+        Some("serve") => {
+            return match commands::cmd_serve(&args[1..]) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -20,7 +20,7 @@ use crate::physical::{self, estimate_table_bytes, BlockingStats, PhysicalOp};
 use crate::plan::{choose_plan, PlanKind};
 use crate::rules::RuleSequence;
 use crate::stage::{shape_of, shape_sum, StageGate};
-use crate::timeline::Timeline;
+use crate::timeline::{check_cancel, Timeline};
 use falcon_crowd::{Crowd, CrowdJournal, CrowdSession, Ledger};
 use falcon_dataflow::{run_map_only, wall_now, Cluster, ClusterConfig, FaultPlan, FaultStats};
 use falcon_index::FilterSpec;
@@ -385,6 +385,7 @@ impl Falcon {
     ) -> Result<RunReport, FalconError> {
         let cfg = &self.config;
         session.mark_op("match_only_stage");
+        check_cancel(timeline, session)?;
         // Cartesian product of ids.
         let pairs: Vec<IdPair> = (0..a.len() as u32)
             .flat_map(|x| (0..b.len() as u32).map(move |y| (x, y)))
@@ -397,6 +398,7 @@ impl Falcon {
             tasks,
             records,
         );
+        check_cancel(timeline, session)?;
         let higher: Vec<bool> = lib
             .matching
             .features
@@ -455,6 +457,7 @@ impl Falcon {
     ) -> Result<BlockingOutcome, FalconError> {
         let cfg = &self.config;
         session.mark_op("blocking_stage");
+        check_cancel(timeline, session)?;
         let mut built = BuiltIndexes::new();
 
         // ---- sample_pairs ----
@@ -467,6 +470,7 @@ impl Falcon {
             tasks,
             records,
         );
+        check_cancel(timeline, session)?;
 
         // ---- gen_fvs (blocking features) ----
         let s_fvs = gen_fvs(cluster, a, b, &sample.pairs, &lib.blocking)?;
@@ -477,6 +481,7 @@ impl Falcon {
             tasks,
             records,
         );
+        check_cancel(timeline, session)?;
 
         // ---- al_matcher (blocking stage) ----
         let higher_b: Vec<bool> = lib
@@ -504,12 +509,14 @@ impl Falcon {
         if cfg.opt.prebuild_indexes {
             prebuild_generic(cluster, a, &lib.blocking, &mut built, timeline)?;
         }
+        check_cancel(timeline, session)?;
 
         // ---- get_blocking_rules ----
         let t0 = wall_now();
         let ranked = get_blocking_rules(&al_b.forest, &s_fvs.fvs, cfg.max_rules, &higher_b);
         timeline.machine("get_block_rules", t0.elapsed());
         let rules_extracted = ranked.len();
+        check_cancel(timeline, session)?;
 
         // Masking 1b + 2: while eval_rules crowdsources, prebuild the
         // candidate rules' indexes and speculatively execute them.
@@ -554,6 +561,7 @@ impl Falcon {
         } else {
             Default::default()
         };
+        check_cancel(timeline, session)?;
 
         // Fallback: if nothing was retained, keep the top-ranked rule so
         // the pipeline can still block (documented pragmatic choice).
@@ -596,6 +604,7 @@ impl Falcon {
             let dur = built.build_spec_keyed(cluster, a, spec, key)?;
             timeline.machine_shaped("index_build", dur, 1, a.len() as u64);
         }
+        check_cancel(timeline, session)?;
         // Reuse a speculated single-rule output when possible.
         let spec_hit: Option<(usize, &Vec<IdPair>)> = seq_out
             .seq
@@ -720,6 +729,7 @@ impl Falcon {
     ) -> Result<MatchStageOutcome, FalconError> {
         let cfg = &self.config;
         session.mark_op("matching_stage");
+        check_cancel(timeline, session)?;
         let c_fvs = gen_fvs(cluster, a, b, candidates, &lib.matching)?;
         let (tasks, records) = shape_sum(c_fvs.prep_stats.iter().chain([&c_fvs.stats]));
         timeline.machine_shaped(
@@ -728,6 +738,7 @@ impl Falcon {
             tasks,
             records,
         );
+        check_cancel(timeline, session)?;
         if c_fvs.fvs.is_empty() {
             return Ok(MatchStageOutcome {
                 matches: Vec::new(),
@@ -943,6 +954,7 @@ impl Falcon {
                 break;
             };
             session.mark_op("accuracy_estimator");
+            check_cancel(&timeline, &mut session)?;
             let est = estimate_accuracy(
                 &mut session,
                 &mut timeline,

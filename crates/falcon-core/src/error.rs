@@ -2,6 +2,7 @@
 
 use crate::analyze::PlanAnalysisError;
 use crate::physical::BlockingError;
+use crate::stage::CancelReason;
 use falcon_crowd::JournalError;
 use falcon_dataflow::DataflowError;
 use falcon_index::IndexError;
@@ -44,6 +45,14 @@ pub enum FalconError {
         /// `FalconError` stays `Clone + PartialEq`).
         message: String,
     },
+    /// A gated run was cancelled by its scheduler (deadline, quota,
+    /// shutdown, or a simulated service crash). The driver unwound at a
+    /// stage boundary with its crowd journal finalized, so the run can
+    /// be resumed from that journal without re-asking the crowd.
+    Cancelled {
+        /// Why the scheduler cancelled the run.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for FalconError {
@@ -67,6 +76,7 @@ impl fmt::Display for FalconError {
             }
             Self::EmptyInput { what } => write!(f, "operator input {what:?} is empty"),
             Self::Journal { message } => write!(f, "checkpoint journal failure: {message}"),
+            Self::Cancelled { reason } => write!(f, "run cancelled by scheduler: {reason}"),
         }
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::error::FalconError;
 use crate::fv::FvSet;
-use crate::timeline::Timeline;
+use crate::timeline::{check_cancel, Timeline};
 use falcon_crowd::{Crowd, CrowdSession};
 use falcon_dataflow::{run_map_only, wall_now, Cluster};
 use falcon_forest::{Dataset, Forest, ForestConfig};
@@ -264,6 +264,9 @@ pub fn al_matcher<C: Crowd>(
     }
 
     while iterations < cfg.max_iterations && labeled_set.len() < fvs.len() {
+        // Cancellation point: a scheduler-cancelled tenant stops asking
+        // crowd questions between AL iterations, with its journal intact.
+        check_cancel(timeline, session)?;
         if cfg.mask_pair_selection {
             if pending.is_empty() {
                 converged = true;

@@ -99,6 +99,13 @@ pub fn eval_rules<C: Crowd>(
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4556414c);
     let mut out = EvalOutput::default();
     for (rank_idx, rule) in ranked.rules.iter().enumerate() {
+        // Cancellation point: this operator is infallible, so a
+        // cancelled tenant just stops evaluating further rules; the
+        // driver's next cancellation check turns it into a typed error
+        // before any partial result is used.
+        if timeline.cancel_reason().is_some() {
+            break;
+        }
         let cov: Vec<usize> = ranked.coverage[rank_idx].ones().collect();
         let m = cov.len();
         if m == 0 {

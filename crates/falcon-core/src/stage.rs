@@ -75,6 +75,46 @@ pub struct StageEvent {
     pub records: u64,
 }
 
+/// Why a scheduler asked a gated run to stop at a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The tenant's virtual-clock deadline passed.
+    Deadline,
+    /// The tenant exhausted a per-tenant quota (stages or node-seconds).
+    Quota,
+    /// The scheduler shut down (dropped, failed, or finished early)
+    /// while the tenant was still running.
+    Shutdown,
+    /// A simulated service crash (chaos harness kill point).
+    Kill,
+    /// Admission control refused the job before it ever started; used
+    /// only in service reports, never as a gate verdict.
+    Admission,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Deadline => "deadline exceeded",
+            Self::Quota => "quota exhausted",
+            Self::Shutdown => "scheduler shut down",
+            Self::Kill => "service killed",
+            Self::Admission => "refused at admission",
+        })
+    }
+}
+
+/// The scheduler's verdict at a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageControl {
+    /// Keep running: the next stage's lease is granted.
+    Continue,
+    /// Stop: the driver must unwind with a typed cancellation error at
+    /// its next cancellation point, finalizing its crowd journal so the
+    /// run stays resumable.
+    Cancel(CancelReason),
+}
+
 /// Callback invoked at every stage boundary of a gated run.
 ///
 /// `on_stage` is called *after* the segment is recorded. For
@@ -86,9 +126,16 @@ pub struct StageEvent {
 /// implementations should return promptly: crowd latency is virtual, so
 /// blocking the driver thread on it would serialize tenants for no
 /// reason.
+///
+/// The returned [`StageControl`] is the scheduler's verdict: `Continue`
+/// keeps the run going, `Cancel` makes the driver unwind cleanly with
+/// [`FalconError::Cancelled`](crate::error::FalconError) at its next
+/// cancellation point. A gate whose scheduler is *gone* (channel
+/// disconnected) must return `Cancel(CancelReason::Shutdown)` rather
+/// than blocking forever or silently letting the run continue ungated.
 pub trait StageGate: Send + Sync {
     /// Observe one stage boundary; may block (see trait docs).
-    fn on_stage(&self, event: StageEvent);
+    fn on_stage(&self, event: StageEvent) -> StageControl;
 }
 
 /// Shared handle to a gate, carried inside [`crate::timeline::Timeline`].
@@ -104,9 +151,9 @@ impl GateHandle {
         Self(gate)
     }
 
-    /// Notify the gate of a stage boundary.
-    pub fn on_stage(&self, event: StageEvent) {
-        self.0.on_stage(event);
+    /// Notify the gate of a stage boundary, returning its verdict.
+    pub fn on_stage(&self, event: StageEvent) -> StageControl {
+        self.0.on_stage(event)
     }
 }
 
@@ -124,8 +171,9 @@ mod tests {
     struct Recorder(Mutex<Vec<StageEvent>>);
 
     impl StageGate for Recorder {
-        fn on_stage(&self, event: StageEvent) {
+        fn on_stage(&self, event: StageEvent) -> StageControl {
             self.0.lock().push(event);
+            StageControl::Continue
         }
     }
 

@@ -13,7 +13,7 @@
 //! * unmasked machine time `t_u` — machine work not covered by capacity,
 //! * total time — `t_c + t_u`.
 
-use crate::stage::{GateHandle, StageEvent, StageGate, StageKind};
+use crate::stage::{CancelReason, GateHandle, StageControl, StageEvent, StageGate, StageKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -69,6 +69,10 @@ pub struct Timeline {
     /// embedded in a report.
     #[serde(skip)]
     gate: Option<GateHandle>,
+    /// Set when the gate returned [`StageControl::Cancel`]: the driver
+    /// must unwind at its next cancellation point. Sticky until taken.
+    #[serde(skip)]
+    cancel: Option<CancelReason>,
 }
 
 impl Timeline {
@@ -93,15 +97,25 @@ impl Timeline {
         self.gate = None;
     }
 
-    fn notify(&self, label: &str, kind: StageKind, dur: Duration, tasks: u32, records: u64) {
+    /// The scheduler's pending cancellation, if the gate returned
+    /// [`StageControl::Cancel`] at any stage boundary so far. Sticky:
+    /// once set it stays set, so every later cancellation point sees it.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        self.cancel
+    }
+
+    fn notify(&mut self, label: &str, kind: StageKind, dur: Duration, tasks: u32, records: u64) {
         if let Some(gate) = &self.gate {
-            gate.on_stage(StageEvent {
+            let verdict = gate.on_stage(StageEvent {
                 label: label.to_string(),
                 kind,
                 dur,
                 tasks,
                 records,
             });
+            if let StageControl::Cancel(reason) = verdict {
+                self.cancel.get_or_insert(reason);
+            }
         }
     }
 
@@ -241,6 +255,23 @@ impl Timeline {
         self.capacity += other.capacity;
         self.segments.extend(other.segments);
     }
+}
+
+/// Driver-level cancellation point: when the stage gate has requested
+/// cancellation, finalize the crowd journal — so the tenant can resume
+/// later without re-asking a single crowd question — and unwind with
+/// [`FalconError::Cancelled`](crate::error::FalconError). Operators with
+/// long crowd loops call this between iterations so a cancelled tenant
+/// stops asking questions promptly instead of running its loop dry.
+pub fn check_cancel<C: falcon_crowd::Crowd>(
+    timeline: &Timeline,
+    session: &mut falcon_crowd::CrowdSession<C>,
+) -> Result<(), crate::error::FalconError> {
+    if let Some(reason) = timeline.cancel_reason() {
+        session.finalize_journal();
+        return Err(crate::error::FalconError::Cancelled { reason });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -308,6 +308,16 @@ impl CrowdJournal {
         self.append(&text)
     }
 
+    /// Force every written record to stable storage (`fsync`). The
+    /// writer already flushes after each record, so this adds durability
+    /// against OS-level loss — a cancelled gated run calls it before
+    /// unwinding so the journal tail survives a subsequent real crash.
+    pub fn finalize(&mut self) -> Result<(), JournalError> {
+        self.file.flush()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
     /// Record (or replay past) an operator-boundary marker.
     pub fn mark_op(&mut self, label: &str) -> Result<(), JournalError> {
         if let Some((_, Record::Op(queued))) = self.replay.front() {

@@ -186,6 +186,20 @@ impl<C: Crowd> CrowdSession<C> {
         self.crowd.latency_per_round()
     }
 
+    /// Flush and `fsync` the attached journal (no-op without one).
+    /// Called by the driver when a gated run is cancelled, so every
+    /// journaled batch is durable before the unwind and the run can be
+    /// resumed without re-asking the crowd. A sync failure degrades to
+    /// unjournaled operation exactly like a write failure.
+    pub fn finalize_journal(&mut self) {
+        if let Some(j) = self.journal.as_mut() {
+            if let Err(e) = j.finalize() {
+                self.journal_error = Some(e);
+                self.journal = None;
+            }
+        }
+    }
+
     /// Record an operator boundary in the journal (or replay past the
     /// marker when resuming).
     pub fn mark_op(&mut self, label: &str) {

@@ -40,9 +40,10 @@
 //!   bit-identical replay. Sort first, or reduce in arrival order.
 //! * **`error-context`** — every `DataflowError` struct-variant
 //!   construction in `falcon-dataflow`/`falcon-core` must carry its
-//!   `job` and `phase` coordinates (task-level errors also carry `task`):
-//!   a hands-off service diagnoses a failed run from the error value
-//!   alone.
+//!   `job` and `phase` coordinates (task-level errors also carry `task`),
+//!   and every `ServeError` construction in `falcon-serve` its `tenant`
+//!   and `round`: a hands-off service diagnoses a failed run from the
+//!   error value alone.
 //! * **`sim-time-transitive`** — the sim-time funnel holds *transitively*:
 //!   a function that reaches `Instant::now` through any chain of calls to
 //!   workspace functions is flagged at the call site, even when the read
@@ -84,7 +85,8 @@ pub enum Rule {
     HashmapIterOrder,
     /// No float accumulation over unordered hash iteration.
     FloatReduceOrder,
-    /// `DataflowError` constructions must carry job/phase coordinates.
+    /// `DataflowError` constructions must carry job/phase coordinates;
+    /// `ServeError` constructions tenant/round.
     ErrorContext,
     /// The sim-time funnel holds through call chains.
     SimTimeTransitive,
@@ -201,7 +203,7 @@ pub fn rules_for(path: &Path) -> Vec<Rule> {
         rules.push(Rule::HashmapIterOrder);
         rules.push(Rule::FloatReduceOrder);
     }
-    if has("falcon-dataflow/src/") || has("falcon-core/src/") {
+    if has("falcon-dataflow/src/") || has("falcon-core/src/") || has("falcon-serve/src/") {
         rules.push(Rule::ErrorContext);
     }
     if !sim_time_exempt {
@@ -710,16 +712,30 @@ fn classify_iteration(
     }
 }
 
-/// Scan `DataflowError::Variant { ... }` constructions for missing
-/// job/phase coordinates. Match-arm *patterns* (span followed by `=>` or
-/// `=`) are exempt — the rule is about constructing errors with context,
-/// not destructuring them.
+/// Error types whose struct-variant constructions must carry location
+/// coordinates, with the field names that count as context. A hands-off
+/// service diagnoses failures from the error value alone, so every typed
+/// error names where it happened: dataflow errors carry (job, phase),
+/// service errors carry (tenant, round).
+pub const ERROR_CONTEXT_TYPES: [(&str, [&str; 2]); 2] = [
+    ("DataflowError", ["job", "phase"]),
+    ("ServeError", ["tenant", "round"]),
+];
+
+/// Scan `DataflowError::Variant { ... }` / `ServeError::Variant { ... }`
+/// constructions for missing coordinates (see [`ERROR_CONTEXT_TYPES`]).
+/// Match-arm *patterns* (span followed by `=>` or `=`) are exempt — the
+/// rule is about constructing errors with context, not destructuring
+/// them.
 fn pass_error_context(fs: &FileScan, out: &mut Vec<Violation>) {
     let toks = &fs.lx.toks;
     for i in 0..toks.len() {
-        if !(toks[i].is("DataflowError") && toks[i].is_ident) {
+        let Some((ty, required)) = ERROR_CONTEXT_TYPES
+            .iter()
+            .find(|(ty, _)| toks[i].is(ty) && toks[i].is_ident)
+        else {
             continue;
-        }
+        };
         if !fs.lx.matches(i + 1, &[":", ":"]) {
             continue;
         }
@@ -738,12 +754,12 @@ fn pass_error_context(fs: &FileScan, out: &mut Vec<Violation>) {
         }
         let body = &toks[i + 5..close];
         let has = |s: &str| body.iter().any(|t| t.is_ident && t.is(s));
-        if !(has("job") && has("phase")) && fs.active(Rule::ErrorContext, toks[i].line) {
+        if !required.iter().all(|f| has(f)) && fs.active(Rule::ErrorContext, toks[i].line) {
             out.push(fs.violation(
                 Rule::ErrorContext,
                 toks[i].line,
                 toks[i].col,
-                format!("DataflowError::{}", variant.text),
+                format!("{ty}::{}", variant.text),
             ));
         }
     }

@@ -1,0 +1,16 @@
+//! Seeded-violation fixture: a service error constructed without its
+//! tenant/round coordinates. Scanned only by falcon-lint's own tests —
+//! not compiled.
+
+pub fn refuse(tenant_name: String) -> ServeError {
+    ServeError::Shutdown {
+        message: tenant_name,
+    }
+}
+
+pub fn tenant_of(e: &ServeError) -> Option<&str> {
+    match e {
+        ServeError::Shutdown { tenant, .. } => Some(tenant),
+        _ => None,
+    }
+}

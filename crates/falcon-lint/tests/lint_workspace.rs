@@ -39,6 +39,8 @@ fn seeded_fixture_trips_every_rule() {
     // blessed count and collect-then-sort shapes must NOT be reported).
     // bad_error.rs: DataflowError construction without job/phase (the
     // match pattern must NOT be reported).
+    // bad_serve_error.rs: ServeError construction without tenant/round
+    // (the match pattern must NOT be reported).
     // bad_indirect.rs: Instant::now behind two levels of calls.
     let count = |rule: Rule| violations.iter().filter(|v| v.rule == rule).count();
     assert_eq!(count(Rule::NoPanic), 2, "{violations:?}");
@@ -47,9 +49,9 @@ fn seeded_fixture_trips_every_rule() {
     assert_eq!(count(Rule::WallClockRetry), 1, "{violations:?}");
     assert_eq!(count(Rule::HashmapIterOrder), 1, "{violations:?}");
     assert_eq!(count(Rule::FloatReduceOrder), 1, "{violations:?}");
-    assert_eq!(count(Rule::ErrorContext), 1, "{violations:?}");
+    assert_eq!(count(Rule::ErrorContext), 2, "{violations:?}");
     assert_eq!(count(Rule::SimTimeTransitive), 2, "{violations:?}");
-    assert_eq!(violations.len(), 12, "{violations:?}");
+    assert_eq!(violations.len(), 13, "{violations:?}");
     let retry_v = violations
         .iter()
         .find(|v| v.rule == Rule::WallClockRetry)

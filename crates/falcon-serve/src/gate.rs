@@ -5,9 +5,18 @@
 //! [`Timeline`](falcon_core::timeline::Timeline). At every stage boundary
 //! the gate reports a [`StageEvent`] to the scheduler over a per-tenant
 //! channel; for machine-kind stages it then *blocks* until the scheduler
-//! grants the tenant a node lease for whatever comes next. Crowd-kind
-//! stages never block: their latency is virtual, so parking the driver
-//! thread on them would serialize tenants for no reason.
+//! answers with a [`StageControl`] verdict — `Continue` is a node lease
+//! for whatever comes next, `Cancel` orders the driver to unwind at its
+//! next cancellation point. Crowd-kind stages never block: their latency
+//! is virtual, so parking the driver thread on them would serialize
+//! tenants for no reason.
+//!
+//! **Shutdown safety**: if the scheduler side of either channel is gone —
+//! the event send fails, or the grant receive disconnects while the
+//! tenant is parked — the gate returns
+//! [`StageControl::Cancel`]`(`[`CancelReason::Shutdown`]`)` so the driver
+//! unwinds with a typed error instead of hanging forever or silently
+//! running to completion ungated.
 //!
 //! Real CPU concurrency is bounded separately by a counting semaphore
 //! ([`Permits`]): a tenant holds a permit while actually computing and
@@ -17,7 +26,7 @@
 //! place, grant) make every virtual-time outcome independent of the
 //! permit count, which is what the determinism tests pin down.
 
-use falcon_core::stage::{StageEvent, StageGate, StageKind};
+use falcon_core::stage::{CancelReason, StageControl, StageEvent, StageGate, StageKind};
 use parking_lot::Mutex;
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -27,13 +36,14 @@ use std::sync::Arc;
 /// exist and receiving returns one slot to the pool. (The vendored
 /// `parking_lot` stub has no condvar; a bounded channel gives the same
 /// blocking discipline with no busy wait.)
-pub(crate) struct Permits {
+pub struct Permits {
     tx: SyncSender<()>,
     rx: Mutex<Receiver<()>>,
 }
 
 impl Permits {
-    pub(crate) fn new(k: usize) -> Arc<Self> {
+    /// A pool of `k` permits (at least one).
+    pub fn new(k: usize) -> Arc<Self> {
         let (tx, rx) = sync_channel(k.max(1));
         Arc::new(Self {
             tx,
@@ -42,33 +52,35 @@ impl Permits {
     }
 
     /// Block until a permit is free, then hold it.
-    pub(crate) fn acquire(&self) {
+    pub fn acquire(&self) {
         // The receiver lives in `self`, so send can only fail if the
         // permit pool itself is gone — nothing to hold in that case.
         let _ = self.tx.send(());
     }
 
     /// Return a held permit.
-    pub(crate) fn release(&self) {
+    pub fn release(&self) {
         let _ = self.rx.lock().try_recv();
     }
 }
 
 /// Stage-boundary gate for one tenant (see module docs).
-pub(crate) struct ServeGate {
+pub struct ServeGate {
     /// Stage reports to the scheduler. `Sender` is wrapped so the gate is
     /// `Sync` on every supported toolchain.
     events: Mutex<Sender<StageEvent>>,
-    /// Node-lease grants from the scheduler.
-    grants: Mutex<Receiver<()>>,
+    /// Per-stage verdicts from the scheduler: a node lease or a
+    /// cancellation order.
+    grants: Mutex<Receiver<StageControl>>,
     /// Real-concurrency throttle shared by all tenants.
     permits: Arc<Permits>,
 }
 
 impl ServeGate {
-    pub(crate) fn new(
+    /// Wire a gate to its scheduler-side channels.
+    pub fn new(
         events: Sender<StageEvent>,
-        grants: Receiver<()>,
+        grants: Receiver<StageControl>,
         permits: Arc<Permits>,
     ) -> Self {
         Self {
@@ -80,21 +92,27 @@ impl ServeGate {
 }
 
 impl StageGate for ServeGate {
-    fn on_stage(&self, event: StageEvent) {
+    fn on_stage(&self, event: StageEvent) -> StageControl {
         let kind = event.kind;
         if self.events.lock().send(event).is_err() {
-            // Scheduler gone (shut down or failed): run to completion
-            // ungated rather than wedging the tenant thread.
-            return;
+            // Scheduler gone (shut down or failed): order a typed unwind
+            // rather than running to completion ungated.
+            return StageControl::Cancel(CancelReason::Shutdown);
         }
         if kind == StageKind::CrowdWait {
-            return;
+            return StageControl::Continue;
         }
         // Machine-kind boundary: hand the CPU back while waiting for the
-        // scheduler to place this stage and grant the next lease.
+        // scheduler to place this stage and issue its verdict.
         self.permits.release();
-        let _ = self.grants.lock().recv();
+        let verdict = self.grants.lock().recv();
         self.permits.acquire();
+        match verdict {
+            Ok(control) => control,
+            // Scheduler dropped while we were parked: unpark with a
+            // typed shutdown instead of hanging the tenant thread.
+            Err(_) => StageControl::Cancel(CancelReason::Shutdown),
+        }
     }
 }
 
@@ -120,7 +138,10 @@ mod tests {
         let (_gtx, grx) = channel();
         let gate = ServeGate::new(etx, grx, Permits::new(1));
         // Would deadlock if crowd events waited for a grant.
-        gate.on_stage(ev(StageKind::CrowdWait));
+        assert_eq!(
+            gate.on_stage(ev(StageKind::CrowdWait)),
+            StageControl::Continue
+        );
         assert_eq!(erx.recv().unwrap().kind, StageKind::CrowdWait);
     }
 
@@ -135,8 +156,48 @@ mod tests {
         let h = std::thread::spawn(move || g2.on_stage(ev(StageKind::Machine)));
         // The event arrives while the worker is parked on the grant.
         assert_eq!(erx.recv().unwrap().kind, StageKind::Machine);
-        gtx.send(()).unwrap();
-        h.join().unwrap();
+        gtx.send(StageControl::Continue).unwrap();
+        assert_eq!(h.join().unwrap(), StageControl::Continue);
+    }
+
+    #[test]
+    fn cancel_verdicts_pass_through() {
+        let (etx, _erx) = channel();
+        let (gtx, grx) = channel();
+        let gate = ServeGate::new(etx, grx, Permits::new(1));
+        gtx.send(StageControl::Cancel(CancelReason::Deadline))
+            .unwrap();
+        assert_eq!(
+            gate.on_stage(ev(StageKind::Machine)),
+            StageControl::Cancel(CancelReason::Deadline)
+        );
+    }
+
+    #[test]
+    fn dropped_event_channel_is_typed_shutdown() {
+        let (etx, erx) = channel();
+        drop(erx);
+        let (_gtx, grx) = channel::<StageControl>();
+        let gate = ServeGate::new(etx, grx, Permits::new(1));
+        assert_eq!(
+            gate.on_stage(ev(StageKind::Machine)),
+            StageControl::Cancel(CancelReason::Shutdown)
+        );
+    }
+
+    #[test]
+    fn dropped_grant_channel_unparks_with_shutdown() {
+        let (etx, erx) = channel();
+        let (gtx, grx) = channel::<StageControl>();
+        let gate = Arc::new(ServeGate::new(etx, grx, Permits::new(1)));
+        let g2 = gate.clone();
+        let h = std::thread::spawn(move || g2.on_stage(ev(StageKind::Machine)));
+        assert_eq!(erx.recv().unwrap().kind, StageKind::Machine);
+        drop(gtx); // scheduler dies while the tenant is parked
+        assert_eq!(
+            h.join().unwrap(),
+            StageControl::Cancel(CancelReason::Shutdown)
+        );
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct JobSpec {
     pub workflow_rounds: usize,
     /// Optional per-tenant crash-recovery journal path.
     pub journal: Option<PathBuf>,
+    /// Optional virtual-clock deadline, relative to [`JobSpec::arrival`].
+    /// The scheduler cancels the job at the first round boundary past it.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -59,6 +62,7 @@ impl JobSpec {
             arrival: Duration::ZERO,
             workflow_rounds: 0,
             journal: None,
+            deadline: None,
         }
     }
 
@@ -83,6 +87,12 @@ impl JobSpec {
     /// Attach a crash-recovery journal at `path`.
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
+        self
+    }
+
+    /// Set a virtual-clock deadline relative to arrival.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -130,6 +140,7 @@ impl std::fmt::Debug for JobSpec {
             .field("arrival", &self.arrival)
             .field("workflow_rounds", &self.workflow_rounds)
             .field("journal", &self.journal)
+            .field("deadline", &self.deadline)
             .finish()
     }
 }

@@ -18,29 +18,119 @@
 //!   pool utilization, and a run-jobs-serially baseline replayed from
 //!   the recorded stage traces.
 //!
-//! Two properties the tests pin down:
+//! The service layer on top of the scheduler makes it production-shaped:
+//!
+//! * **admission control** ([`AdmissionConfig`]) — a bounded active set
+//!   and wait queue, with reject / shed-lowest-priority /
+//!   queue-with-deadline overflow policies and per-tenant quotas;
+//! * **deadlines and cancellation** — per-job virtual-clock deadlines
+//!   enforced at round boundaries; the driver unwinds cooperatively with
+//!   its crowd journal finalized;
+//! * **quarantine** — an erroring tenant is isolated without perturbing
+//!   any other tenant's bytes;
+//! * **elastic pool** ([`PoolEvent`], [`DegradedPolicy`]) — seeded node
+//!   loss/join mid-run, with degraded mode shedding speculative work
+//!   first;
+//! * **crash-resume** ([`resume`]) — every scheduler decision is
+//!   committed to an append-only service journal; resume re-executes and
+//!   verifies the schedule, reaching byte-identical reports without
+//!   re-asking a single crowd question;
+//! * **chaos harness** ([`chaos`]) — a kill-point × fault × pool-shrink
+//!   matrix asserting resume-identity and isolation per cell.
+//!
+//! Three properties the tests pin down:
 //!
 //! * **isolation** — gating never changes what a run computes, each
 //!   tenant gets its own simulated cluster and journal, and scheduler
-//!   state is per-tenant, so one tenant's node loss, crowd loss or crash
-//!   recovery cannot perturb another tenant's bit-identical results;
+//!   state is per-tenant, so one tenant's node loss, crowd loss, crash
+//!   recovery, deadline or quarantine cannot perturb another tenant's
+//!   bit-identical results;
 //! * **determinism** — the scheduler drains tenants in lockstep rounds
 //!   and prices stages from deterministic shapes, so placements, ledgers
 //!   and every virtual-time statistic are identical at any
-//!   [`ServeConfig::threads`] setting.
+//!   [`ServeConfig::threads`] setting;
+//! * **resume-identity** — kill the service after any journaled round,
+//!   resume, and every per-tenant report, crowd journal and the
+//!   aggregate ledger is byte-identical to an uninterrupted run.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admission;
+pub mod chaos;
 pub mod cost;
-mod gate;
+pub mod error;
+pub mod gate;
 pub mod job;
+pub mod journal;
 pub mod sched;
 
+pub use admission::{AdmissionConfig, AdmissionPolicy, TenantQuota};
 pub use cost::CostModel;
+pub use error::{ServeError, SERVICE_TENANT};
 pub use job::JobSpec;
-pub use sched::{serve, Policy, ServeConfig, ServeReport, TenantOutcome};
+pub use sched::{
+    resume, serve, DegradedPolicy, Policy, PoolEvent, ServeConfig, ServeReport, TenantOutcome,
+    TenantStatus,
+};
 
 use falcon_table::IdPair;
+
+/// Everything in a [`ServeReport`] that must be invariant across thread
+/// counts and kill/resume, flattened to an easily-diffable form:
+/// per-tenant virtual times, service, stage counts, statuses, match
+/// digests and ledger counters, plus the aggregates. Shared by the
+/// determinism proptest, the chaos harness and the `serve_chaos` bench so
+/// they all assert the same notion of identity.
+pub fn serve_fingerprint(rep: &ServeReport) -> Vec<(String, u128)> {
+    let mut fp = Vec::new();
+    for o in &rep.outcomes {
+        fp.push((format!("{}/finish", o.name), o.finish.as_nanos()));
+        fp.push((format!("{}/latency", o.name), o.latency.as_nanos()));
+        fp.push((format!("{}/service", o.name), o.machine_service.as_nanos()));
+        fp.push((format!("{}/stages", o.name), o.stages as u128));
+        fp.push((format!("{}/status", o.name), o.status as u128));
+        match &o.result {
+            Ok(report) => {
+                fp.push((
+                    format!("{}/matches", o.name),
+                    u128::from(match_digest(&report.matches)),
+                ));
+                fp.push((
+                    format!("{}/questions", o.name),
+                    report.ledger.questions as u128,
+                ));
+                fp.push((
+                    format!("{}/cost_cents", o.name),
+                    (report.ledger.cost * 100.0).round() as u128,
+                ));
+                fp.push((
+                    format!("{}/crowd_time", o.name),
+                    report.ledger.crowd_time.as_nanos(),
+                ));
+            }
+            Err(e) => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in e.to_string().bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                fp.push((format!("{}/error", o.name), u128::from(h)));
+            }
+        }
+    }
+    let agg = rep.aggregate_ledger();
+    fp.push(("agg/questions".into(), agg.questions as u128));
+    fp.push(("agg/answers".into(), agg.answers as u128));
+    fp.push(("agg/cost_cents".into(), (agg.cost * 100.0).round() as u128));
+    fp.push(("agg/crowd_time".into(), agg.crowd_time.as_nanos()));
+    fp.push(("makespan".into(), rep.makespan.as_nanos()));
+    fp.push(("serial_makespan".into(), rep.serial_makespan.as_nanos()));
+    fp.push((
+        "utilization_ppm".into(),
+        (rep.utilization * 1e6).round() as u128,
+    ));
+    fp
+}
 
 /// Order-sensitive 64-bit digest of a match set, for cheap bit-identity
 /// assertions across solo and shared-pool runs (FNV-1a over the pairs).

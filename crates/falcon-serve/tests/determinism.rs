@@ -7,7 +7,7 @@ use falcon_core::driver::FalconConfig;
 use falcon_core::plan::PlanKind;
 use falcon_crowd::sim::{GroundTruth, RandomWorkerCrowd};
 use falcon_dataflow::ClusterConfig;
-use falcon_serve::{match_digest, serve, JobSpec, Policy, ServeConfig, ServeReport};
+use falcon_serve::{serve, serve_fingerprint, JobSpec, Policy, ServeConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,44 +45,6 @@ fn make_jobs(seed: u64) -> Vec<JobSpec> {
         .collect()
 }
 
-/// Everything that must be invariant across thread counts, flattened to
-/// an easily-diffable form: per-tenant virtual times, service, stage
-/// counts, match digests and ledger counters, plus the aggregates.
-fn fingerprint(rep: &ServeReport) -> Vec<(String, u128)> {
-    let mut fp = Vec::new();
-    for o in &rep.outcomes {
-        fp.push((format!("{}/finish", o.name), o.finish.as_nanos()));
-        fp.push((format!("{}/latency", o.name), o.latency.as_nanos()));
-        fp.push((format!("{}/service", o.name), o.machine_service.as_nanos()));
-        fp.push((format!("{}/stages", o.name), o.stages as u128));
-        let report = o.result.as_ref().unwrap();
-        fp.push((
-            format!("{}/matches", o.name),
-            u128::from(match_digest(&report.matches)),
-        ));
-        fp.push((
-            format!("{}/questions", o.name),
-            report.ledger.questions as u128,
-        ));
-        fp.push((
-            format!("{}/cost_cents", o.name),
-            (report.ledger.cost * 100.0).round() as u128,
-        ));
-        fp.push((
-            format!("{}/crowd_time", o.name),
-            report.ledger.crowd_time.as_nanos(),
-        ));
-    }
-    fp.push(("makespan".into(), rep.makespan.as_nanos()));
-    fp.push(("serial_makespan".into(), rep.serial_makespan.as_nanos()));
-    fp.push(("rounds".into(), u128::from(rep.rounds)));
-    fp.push((
-        "utilization_ppm".into(),
-        (rep.utilization * 1e6).round() as u128,
-    ));
-    fp
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -101,8 +63,8 @@ proptest! {
                 seed,
                 ..ServeConfig::default()
             };
-            let rep = serve(make_jobs(seed), &cfg);
-            prints.push(fingerprint(&rep));
+            let rep = serve(make_jobs(seed), &cfg).unwrap();
+            prints.push(serve_fingerprint(&rep));
         }
         prop_assert_eq!(&prints[0], &prints[1]);
         prop_assert_eq!(&prints[1], &prints[2]);
@@ -129,7 +91,8 @@ fn crowd_dominated_workload_masks_across_tenants() {
             threads: 4,
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     for o in &rep.outcomes {
         assert!(o.result.is_ok(), "tenant {} failed", o.name);
     }

@@ -75,7 +75,7 @@ fn tenant_b_unperturbed_by_tenant_a_faults() {
             policy: Policy::FairShare,
             ..ServeConfig::default()
         };
-        let rep = serve(jobs, &cfg);
+        let rep = serve(jobs, &cfg).unwrap();
 
         // Tenant A really was perturbed: its fault machinery fired.
         let a = rep.outcomes[0].result.as_ref().unwrap();
@@ -123,7 +123,8 @@ fn failing_tenant_does_not_abort_others() {
             threads: 2,
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert!(rep.outcomes[0].result.is_err(), "empty job should fail");
     let healthy = rep.outcomes[1].result.as_ref().unwrap();
     assert_eq!(healthy.matches, solo.matches);
